@@ -1,0 +1,55 @@
+// Command datagen generates CCSD performance datasets by sweeping the
+// simulator over problem sizes, node counts, and tile sizes, writing the
+// same ⟨O, V, nodes, tilesize⟩ → seconds schema the paper's models consume.
+//
+// Usage:
+//
+//	datagen -machine aurora -size 2329 -out aurora.csv
+//	datagen -machine frontier -size 2454 -out frontier.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parcost/internal/ccsd"
+	"parcost/internal/machine"
+)
+
+func main() {
+	var (
+		machineName = flag.String("machine", "aurora", "target machine: aurora or frontier")
+		size        = flag.Int("size", 0, "target dataset size (0 = full feasible grid)")
+		seed        = flag.Uint64("seed", 20240601, "generation seed")
+		noise       = flag.Bool("noise", true, "apply run-to-run noise")
+		minSec      = flag.Float64("min-seconds", 10, "minimum runtime to keep (typical-use band)")
+		maxSec      = flag.Float64("max-seconds", 1000, "maximum runtime to keep (typical-use band)")
+		out         = flag.String("out", "", "output CSV path (default: <machine>.csv)")
+	)
+	flag.Parse()
+
+	spec, err := machine.ByName(*machineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = *machineName + ".csv"
+	}
+
+	fmt.Fprintf(os.Stderr, "generating %s dataset (size=%d, noise=%v)...\n", spec.Name, *size, *noise)
+	d := ccsd.Generate(spec, ccsd.GenConfig{
+		TargetSize: *size,
+		Noise:      *noise,
+		Seed:       *seed,
+		MinSeconds: *minSec,
+		MaxSeconds: *maxSec,
+	})
+	if err := d.SaveCSV(path); err != nil {
+		fmt.Fprintln(os.Stderr, "write failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d records to %s\n", d.Len(), path)
+}

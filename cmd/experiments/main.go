@@ -1,0 +1,149 @@
+// Command experiments regenerates the paper's tables and figures using
+// parcost's simulator and ML stack. Each experiment prints the same
+// rows/series the paper reports; figures also write CSV series to -outdir.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp table3
+//	experiments -exp fig3 -outdir results
+//
+// Experiments: table1, fig1, fig2, table2, table3, table4, table5, table6,
+// fig3, fig4, fig5, fig6, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"parcost/internal/experiments"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment id (table1..6, fig1..6, all)")
+		outdir     = flag.String("outdir", "results", "directory for CSV output")
+		auroraSize = flag.Int("aurora-size", 2329, "Aurora dataset size")
+		frontSize  = flag.Int("frontier-size", 2454, "Frontier dataset size")
+		fast       = flag.Bool("fast", false, "smaller budgets for a quick run")
+		seed       = flag.Uint64("seed", 20240601, "master seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	hc := experiments.DefaultHarnessConfig()
+	hc.AuroraSize = *auroraSize
+	hc.FrontierSize = *frontSize
+	hc.GenSeed = *seed
+	if *fast {
+		hc.AuroraSize, hc.FrontierSize = 600, 600
+	}
+	fmt.Fprintln(os.Stderr, "generating datasets...")
+	h := experiments.NewHarness(hc)
+
+	mc := experiments.DefaultModelComparisonConfig()
+	ac := experiments.DefaultActiveConfig()
+	if *fast {
+		mc.MaxTrain = 200
+		mc.RandomIters, mc.BayesIters = 5, 6
+		mc.Codes = []string{"GB", "RF", "DT", "KR", "RG"}
+		ac.Rounds = 8
+	}
+
+	run := func(id string) error {
+		switch id {
+		case "table1":
+			fmt.Print(h.Table1().Render())
+		case "fig1":
+			cmp, err := h.Figure1or2("aurora", mc)
+			if err != nil {
+				return err
+			}
+			fmt.Print(cmp.Render())
+			writeCSV(*outdir, "figure1_aurora_models.csv", cmp.CSV())
+		case "fig2":
+			cmp, err := h.Figure1or2("frontier", mc)
+			if err != nil {
+				return err
+			}
+			fmt.Print(cmp.Render())
+			writeCSV(*outdir, "figure2_frontier_models.csv", cmp.CSV())
+		case "table2":
+			fmt.Print(h.Table2(*seed).Render())
+		case "table3":
+			r, err := h.Table3(*seed)
+			return renderTable(r, err)
+		case "table4":
+			r, err := h.Table4(*seed)
+			return renderTable(r, err)
+		case "table5":
+			r, err := h.Table5(*seed)
+			return renderTable(r, err)
+		case "table6":
+			r, err := h.Table6(*seed)
+			return renderTable(r, err)
+		case "fig3":
+			r, err := h.Figure3(ac)
+			return renderActive(r, err, *outdir, "figure3_aurora_active.csv")
+		case "fig4":
+			r, err := h.Figure4(ac)
+			return renderActive(r, err, *outdir, "figure4_frontier_active.csv")
+		case "fig5":
+			r, err := h.Figure5(ac)
+			return renderActive(r, err, *outdir, "figure5_aurora_goals.csv")
+		case "fig6":
+			r, err := h.Figure6(ac)
+			return renderActive(r, err, *outdir, "figure6_frontier_goals.csv")
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		return nil
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = []string{"table1", "fig1", "fig2", "table2", "table3", "table4", "table5", "table6", "fig3", "fig4", "fig5", "fig6"}
+	} else {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		fmt.Fprintf(os.Stderr, "=== %s ===\n", id)
+		if err := run(id); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func renderTable(r experiments.STQResult, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Render())
+	return nil
+}
+
+func renderActive(r experiments.ActiveResult, err error, outdir, name string) error {
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Render())
+	writeCSV(outdir, name, r.CSV())
+	return nil
+}
+
+func writeCSV(dir, name, content string) {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "csv write failed:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

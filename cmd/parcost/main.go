@@ -1,0 +1,92 @@
+// Command parcost is the user-facing CLI of the library. It trains a
+// runtime-prediction model from a dataset and answers the paper's two
+// questions for a given problem size:
+//
+//	parcost stq    -data aurora.csv -machine aurora -o 146 -v 1096
+//	parcost bq     -data aurora.csv -machine aurora -o 146 -v 1096
+//	parcost predict -data aurora.csv -o 146 -v 1096 -nodes 300 -tile 80
+//	parcost eval   -data aurora.csv -machine aurora
+//
+// If -data is omitted, the dataset is generated on the fly by the simulator
+// for the chosen machine.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"parcost/internal/ccsd"
+	"parcost/internal/dataset"
+	"parcost/internal/guide"
+	"parcost/internal/machine"
+	"parcost/internal/ml"
+	"parcost/internal/ml/ensemble"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "stq":
+		err = runQuery(args, guide.ShortestTime)
+	case "bq":
+		err = runQuery(args, guide.Budget)
+	case "predict":
+		err = runPredict(args)
+	case "eval":
+		err = runEval(args)
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `parcost — CCSD resource estimation
+
+Commands:
+  stq      find (nodes, tile) for the shortest execution time
+  bq       find (nodes, tile) minimizing node-hours
+  predict  predict the iteration time of a specific configuration
+  eval     evaluate model accuracy on a held-out split
+
+Common flags:
+  -data <csv>      dataset CSV (default: simulate for -machine)
+  -machine <name>  aurora or frontier (default aurora)
+  -o, -v           problem size (occupied / virtual orbitals)
+  -nodes, -tile    configuration (predict only)
+  -trees, -depth   GB hyper-parameters (default 750, 10)
+  -seed            RNG seed
+`)
+}
+
+// loadOrGenerate returns the dataset and machine spec for the given flags.
+func loadOrGenerate(data, machineName string, seed uint64) (*dataset.Dataset, machine.Spec, error) {
+	spec, err := machine.ByName(machineName)
+	if err != nil {
+		return nil, machine.Spec{}, err
+	}
+	if data != "" {
+		d, err := dataset.LoadCSV(machineName, data)
+		return d, spec, err
+	}
+	d := ccsd.Generate(spec, ccsd.GenConfig{TargetSize: 2300, Noise: true, Seed: seed})
+	return d, spec, nil
+}
+
+func buildGB(trees, depth int, seed uint64) ml.Regressor {
+	return ensemble.NewGradientBoosting(trees, 0.1, treeParams(depth), seed)
+}

@@ -1,0 +1,65 @@
+// Active-learning example: reproduces the workflow behind the paper's
+// Figure 3. It simulates the low-data regime — where running CCSD just to
+// collect training points is expensive — and compares three query strategies
+// (random sampling, uncertainty sampling, query-by-committee) as the labeled
+// set grows, printing the MAPE learning curves.
+//
+// Run:  go run ./examples/active_learning
+package main
+
+import (
+	"fmt"
+
+	"parcost/internal/active"
+	"parcost/internal/ccsd"
+	"parcost/internal/dataset"
+	"parcost/internal/machine"
+	"parcost/internal/rng"
+)
+
+func main() {
+	spec := machine.Aurora()
+	data := ccsd.Generate(spec, ccsd.GenConfig{TargetSize: 2000, Noise: true, Seed: 20240601})
+
+	// Split into an unlabeled pool (what we could choose to run) and a
+	// held-out evaluation set (what we measure accuracy against).
+	pool, evalSet := data.Split(0.3, rng.New(7))
+	px, py := pool.Features(), pool.Targets()
+	ex, ey := evalSet.Features(), evalSet.Targets()
+
+	cfg := active.Config{InitialSize: 50, QuerySize: 50, Rounds: 16, Committee: 5, Seed: 13}
+
+	fmt.Println("Active-learning MAPE vs. number of labeled experiments (Aurora):")
+	fmt.Printf("%-8s", "known")
+	curves := map[string]active.Curve{}
+	for _, s := range []active.StrategyKind{active.RandomSampling, active.UncertaintySampling, active.QueryByCommittee} {
+		curves[s.String()] = active.Run(s, px, py, ex, ey, cfg, active.Goals{})
+		fmt.Printf("%10s", s.String())
+	}
+	fmt.Println()
+
+	rs := curves["RS"]
+	for i := range rs.Points {
+		fmt.Printf("%-8d", rs.Points[i].KnownSize)
+		for _, name := range []string{"RS", "US", "QC"} {
+			fmt.Printf("%10.3f", curves[name].Points[i].Eval.MAPE)
+		}
+		fmt.Println()
+	}
+
+	// Report the data budget at which each strategy first crosses MAPE 0.25.
+	fmt.Println("\nExperiments needed to reach MAPE <= 0.25:")
+	for _, name := range []string{"RS", "US", "QC"} {
+		fmt.Printf("  %s: %s\n", name, crossing(curves[name], 0.25))
+	}
+	_ = dataset.Problem{}
+}
+
+func crossing(c active.Curve, target float64) string {
+	for _, p := range c.Points {
+		if p.Eval.MAPE <= target {
+			return fmt.Sprintf("%d labeled points", p.KnownSize)
+		}
+	}
+	return "not reached in this campaign"
+}

@@ -1,0 +1,48 @@
+// Budget-planner example: reproduces the workflow behind the paper's Table 5.
+// It answers the Budget Question (minimize node-hours) for every problem size
+// on Frontier and contrasts the chosen node counts with the shortest-time
+// optima, illustrating the paper's finding that the budget objective
+// consistently selects fewer nodes.
+//
+// Run:  go run ./examples/budget_planner
+package main
+
+import (
+	"fmt"
+
+	"parcost/internal/ccsd"
+	"parcost/internal/dataset"
+	"parcost/internal/guide"
+	"parcost/internal/machine"
+	"parcost/internal/ml/ensemble"
+)
+
+func main() {
+	spec := machine.Frontier()
+	data := ccsd.Generate(spec, ccsd.GenConfig{TargetSize: 2454, Noise: true, Seed: 20240602})
+	advisor, err := guide.NewAdvisor(ensemble.NewGradientBoostingPaper(2), data)
+	if err != nil {
+		panic(err)
+	}
+	oracle := guide.NewSimOracle(spec)
+
+	fmt.Printf("%-14s %10s %10s %12s %12s\n", "Problem", "STQ nodes", "BQ nodes", "STQ time(s)", "BQ nodeh")
+	fmt.Println("---------------------------------------------------------------------")
+	var stqNodeSum, bqNodeSum, n float64
+	for _, p := range dataset.PaperProblems() {
+		stq, err1 := advisor.Recommend(p, guide.ShortestTime, oracle)
+		bq, err2 := advisor.Recommend(p, guide.Budget, oracle)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		stqTime, _ := oracle.TrueTime(stq.Config)
+		fmt.Printf("%-14s %10d %10d %12.1f %12.3f\n",
+			p.String(), stq.Config.Nodes, bq.Config.Nodes, stqTime, bq.PredValue)
+		stqNodeSum += float64(stq.Config.Nodes)
+		bqNodeSum += float64(bq.Config.Nodes)
+		n++
+	}
+	fmt.Println("---------------------------------------------------------------------")
+	fmt.Printf("Average nodes — shortest-time: %.0f, budget: %.0f\n", stqNodeSum/n, bqNodeSum/n)
+	fmt.Println("The budget objective trades runtime for far lower resource usage.")
+}

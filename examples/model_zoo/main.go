@@ -1,0 +1,83 @@
+// Model-zoo example: trains every regressor in the library on a simulated
+// Aurora dataset, reports held-out R²/MAE/MAPE for each, and prints the
+// gradient-boosting feature importances — reproducing the model-comparison
+// spirit of the paper's Figure 1.
+//
+// Run:  go run ./examples/model_zoo
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"parcost/internal/ccsd"
+	"parcost/internal/machine"
+	"parcost/internal/ml"
+	"parcost/internal/ml/ensemble"
+	"parcost/internal/ml/kernel"
+	"parcost/internal/ml/linmodel"
+	"parcost/internal/ml/tree"
+	"parcost/internal/rng"
+	"parcost/internal/stats"
+)
+
+func main() {
+	spec := machine.Aurora()
+	data := ccsd.Generate(spec, ccsd.GenConfig{TargetSize: 1500, Noise: true, Seed: 1})
+	train, test := data.Split(0.25, rng.New(2))
+	trX, trY := train.Features(), train.Targets()
+	teX, teY := test.Features(), test.Targets()
+
+	models := []ml.Regressor{
+		linmodel.NewRidge(1, 1.0),
+		linmodel.NewPolynomial(2, 1.0),
+		linmodel.NewBayesianRidge(),
+		kernel.NewKernelRidge(kernel.RBF{Length: 1}, 1e-2),
+		kernel.NewGaussianProcess(kernel.RBF{Length: 1}, 1e-3).AutoLength(true),
+		kernel.NewSVR(kernel.RBF{Length: 1}, 10, 0.05),
+		tree.New(tree.Params{MaxDepth: 10}, rng.New(3)),
+		ensemble.NewRandomForest(100, tree.Params{MaxDepth: 12}, 4),
+		ensemble.NewAdaBoost(100, tree.Params{MaxDepth: 4}, 5),
+		ensemble.NewGradientBoostingPaper(6),
+		ml.NewKNN(8, true),
+		ml.NewLogTarget(kernel.NewKernelRidge(kernel.RBF{Length: 1}, 1e-2)),
+		ml.NewStacking(
+			[]ml.Regressor{
+				ensemble.NewGradientBoosting(200, 0.1, tree.Params{MaxDepth: 6}, 7),
+				kernel.NewKernelRidge(kernel.RBF{Length: 1}, 1e-2),
+				ml.NewKNN(8, true),
+			},
+			linmodel.NewRidge(1, 1.0), 5, 8),
+	}
+
+	type row struct {
+		name string
+		sc   stats.Scores
+	}
+	var rows []row
+	for _, m := range models {
+		if err := m.Fit(trX, trY); err != nil {
+			fmt.Printf("%-18s fit error: %v\n", m.Name(), err)
+			continue
+		}
+		rows = append(rows, row{m.Name(), stats.Evaluate(teY, m.Predict(teX))})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].sc.R2 > rows[j].sc.R2 })
+
+	fmt.Printf("Model comparison on simulated Aurora (%d train / %d test):\n", train.Len(), test.Len())
+	fmt.Printf("%-20s %8s %8s %8s\n", "Model", "R2", "MAE", "MAPE")
+	for _, r := range rows {
+		fmt.Printf("%-20s %8.3f %8.2f %8.3f\n", r.name, r.sc.R2, r.sc.MAE, r.sc.MAPE)
+	}
+	fmt.Printf("\nBest model: %s\n", rows[0].name)
+
+	// Gradient-boosting feature importances over ⟨O, V, nodes, tile⟩.
+	gb := ensemble.NewGradientBoostingPaper(6)
+	_ = gb.Fit(trX, trY)
+	imp := gb.FeatureImportances()
+	names := []string{"O", "V", "nodes", "tile"}
+	fmt.Println("\nGradient-boosting feature importances:")
+	for i, n := range names {
+		fmt.Printf("  %-6s %.3f\n", n, imp[i])
+	}
+}

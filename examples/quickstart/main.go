@@ -1,0 +1,56 @@
+// Quickstart example: the smallest end-to-end path through the public API.
+// Generate a dataset with the simulator, train a gradient-boosting runtime
+// predictor, and ask the Shortest-Time Question for one problem size.
+//
+// Run:  go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"parcost/internal/ccsd"
+	"parcost/internal/dataset"
+	"parcost/internal/guide"
+	"parcost/internal/machine"
+	"parcost/internal/ml/ensemble"
+	"parcost/internal/ml/tree"
+)
+
+func main() {
+	// 1. Obtain a dataset. Here we simulate Aurora; in practice you would
+	//    load measured runs with dataset.LoadCSV.
+	spec := machine.Aurora()
+	data := ccsd.Generate(spec, ccsd.GenConfig{TargetSize: 1500, Noise: true, Seed: 1})
+	fmt.Printf("Generated %d Aurora CCSD records.\n", data.Len())
+
+	// 2. Train a runtime predictor and wrap it in an Advisor.
+	model := ensemble.NewGradientBoosting(400, 0.1, tree.Params{MaxDepth: 8}, 1)
+	advisor, err := guide.NewAdvisor(model, data)
+	if err != nil {
+		panic(err)
+	}
+
+	// 3. Ask the Shortest-Time Question for a molecular problem.
+	problem := dataset.Problem{O: 146, V: 1096}
+	oracle := guide.NewSimOracle(spec)
+	rec, err := advisor.Recommend(problem, guide.ShortestTime, oracle)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nShortest-time recommendation for %v:\n", problem)
+	fmt.Printf("  use %d nodes with tile size %d\n", rec.Config.Nodes, rec.Config.TileSize)
+	fmt.Printf("  predicted iteration time: %.1f s\n", rec.PredTime)
+
+	// 4. Ask the Budget Question for the same problem.
+	bq, err := advisor.Recommend(problem, guide.Budget, oracle)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nBudget recommendation for %v:\n", problem)
+	fmt.Printf("  use %d nodes with tile size %d\n", bq.Config.Nodes, bq.Config.TileSize)
+	fmt.Printf("  predicted node-hours: %.3f\n", bq.PredValue)
+
+	fmt.Printf("\nNote how STQ selects many nodes (%d) while BQ selects fewer (%d):\n",
+		rec.Config.Nodes, bq.Config.Nodes)
+	fmt.Println("minimizing time buys more parallelism; minimizing cost trades speed for efficiency.")
+}

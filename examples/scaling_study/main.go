@@ -1,0 +1,48 @@
+// Scaling-study example: uses the CCSD simulator directly (no ML) to show
+// the strong-scaling curve the paper's introduction motivates — runtime vs.
+// node count for a fixed problem — and the interior shortest-time optimum
+// that emerges when per-iteration coordination overhead overtakes the
+// compute speedup.
+//
+// Run:  go run ./examples/scaling_study
+package main
+
+import (
+	"fmt"
+
+	"parcost/internal/ccsd"
+	"parcost/internal/machine"
+)
+
+func main() {
+	spec := machine.Aurora()
+	problems := []ccsd.Problem{{O: 44, V: 260}, {O: 146, V: 1096}, {O: 345, V: 791}}
+	nodeCounts := []int{5, 15, 30, 50, 100, 200, 400, 800, 900}
+	tile := 80
+
+	for _, p := range problems {
+		fmt.Printf("Strong scaling for O=%d V=%d (tile %d) on %s:\n", p.O, p.V, tile, spec.Name)
+		fmt.Printf("  %6s %12s %12s\n", "nodes", "runtime(s)", "efficiency")
+		var base float64
+		bestNodes, bestTime := 0, 1e18
+		for i, n := range nodeCounts {
+			secs, err := ccsd.Seconds(spec, p, tile, n, ccsd.Options{})
+			if err != nil {
+				fmt.Printf("  %6d  infeasible\n", n)
+				continue
+			}
+			if i == 0 {
+				base = secs * float64(n)
+			}
+			// Parallel efficiency relative to the smallest node count.
+			eff := base / (secs * float64(n))
+			fmt.Printf("  %6d %12.1f %12.2f\n", n, secs, eff)
+			if secs < bestTime {
+				bestTime, bestNodes = secs, n
+			}
+		}
+		fmt.Printf("  -> shortest time at %d nodes (%.1f s)\n\n", bestNodes, bestTime)
+	}
+	fmt.Println("Small problems bottom out at few nodes; large problems keep scaling —")
+	fmt.Println("exactly the behavior that makes the Shortest-Time Question non-trivial.")
+}

@@ -1,0 +1,57 @@
+// Shortest-time example: reproduces the workflow behind the paper's Table 3.
+// It trains the paper's gradient-boosting model on a simulated Aurora dataset
+// and answers the Shortest-Time Question for every molecular problem size,
+// printing the recommended configuration and the true-loss accuracy.
+//
+// Run:  go run ./examples/shortest_time
+package main
+
+import (
+	"fmt"
+
+	"parcost/internal/ccsd"
+	"parcost/internal/dataset"
+	"parcost/internal/guide"
+	"parcost/internal/machine"
+	"parcost/internal/ml/ensemble"
+	"parcost/internal/stats"
+)
+
+func main() {
+	spec := machine.Aurora()
+	data := ccsd.Generate(spec, ccsd.GenConfig{TargetSize: 2329, Noise: true, Seed: 20240601})
+	advisor, err := guide.NewAdvisor(ensemble.NewGradientBoostingPaper(1), data)
+	if err != nil {
+		panic(err)
+	}
+	oracle := guide.NewSimOracle(spec)
+
+	fmt.Printf("%-14s %-18s %-18s %10s\n", "Problem", "True (nodes,tile)", "Pred (nodes,tile)", "Regret(s)")
+	fmt.Println("-------------------------------------------------------------------------")
+	var trueVals, predVals []float64
+	correct, total := 0, 0
+	for _, p := range dataset.PaperProblems() {
+		q, err := advisor.Evaluate(oracle, p, guide.ShortestTime)
+		if err != nil {
+			continue
+		}
+		total++
+		if q.Correct {
+			correct++
+		}
+		trueVals = append(trueVals, q.TrueValue)
+		predVals = append(predVals, q.PredTrueValue)
+		mark := " "
+		if !q.Correct {
+			mark = "*"
+		}
+		fmt.Printf("%-14s (%4d,%3d)        (%4d,%3d) %s    %8.2f\n",
+			p.String(), q.TrueConfig.Nodes, q.TrueConfig.TileSize,
+			q.PredConfig.Nodes, q.PredConfig.TileSize, mark, q.Loss())
+	}
+	fmt.Println("-------------------------------------------------------------------------")
+	fmt.Printf("Correctly predicted optimum in %d/%d cases (* marks a miss).\n", correct, total)
+	sc := stats.Evaluate(trueVals, predVals)
+	fmt.Printf("STQ accuracy over runtimes: R2=%.3f MAE=%.2f MAPE=%.3f\n", sc.R2, sc.MAE, sc.MAPE)
+	fmt.Println("\nObserve: the shortest-time optima favor large node counts.")
+}

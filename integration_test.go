@@ -1,0 +1,106 @@
+package parcost_test
+
+import (
+	"bytes"
+	"testing"
+
+	"parcost/internal/ccsd"
+	"parcost/internal/dataset"
+	"parcost/internal/guide"
+	"parcost/internal/machine"
+	"parcost/internal/ml/ensemble"
+	"parcost/internal/ml/tree"
+	"parcost/internal/rng"
+	"parcost/internal/stats"
+)
+
+// TestEndToEndPipeline exercises the full public path: simulate a dataset,
+// round-trip it through CSV, train a model, and answer STQ/BQ — the journey
+// a downstream user takes.
+func TestEndToEndPipeline(t *testing.T) {
+	spec := machine.Aurora()
+	data := ccsd.Generate(spec, ccsd.GenConfig{
+		Problems: []dataset.Problem{{O: 44, V: 260}, {O: 146, V: 1096}, {O: 345, V: 791}},
+		Grid:     dataset.Grid{Nodes: []int{5, 15, 50, 100, 300, 600, 900}, TileSizes: []int{40, 60, 80, 100, 120}},
+		Noise:    true, Seed: 1,
+	})
+	if data.Len() == 0 {
+		t.Fatal("empty dataset")
+	}
+
+	// CSV round trip.
+	var buf bytes.Buffer
+	if err := data.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dataset.ReadCSV("aurora", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != data.Len() {
+		t.Fatalf("CSV round trip changed length: %d vs %d", loaded.Len(), data.Len())
+	}
+
+	// Train and answer questions.
+	gb := ensemble.NewGradientBoosting(200, 0.1, tree.Params{MaxDepth: 8}, 1)
+	adv, err := guide.NewAdvisor(gb, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := guide.NewSimOracle(spec)
+	p := dataset.Problem{O: 146, V: 1096}
+	stq, err := adv.Recommend(p, guide.ShortestTime, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bq, err := adv.Recommend(p, guide.Budget, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's qualitative contract: STQ uses more nodes than BQ.
+	if stq.Config.Nodes <= bq.Config.Nodes {
+		t.Fatalf("STQ nodes %d should exceed BQ nodes %d", stq.Config.Nodes, bq.Config.Nodes)
+	}
+}
+
+// TestModelAccuracyOrdering checks the paper's central modeling claim at the
+// integration level: a tuned GB predicts runtime well, and Aurora is easier
+// to predict than Frontier.
+func TestModelAccuracyOrdering(t *testing.T) {
+	auroraMAPE := trainAndScore(t, machine.Aurora(), 1200, 1)
+	frontierMAPE := trainAndScore(t, machine.Frontier(), 1200, 2)
+	if auroraMAPE > 0.25 {
+		t.Fatalf("Aurora MAPE %.3f unexpectedly high", auroraMAPE)
+	}
+	if auroraMAPE >= frontierMAPE {
+		t.Fatalf("Aurora (%.3f) should be easier to predict than Frontier (%.3f)", auroraMAPE, frontierMAPE)
+	}
+}
+
+func trainAndScore(t *testing.T, spec machine.Spec, size int, seed uint64) float64 {
+	t.Helper()
+	data := ccsd.Generate(spec, ccsd.GenConfig{TargetSize: size, Noise: true, Seed: seed})
+	train, test := data.Split(0.25, rng.New(seed+10))
+	gb := ensemble.NewGradientBoosting(300, 0.1, tree.Params{MaxDepth: 10}, seed)
+	if err := gb.Fit(train.Features(), train.Targets()); err != nil {
+		t.Fatal(err)
+	}
+	return stats.MAPE(test.Targets(), gb.Predict(test.Features()))
+}
+
+// TestDeterministicReproducibility confirms the whole pipeline is
+// bit-reproducible given fixed seeds.
+func TestDeterministicReproducibility(t *testing.T) {
+	gen := func() *dataset.Dataset {
+		return ccsd.Generate(machine.Frontier(), ccsd.GenConfig{TargetSize: 500, Noise: true, Seed: 99})
+	}
+	a, b := gen(), gen()
+	if a.Len() != b.Len() {
+		t.Fatal("dataset length not reproducible")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d not reproducible", i)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"parcost/internal/rng"
+)
+
+func sample() *Dataset {
+	return &Dataset{Machine: "aurora", Records: []Record{
+		{Config{44, 260, 5, 40}, 17.41},
+		{Config{81, 835, 185, 80}, 66.81},
+		{Config{81, 835, 25, 80}, 193.26},
+		{Config{99, 718, 260, 60}, 53.83},
+	}}
+}
+
+func TestConfigFeatures(t *testing.T) {
+	f := Config{O: 1, V: 2, Nodes: 3, TileSize: 4}.Features()
+	want := []float64{1, 2, 3, 4}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("Features = %v", f)
+		}
+	}
+}
+
+func TestConfigProblemAndString(t *testing.T) {
+	c := Config{O: 10, V: 20, Nodes: 2, TileSize: 40}
+	if p := c.Problem(); p.O != 10 || p.V != 20 {
+		t.Fatalf("Problem = %+v", p)
+	}
+	if !strings.Contains(c.String(), "O=10") {
+		t.Fatal("String missing O")
+	}
+	if (Problem{10, 20}).N() != 30 {
+		t.Fatal("N wrong")
+	}
+}
+
+func TestNodeHours(t *testing.T) {
+	r := Record{Config{O: 1, V: 1, Nodes: 100, TileSize: 40}, 36}
+	if nh := r.NodeHours(); math.Abs(nh-1.0) > 1e-12 {
+		t.Fatalf("NodeHours = %v, want 1", nh)
+	}
+}
+
+func TestFeaturesTargets(t *testing.T) {
+	d := sample()
+	x := d.Features()
+	y := d.Targets()
+	if len(x) != 4 || len(y) != 4 {
+		t.Fatal("wrong lengths")
+	}
+	if x[0][0] != 44 || x[0][1] != 260 || y[0] != 17.41 {
+		t.Fatal("wrong values")
+	}
+	nh := d.NodeHourTargets()
+	if math.Abs(nh[0]-5*17.41/3600) > 1e-12 {
+		t.Fatalf("NodeHourTargets[0] = %v", nh[0])
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := sample()
+	s := d.Subset([]int{2, 0})
+	if s.Len() != 2 || s.Records[0].Seconds != 193.26 || s.Records[1].Seconds != 17.41 {
+		t.Fatalf("Subset wrong: %+v", s.Records)
+	}
+	if s.Machine != "aurora" {
+		t.Fatal("machine not carried")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := &Dataset{Machine: "m"}
+	for i := 0; i < 100; i++ {
+		d.Records = append(d.Records, Record{Config{O: i, V: i, Nodes: 1, TileSize: 40}, float64(i + 1)})
+	}
+	train, test := d.Split(0.25, rng.New(1))
+	if train.Len() != 75 || test.Len() != 25 {
+		t.Fatalf("split %d/%d", train.Len(), test.Len())
+	}
+	// Disjoint coverage by O value.
+	seen := map[int]int{}
+	for _, r := range train.Records {
+		seen[r.Config.O]++
+	}
+	for _, r := range test.Records {
+		seen[r.Config.O]++
+	}
+	for i := 0; i < 100; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("sample O=%d appears %d times", i, seen[i])
+		}
+	}
+}
+
+func TestProblemsSortedDistinct(t *testing.T) {
+	d := sample()
+	ps := d.Problems()
+	if len(ps) != 3 {
+		t.Fatalf("Problems = %v", ps)
+	}
+	if ps[0] != (Problem{44, 260}) || ps[1] != (Problem{81, 835}) || ps[2] != (Problem{99, 718}) {
+		t.Fatalf("Problems order: %v", ps)
+	}
+}
+
+func TestForProblem(t *testing.T) {
+	d := sample()
+	idx := d.ForProblem(Problem{81, 835})
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 2 {
+		t.Fatalf("ForProblem = %v", idx)
+	}
+	if got := d.ForProblem(Problem{1, 1}); len(got) != 0 {
+		t.Fatal("nonexistent problem matched")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("aurora", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip length %d", back.Len())
+	}
+	for i := range d.Records {
+		if back.Records[i] != d.Records[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, back.Records[i], d.Records[i])
+		}
+	}
+}
+
+func TestSaveLoadCSV(t *testing.T) {
+	d := sample()
+	path := filepath.Join(t.TempDir(), "ds.csv")
+	if err := d.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV("aurora", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatal("load length mismatch")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("m", strings.NewReader("")); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+	if _, err := ReadCSV("m", strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Fatal("wrong column count accepted")
+	}
+	bad := "O,V,nodes,tilesize,seconds\n1,2,3,4,notanumber\n"
+	if _, err := ReadCSV("m", strings.NewReader(bad)); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+	neg := "O,V,nodes,tilesize,seconds\n1,2,3,4,-5\n"
+	if _, err := ReadCSV("m", strings.NewReader(neg)); err == nil {
+		t.Fatal("negative runtime accepted")
+	}
+}
+
+func TestPaperProblems(t *testing.T) {
+	ps := PaperProblems()
+	if len(ps) != 23 {
+		t.Fatalf("expected 23 paper problems, got %d", len(ps))
+	}
+	// Spot-check entries from Tables 3 and 4.
+	want := map[Problem]bool{{44, 260}: true, {49, 663}: true, {345, 791}: true}
+	found := 0
+	for _, p := range ps {
+		if want[p] {
+			found++
+		}
+	}
+	if found != 3 {
+		t.Fatal("paper problems missing expected entries")
+	}
+}
+
+func TestGridConfigs(t *testing.T) {
+	g := Grid{Nodes: []int{1, 2}, TileSizes: []int{40, 50, 60}}
+	cfgs := g.Configs(Problem{10, 20})
+	if len(cfgs) != g.Size() || g.Size() != 6 {
+		t.Fatalf("grid size %d", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if c.O != 10 || c.V != 20 {
+			t.Fatal("problem not propagated")
+		}
+	}
+}
+
+func TestDefaultGridCoversPaperTables(t *testing.T) {
+	g := DefaultGrid()
+	hasNode := map[int]bool{}
+	for _, n := range g.Nodes {
+		hasNode[n] = true
+	}
+	hasTile := map[int]bool{}
+	for _, ts := range g.TileSizes {
+		hasTile[ts] = true
+	}
+	// Node counts and tile sizes appearing in paper Tables 3–6 must be
+	// representable on the default grid.
+	for _, n := range []int{5, 185, 220, 400, 800, 900} {
+		if !hasNode[n] {
+			t.Fatalf("default grid missing node count %d", n)
+		}
+	}
+	for _, ts := range []int{40, 60, 73, 80, 100, 130, 150} {
+		if !hasTile[ts] {
+			t.Fatalf("default grid missing tile size %d", ts)
+		}
+	}
+}
+
+// Property: CSV round trip preserves any valid dataset.
+func TestQuickCSVRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := &Dataset{Machine: "m"}
+		n := 1 + r.Intn(30)
+		for i := 0; i < n; i++ {
+			d.Records = append(d.Records, Record{
+				Config:  Config{O: 1 + r.Intn(300), V: 1 + r.Intn(1500), Nodes: 1 + r.Intn(900), TileSize: 40 + r.Intn(140)},
+				Seconds: r.Uniform(0.1, 1000),
+			})
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV("m", &buf)
+		if err != nil || back.Len() != d.Len() {
+			return false
+		}
+		for i := range d.Records {
+			if back.Records[i] != d.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Subset(ForProblem(p)) contains only records of problem p.
+func TestQuickForProblemConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := &Dataset{Machine: "m"}
+		for i := 0; i < 50; i++ {
+			d.Records = append(d.Records, Record{
+				Config:  Config{O: 10 + r.Intn(3), V: 100 + r.Intn(3), Nodes: 1 + r.Intn(10), TileSize: 40},
+				Seconds: 1,
+			})
+		}
+		for _, p := range d.Problems() {
+			sub := d.Subset(d.ForProblem(p))
+			for _, rec := range sub.Records {
+				if rec.Config.Problem() != p {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"parcost/internal/active"
+	"parcost/internal/dataset"
+	"parcost/internal/guide"
+	"parcost/internal/rng"
+)
+
+// ActiveResult is a machine's active-learning curves for all strategies.
+type ActiveResult struct {
+	Machine string
+	Curves  map[string]active.Curve // keyed by strategy name (RS/US/QC)
+	Goals   bool
+}
+
+// ActiveConfig controls the active-learning experiment.
+type ActiveConfig struct {
+	InitialSize int
+	QuerySize   int
+	Rounds      int
+	Committee   int
+	Seed        uint64
+	TrackGoals  bool
+	TestFrac    float64
+}
+
+// DefaultActiveConfig returns the paper's campaign sizing.
+func DefaultActiveConfig() ActiveConfig {
+	return ActiveConfig{
+		InitialSize: 50, QuerySize: 50, Rounds: 18, Committee: 5,
+		Seed: 13, TestFrac: 0.3,
+	}
+}
+
+// runActive runs the three strategies on a machine and returns their curves.
+// When trackGoals is set, STQ/BQ true-loss metrics are recorded per round
+// (Figures 5 and 6); otherwise only the plain metrics are recorded (Figures
+// 3 and 4).
+func (h *Harness) runActive(machineName string, cfg ActiveConfig, trackGoals bool) (ActiveResult, error) {
+	full, _, _, spec, err := h.byMachine(machineName)
+	if err != nil {
+		return ActiveResult{}, err
+	}
+	if cfg.TestFrac <= 0 {
+		cfg.TestFrac = 0.3
+	}
+	pool, evalSet := full.Split(cfg.TestFrac, rng.New(cfg.Seed))
+	px, py := pool.Features(), pool.Targets()
+	ex, ey := evalSet.Features(), evalSet.Targets()
+
+	goals := active.Goals{}
+	if trackGoals {
+		goals = active.Goals{
+			Oracle:   guide.NewSimOracle(spec),
+			Grid:     dataset.GridFromDataset(full),
+			Problems: h.problemList(),
+			Track:    true,
+		}
+	}
+
+	acfg := active.Config{
+		InitialSize: cfg.InitialSize, QuerySize: cfg.QuerySize,
+		Rounds: cfg.Rounds, Committee: cfg.Committee, Seed: cfg.Seed,
+	}
+	res := ActiveResult{Machine: machineName, Curves: map[string]active.Curve{}, Goals: trackGoals}
+	for _, s := range []active.StrategyKind{active.RandomSampling, active.UncertaintySampling, active.QueryByCommittee} {
+		res.Curves[s.String()] = active.Run(s, px, py, ex, ey, acfg, goals)
+	}
+	return res, nil
+}
+
+// Figure3 reproduces Aurora active-learning curves (plain metrics).
+func (h *Harness) Figure3(cfg ActiveConfig) (ActiveResult, error) {
+	return h.runActive("aurora", cfg, false)
+}
+
+// Figure4 reproduces Frontier active-learning curves (plain metrics).
+func (h *Harness) Figure4(cfg ActiveConfig) (ActiveResult, error) {
+	return h.runActive("frontier", cfg, false)
+}
+
+// Figure5 reproduces Aurora active-learning with STQ and BQ goals.
+func (h *Harness) Figure5(cfg ActiveConfig) (ActiveResult, error) {
+	return h.runActive("aurora", cfg, true)
+}
+
+// Figure6 reproduces Frontier active-learning with STQ and BQ goals.
+func (h *Harness) Figure6(cfg ActiveConfig) (ActiveResult, error) {
+	return h.runActive("frontier", cfg, true)
+}
+
+// Render formats the active-learning curves as text.
+func (r ActiveResult) Render() string {
+	figNo := map[string]string{}
+	if r.Goals {
+		figNo["aurora"], figNo["frontier"] = "5", "6"
+	} else {
+		figNo["aurora"], figNo["frontier"] = "3", "4"
+	}
+	s := fmt.Sprintf("Figure %s: %s active-learning curves", figNo[r.Machine], title(r.Machine))
+	if r.Goals {
+		s += " (STQ & BQ goals)"
+	}
+	s += "\n"
+	for _, name := range []string{"RS", "US", "QC"} {
+		c, ok := r.Curves[name]
+		if !ok {
+			continue
+		}
+		s += fmt.Sprintf("  %s:\n", name)
+		for _, p := range c.Points {
+			if r.Goals {
+				s += fmt.Sprintf("    known=%4d  eval[R2=%.3f MAPE=%.3f]  STQ[R2=%.3f MAPE=%.3f]  BQ[R2=%.3f MAPE=%.3f]\n",
+					p.KnownSize, p.Eval.R2, p.Eval.MAPE, p.STQ.R2, p.STQ.MAPE, p.BQ.R2, p.BQ.MAPE)
+			} else {
+				s += fmt.Sprintf("    known=%4d  R2=%.3f  MAE=%.2f  MAPE=%.3f\n",
+					p.KnownSize, p.Eval.R2, p.Eval.MAE, p.Eval.MAPE)
+			}
+		}
+	}
+	return s
+}
+
+// CSV returns the active-learning curves as plottable long-format rows.
+func (r ActiveResult) CSV() string {
+	s := "strategy,known,r2,mae,mape,stq_r2,stq_mape,bq_r2,bq_mape\n"
+	for _, name := range []string{"RS", "US", "QC"} {
+		c, ok := r.Curves[name]
+		if !ok {
+			continue
+		}
+		for _, p := range c.Points {
+			s += fmt.Sprintf("%s,%d,%.5f,%.5f,%.5f,%.5f,%.5f,%.5f,%.5f\n",
+				name, p.KnownSize, p.Eval.R2, p.Eval.MAE, p.Eval.MAPE,
+				p.STQ.R2, p.STQ.MAPE, p.BQ.R2, p.BQ.MAPE)
+		}
+	}
+	return s
+}

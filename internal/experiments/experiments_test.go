@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"parcost/internal/dataset"
+	"parcost/internal/guide"
+)
+
+// smallHarness builds a fast harness for tests: small datasets and a small
+// gradient-boosting model so the suite stays well under the test timeout.
+func smallHarness() *Harness {
+	h := NewHarness(HarnessConfig{
+		AuroraSize: 400, FrontierSize: 400, GenSeed: 1, SplitSeed: 2, TestFrac: 0.25,
+	})
+	h.GBTrees = 60
+	h.Problems = []dataset.Problem{{O: 44, V: 260}, {O: 116, V: 840}, {O: 180, V: 1070}, {O: 345, V: 791}}
+	return h
+}
+
+func TestHarnessSplits(t *testing.T) {
+	h := smallHarness()
+	if h.Aurora.Len() != 400 || h.Frontier.Len() != 400 {
+		t.Fatalf("dataset sizes %d/%d", h.Aurora.Len(), h.Frontier.Len())
+	}
+	if h.AuroraTrain.Len()+h.AuroraTest.Len() != h.Aurora.Len() {
+		t.Fatal("aurora split does not partition")
+	}
+	if h.FrontierTrain.Len()+h.FrontierTest.Len() != h.Frontier.Len() {
+		t.Fatal("frontier split does not partition")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	h := smallHarness()
+	r := h.Table1()
+	if len(r.Rows) != 2 {
+		t.Fatal("table1 rows")
+	}
+	if r.Rows[0].Total != r.Rows[0].Train+r.Rows[0].Test {
+		t.Fatal("table1 totals inconsistent")
+	}
+	if !strings.Contains(r.Render(), "Aurora") {
+		t.Fatal("render missing Aurora")
+	}
+}
+
+func TestTable1MatchesPaperRatio(t *testing.T) {
+	// The paper uses a ~75/25 train/test split.
+	h := NewHarness(HarnessConfig{AuroraSize: 2000, FrontierSize: 2000, GenSeed: 1, SplitSeed: 2, TestFrac: 0.25})
+	r := h.Table1()
+	for _, row := range r.Rows {
+		frac := float64(row.Test) / float64(row.Total)
+		if frac < 0.2 || frac > 0.3 {
+			t.Fatalf("%s test fraction %.3f not ~0.25", row.System, frac)
+		}
+	}
+}
+
+func TestFigure1or2Smoke(t *testing.T) {
+	h := smallHarness()
+	cfg := ModelComparisonConfig{
+		Folds: 3, RandomIters: 4, BayesInit: 3, BayesIters: 5, MaxTrain: 200, Seed: 1,
+		Strategies: []SearchStrategy{Grid},
+		Codes:      []string{"GB", "RF", "DT", "RG"},
+	}
+	cmp, err := h.Figure1or2("aurora", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Results) != 4 {
+		t.Fatalf("expected 4 results, got %d", len(cmp.Results))
+	}
+	if cmp.BestModel == "" {
+		t.Fatal("no best model identified")
+	}
+	if !strings.Contains(cmp.Render(), "Best overall") {
+		t.Fatal("render missing best")
+	}
+	if !strings.Contains(cmp.CSV(), "model,search") {
+		t.Fatal("CSV header missing")
+	}
+}
+
+func TestSearchStrategyNames(t *testing.T) {
+	if Grid.String() != "GridSearchCV" || Randomized.String() != "RandomizedSearchCV" || Bayes.String() != "BayesSearchCV" {
+		t.Fatal("search strategy names")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	h := smallHarness()
+	r := h.Table2(3)
+	if len(r.Rows) != 2 {
+		t.Fatal("table2 rows")
+	}
+	for _, row := range r.Rows {
+		if row.TrainT <= 0 || row.PredictT <= 0 {
+			t.Fatal("non-positive timing")
+		}
+	}
+	if !strings.Contains(r.Render(), "Gradient Boosting") {
+		t.Fatal("render")
+	}
+}
+
+func TestTable3STQ(t *testing.T) {
+	h := smallHarness()
+	r, err := h.Table3(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total == 0 {
+		t.Fatal("no STQ rows")
+	}
+	if r.Objective != guide.ShortestTime {
+		t.Fatal("wrong objective")
+	}
+	// Predicted config's true value must be >= true optimum value (regret>=0).
+	for _, row := range r.Rows {
+		if row.PredValue < row.TrueValue-1e-6 {
+			t.Fatalf("negative regret for %v", row.Problem)
+		}
+	}
+	if !strings.Contains(r.Render(), "shortest time") {
+		t.Fatal("render")
+	}
+}
+
+func TestTable5BQ(t *testing.T) {
+	h := smallHarness()
+	r, err := h.Table5(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Objective != guide.Budget {
+		t.Fatal("wrong objective")
+	}
+	if !strings.Contains(r.Render(), "node-hours") {
+		t.Fatal("render missing node-hours")
+	}
+}
+
+func TestSTQvsBQNodeCountPattern(t *testing.T) {
+	// The paper's qualitative finding: STQ picks more nodes than BQ.
+	h := NewHarness(HarnessConfig{AuroraSize: 800, FrontierSize: 800, GenSeed: 5, SplitSeed: 3, TestFrac: 0.25})
+	h.GBTrees = 80
+	h.Problems = []dataset.Problem{{O: 44, V: 260}, {O: 99, V: 1021}, {O: 146, V: 1096}, {O: 204, V: 969}, {O: 345, V: 791}}
+	stq, err := h.Table3(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bq, err := h.Table5(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare average TRUE-optimal node counts across shared problems.
+	stqNodes := map[string]int{}
+	for _, r := range stq.Rows {
+		stqNodes[r.Problem.String()] = r.TrueConfig.Nodes
+	}
+	var stqSum, bqSum, cnt float64
+	for _, r := range bq.Rows {
+		if n, ok := stqNodes[r.Problem.String()]; ok {
+			stqSum += float64(n)
+			bqSum += float64(r.TrueConfig.Nodes)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		t.Fatal("no shared problems")
+	}
+	if stqSum/cnt <= bqSum/cnt {
+		t.Fatalf("STQ avg nodes %.1f should exceed BQ avg nodes %.1f", stqSum/cnt, bqSum/cnt)
+	}
+}
+
+func TestFigure3ActiveSmoke(t *testing.T) {
+	h := smallHarness()
+	cfg := ActiveConfig{InitialSize: 30, QuerySize: 30, Rounds: 3, Committee: 3, Seed: 1, TestFrac: 0.3}
+	r, err := h.Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"RS", "US", "QC"} {
+		if _, ok := r.Curves[name]; !ok {
+			t.Fatalf("missing %s curve", name)
+		}
+	}
+	if !strings.Contains(r.CSV(), "strategy,known") {
+		t.Fatal("CSV header")
+	}
+	if r.Goals {
+		t.Fatal("Figure3 should not track goals")
+	}
+}
+
+func TestFigure5ActiveGoals(t *testing.T) {
+	h := smallHarness()
+	cfg := ActiveConfig{InitialSize: 30, QuerySize: 30, Rounds: 2, Committee: 3, Seed: 1, TestFrac: 0.3}
+	r, err := h.Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Goals {
+		t.Fatal("Figure5 should track goals")
+	}
+	// Goal metrics must be present in at least one curve point.
+	found := false
+	for _, c := range r.Curves {
+		for _, p := range c.Points {
+			if p.Goals {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no goal metrics recorded")
+	}
+}
+
+func TestUnknownMachine(t *testing.T) {
+	h := smallHarness()
+	if _, _, _, _, err := h.byMachine("summit"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}

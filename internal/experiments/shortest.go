@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"parcost/internal/dataset"
+	"parcost/internal/guide"
+	"parcost/internal/rng"
+	"parcost/internal/stats"
+)
+
+// STQRow is one problem's shortest-time (or budget) result: the true optimal
+// configuration and the model's prediction, with the predicted config's
+// parenthesized values shown when the model is wrong (as in the paper's
+// Tables 3–6).
+type STQRow struct {
+	Problem    dataset.Problem
+	TrueConfig dataset.Config
+	PredConfig dataset.Config
+	TrueValue  float64 // runtime (STQ) or node-hours (BQ) of the true optimum
+	PredValue  float64 // true value of the predicted config
+	TrueTime   float64 // runtime of the true optimum
+	PredTime   float64 // runtime of the predicted config
+	Correct    bool
+}
+
+// STQResult reproduces one of Tables 3–6.
+type STQResult struct {
+	Machine   string
+	Objective guide.Objective
+	Rows      []STQRow
+	Scores    stats.Scores // over the true-loss values
+	Correct   int
+	Total     int
+}
+
+// runGuideTable trains the paper's GB model on a machine's training set and
+// evaluates STQ or BQ over every paper problem using the simulator oracle,
+// following the true-loss methodology.
+func (h *Harness) runGuideTable(machineName string, obj guide.Objective, seed uint64) (STQResult, error) {
+	_, train, _, spec, err := h.byMachine(machineName)
+	if err != nil {
+		return STQResult{}, err
+	}
+	gb := h.gbModel(seed)
+	adv, err := guide.NewAdvisor(gb, train)
+	if err != nil {
+		return STQResult{}, err
+	}
+	oracle := guide.NewSimOracle(spec)
+
+	// Evaluate over problems that are feasible on this grid, sorted by O, V.
+	problems := append([]dataset.Problem(nil), h.problemList()...)
+	sort.Slice(problems, func(i, j int) bool {
+		if problems[i].O != problems[j].O {
+			return problems[i].O < problems[j].O
+		}
+		return problems[i].V < problems[j].V
+	})
+
+	res := STQResult{Machine: machineName, Objective: obj}
+	var trueVals, predVals []float64
+	for _, p := range problems {
+		q, err := adv.Evaluate(oracle, p, obj)
+		if err != nil {
+			continue
+		}
+		trueT, _ := oracle.TrueTime(q.TrueConfig)
+		predT, _ := oracle.TrueTime(q.PredConfig)
+		res.Rows = append(res.Rows, STQRow{
+			Problem: p, TrueConfig: q.TrueConfig, PredConfig: q.PredConfig,
+			TrueValue: q.TrueValue, PredValue: q.PredTrueValue,
+			TrueTime: trueT, PredTime: predT, Correct: q.Correct,
+		})
+		trueVals = append(trueVals, q.TrueValue)
+		predVals = append(predVals, q.PredTrueValue)
+		res.Total++
+		if q.Correct {
+			res.Correct++
+		}
+	}
+	res.Scores = stats.Evaluate(trueVals, predVals)
+	return res, nil
+}
+
+// Table3 reproduces Aurora shortest-time results.
+func (h *Harness) Table3(seed uint64) (STQResult, error) {
+	return h.runGuideTable("aurora", guide.ShortestTime, seed)
+}
+
+// Table4 reproduces Frontier shortest-time results.
+func (h *Harness) Table4(seed uint64) (STQResult, error) {
+	return h.runGuideTable("frontier", guide.ShortestTime, seed)
+}
+
+// Table5 reproduces Aurora shortest node-hours (budget) results.
+func (h *Harness) Table5(seed uint64) (STQResult, error) {
+	return h.runGuideTable("aurora", guide.Budget, seed)
+}
+
+// Table6 reproduces Frontier shortest node-hours (budget) results.
+func (h *Harness) Table6(seed uint64) (STQResult, error) {
+	return h.runGuideTable("frontier", guide.Budget, seed)
+}
+
+// Render formats an STQ/BQ table in the paper's layout. The predicted
+// configuration's values are shown in parentheses when the model mispredicts.
+func (r STQResult) Render() string {
+	tableNo := map[string]string{}
+	tableNo["aurora"+guide.ShortestTime.String()] = "3"
+	tableNo["frontier"+guide.ShortestTime.String()] = "4"
+	tableNo["aurora"+guide.Budget.String()] = "5"
+	tableNo["frontier"+guide.Budget.String()] = "6"
+	num := tableNo[r.Machine+r.Objective.String()]
+	kind := "shortest time"
+	if r.Objective == guide.Budget {
+		kind = "shortest node-hours"
+	}
+	s := fmt.Sprintf("Table %s: %s %s results\n", num, title(r.Machine), kind)
+	if r.Objective == guide.Budget {
+		s += fmt.Sprintf("%4s %5s %6s %9s %14s %12s\n", "O", "V", "Nodes", "TileSize", "Runtime(s)", "NodeHours")
+	} else {
+		s += fmt.Sprintf("%4s %5s %6s %9s %14s\n", "O", "V", "Nodes", "TileSize", "Runtime(s)")
+	}
+	for _, row := range r.Rows {
+		nodes := fmt.Sprintf("%d", row.TrueConfig.Nodes)
+		tile := fmt.Sprintf("%d", row.TrueConfig.TileSize)
+		if !row.Correct {
+			nodes = fmt.Sprintf("%d(%d)", row.TrueConfig.Nodes, row.PredConfig.Nodes)
+			tile = fmt.Sprintf("%d(%d)", row.TrueConfig.TileSize, row.PredConfig.TileSize)
+		}
+		if r.Objective == guide.Budget {
+			rt := fmt.Sprintf("%.2f", row.TrueTime)
+			nh := fmt.Sprintf("%.2f", row.TrueValue)
+			if !row.Correct {
+				rt = fmt.Sprintf("%.2f(%.2f)", row.TrueTime, row.PredTime)
+				nh = fmt.Sprintf("%.2f(%.2f)", row.TrueValue, row.PredValue)
+			}
+			s += fmt.Sprintf("%4d %5d %6s %9s %14s %12s\n", row.Problem.O, row.Problem.V, nodes, tile, rt, nh)
+		} else {
+			rt := fmt.Sprintf("%.2f", row.TrueTime)
+			if !row.Correct {
+				rt = fmt.Sprintf("%.2f(%.2f)", row.TrueTime, row.PredTime)
+			}
+			s += fmt.Sprintf("%4d %5d %6s %9s %14s\n", row.Problem.O, row.Problem.V, nodes, tile, rt)
+		}
+	}
+	s += fmt.Sprintf("R2=%.3f MAE=%.2f MAPE=%.3f  (correct %d/%d)\n",
+		r.Scores.R2, r.Scores.MAE, r.Scores.MAPE, r.Correct, r.Total)
+	return s
+}
+
+// sortedSample returns k sorted distinct indices in [0, n).
+func sortedSample(n, k int, seed uint64) []int {
+	idx := rng.New(seed).Sample(n, k)
+	sort.Ints(idx)
+	return idx
+}

@@ -1,0 +1,217 @@
+// Package guide implements the user-facing core of the paper: an Advisor
+// that trains a runtime-prediction model and uses it to answer the two
+// questions of interest — the Shortest-Time Question (STQ) and the Budget
+// Question (BQ).
+//
+// Following Section 3.3–3.4 of the paper, the Advisor first fits a
+// regression model predicting single-iteration wall time from
+// ⟨O, V, NumNodes, TileSize⟩, then, for a user's fixed ⟨O, V⟩, sweeps a grid
+// of candidate ⟨NumNodes, TileSize⟩ and selects the configuration optimizing
+// the chosen objective:
+//
+//   - STQ: minimize predicted execution time.
+//   - BQ:  minimize predicted node-hours (NumNodes × time / 3600).
+//
+// The package also implements the paper's careful true-loss evaluation: the
+// loss of a prediction is measured not by the predicted time at the
+// predicted optimum, but by the *true* time of the predicted configuration
+// (Section 3.4). This is what makes the STQ/BQ accuracy numbers meaningful.
+package guide
+
+import (
+	"fmt"
+
+	"parcost/internal/dataset"
+	"parcost/internal/ml"
+	"parcost/internal/stats"
+)
+
+// Objective selects what the Advisor optimizes.
+type Objective int
+
+const (
+	// ShortestTime minimizes predicted execution time (STQ).
+	ShortestTime Objective = iota
+	// Budget minimizes predicted node-hours (BQ).
+	Budget
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	if o == Budget {
+		return "BQ"
+	}
+	return "STQ"
+}
+
+// value returns the objective value for a configuration running in secs.
+func (o Objective) value(c dataset.Config, secs float64) float64 {
+	if o == Budget {
+		return float64(c.Nodes) * secs / 3600
+	}
+	return secs
+}
+
+// Oracle returns the ground-truth iteration time of a configuration. It
+// stands in for actually running CCSD. Two implementations are provided:
+// a simulator-backed oracle and a dataset-backed lookup oracle.
+type Oracle interface {
+	// TrueTime returns the true seconds for a configuration and whether it
+	// is known/feasible.
+	TrueTime(c dataset.Config) (float64, bool)
+}
+
+// Advisor wraps a fitted runtime-prediction model and answers STQ/BQ.
+type Advisor struct {
+	Model ml.Regressor
+	Grid  dataset.Grid
+}
+
+// NewAdvisor trains model on the dataset (features → seconds) and returns an
+// Advisor over the default candidate grid.
+func NewAdvisor(model ml.Regressor, d *dataset.Dataset) (*Advisor, error) {
+	if err := model.Fit(d.Features(), d.Targets()); err != nil {
+		return nil, fmt.Errorf("guide: training advisor model: %w", err)
+	}
+	// Recommend only within the explored configuration space so the model
+	// is queried in-distribution rather than extrapolating.
+	return &Advisor{Model: model, Grid: dataset.GridFromDataset(d)}, nil
+}
+
+// Recommendation is an answer to an STQ/BQ query.
+type Recommendation struct {
+	Problem   dataset.Problem
+	Objective Objective
+	Config    dataset.Config // the chosen ⟨nodes, tile⟩ for this problem
+	PredTime  float64        // predicted iteration seconds at Config
+	PredValue float64        // predicted objective value (secs or node-hours)
+}
+
+// Recommend answers a query for one problem size and objective by sweeping
+// the candidate grid and returning the configuration minimizing the
+// predicted objective. An optional Oracle prunes infeasible configurations.
+func (a *Advisor) Recommend(p dataset.Problem, obj Objective, oracle Oracle) (Recommendation, error) {
+	cfgs := a.Grid.Configs(p)
+	rows := make([][]float64, 0, len(cfgs))
+	kept := make([]dataset.Config, 0, len(cfgs))
+	for _, c := range cfgs {
+		if oracle != nil {
+			if _, ok := oracle.TrueTime(c); !ok {
+				continue // infeasible; skip
+			}
+		}
+		rows = append(rows, c.Features())
+		kept = append(kept, c)
+	}
+	if len(kept) == 0 {
+		return Recommendation{}, fmt.Errorf("guide: no feasible configurations for %v", p)
+	}
+	preds := a.Model.Predict(rows)
+	bestIdx := -1
+	bestVal := 0.0
+	for i, c := range kept {
+		v := obj.value(c, preds[i])
+		if bestIdx < 0 || v < bestVal {
+			bestIdx, bestVal = i, v
+		}
+	}
+	return Recommendation{
+		Problem:   p,
+		Objective: obj,
+		Config:    kept[bestIdx],
+		PredTime:  preds[bestIdx],
+		PredValue: bestVal,
+	}, nil
+}
+
+// OptimalConfig returns the ground-truth optimal configuration for a
+// problem and objective by sweeping the grid against the oracle. It is used
+// both to build the reference answers and to compute the true loss of a
+// prediction.
+func OptimalConfig(oracle Oracle, grid dataset.Grid, p dataset.Problem, obj Objective) (dataset.Config, float64, float64, bool) {
+	var bestCfg dataset.Config
+	var bestVal, bestTime float64
+	found := false
+	for _, c := range grid.Configs(p) {
+		secs, ok := oracle.TrueTime(c)
+		if !ok {
+			continue
+		}
+		v := obj.value(c, secs)
+		if !found || v < bestVal {
+			found = true
+			bestCfg, bestVal, bestTime = c, v, secs
+		}
+	}
+	return bestCfg, bestVal, bestTime, found
+}
+
+// QueryResult records the truth-vs-prediction comparison for one problem,
+// following the paper's true-loss methodology.
+type QueryResult struct {
+	Problem       dataset.Problem
+	Objective     Objective
+	TrueConfig    dataset.Config // ground-truth optimum
+	PredConfig    dataset.Config // model's recommended config
+	TrueValue     float64        // objective value of the true optimum
+	PredTrueValue float64        // TRUE objective value of the predicted config
+	PredValue     float64        // model's *predicted* objective value (optimistic)
+	Correct       bool           // whether the model picked the true optimum
+}
+
+// Loss returns the true regret: PredTrueValue − TrueValue (≥ 0 by
+// construction since TrueValue is the minimum).
+func (q QueryResult) Loss() float64 { return q.PredTrueValue - q.TrueValue }
+
+// Evaluate answers a query for one problem and computes its true loss
+// against the oracle. It implements the paper's prescription: locate the
+// predicted configuration, then score it by its TRUE objective value, not
+// by the model's (optimistic) predicted value.
+func (a *Advisor) Evaluate(oracle Oracle, p dataset.Problem, obj Objective) (QueryResult, error) {
+	rec, err := a.Recommend(p, obj, oracle)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	trueCfg, trueVal, _, ok := OptimalConfig(oracle, a.Grid, p, obj)
+	if !ok {
+		return QueryResult{}, fmt.Errorf("guide: no true optimum for %v", p)
+	}
+	predTrueSecs, ok := oracle.TrueTime(rec.Config)
+	if !ok {
+		return QueryResult{}, fmt.Errorf("guide: predicted config %v has no true time", rec.Config)
+	}
+	return QueryResult{
+		Problem:       p,
+		Objective:     obj,
+		TrueConfig:    trueCfg,
+		PredConfig:    rec.Config,
+		TrueValue:     trueVal,
+		PredTrueValue: obj.value(rec.Config, predTrueSecs),
+		PredValue:     rec.PredValue,
+		Correct:       trueCfg == rec.Config,
+	}, nil
+}
+
+// EvaluateAll runs Evaluate over a set of problems and aggregates the
+// true-loss metrics (Section 4.3/4.4 reporting).
+func (a *Advisor) EvaluateAll(oracle Oracle, problems []dataset.Problem, obj Objective) ([]QueryResult, stats.Scores, int, error) {
+	var results []QueryResult
+	var trueVals, predVals []float64
+	correct := 0
+	for _, p := range problems {
+		q, err := a.Evaluate(oracle, p, obj)
+		if err != nil {
+			continue // infeasible problem on this grid; skip
+		}
+		results = append(results, q)
+		trueVals = append(trueVals, q.TrueValue)
+		predVals = append(predVals, q.PredTrueValue)
+		if q.Correct {
+			correct++
+		}
+	}
+	if len(results) == 0 {
+		return nil, stats.Scores{}, 0, fmt.Errorf("guide: no evaluable problems")
+	}
+	return results, stats.Evaluate(trueVals, predVals), correct, nil
+}

@@ -1,0 +1,182 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinSpecsValid(t *testing.T) {
+	for _, s := range []Spec{Aurora(), Frontier()} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	base := Aurora()
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.RanksPerNode = 0 },
+		func(s *Spec) { s.PeakFlopsPerRank = -1 },
+		func(s *Spec) { s.MaxGemmEff = 1.5 },
+		func(s *Spec) { s.GemmHalfDim = 0 },
+		func(s *Spec) { s.NodeMemBytes = 0 },
+		func(s *Spec) { s.GetBandwidth = 0 },
+		func(s *Spec) { s.CommOverlap = 1 },
+		func(s *Spec) { s.NoiseRel = -0.1 },
+	}
+	for i, mut := range mutations {
+		s := base
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestRanks(t *testing.T) {
+	if got := Aurora().Ranks(10); got != 120 {
+		t.Fatalf("Aurora 10 nodes = %d ranks", got)
+	}
+	if got := Frontier().Ranks(10); got != 80 {
+		t.Fatalf("Frontier 10 nodes = %d ranks", got)
+	}
+}
+
+func TestGemmEffMonotone(t *testing.T) {
+	s := Aurora()
+	prev := 0.0
+	for _, d := range []float64{100, 500, 1000, 5000, 20000, 100000} {
+		e := s.GemmEff(d)
+		if e <= prev {
+			t.Fatalf("GemmEff not increasing at %v", d)
+		}
+		if e > s.MaxGemmEff {
+			t.Fatalf("GemmEff %v exceeds max", e)
+		}
+		prev = e
+	}
+	if s.GemmEff(0) != 0 || s.GemmEff(-5) != 0 {
+		t.Fatal("GemmEff of non-positive dim should be 0")
+	}
+}
+
+func TestGemmEffHalfPoint(t *testing.T) {
+	s := Aurora()
+	e := s.GemmEff(s.GemmHalfDim)
+	if math.Abs(e-s.MaxGemmEff/2) > 1e-12 {
+		t.Fatalf("GemmEff at half dim = %v, want %v", e, s.MaxGemmEff/2)
+	}
+}
+
+func TestGemmTime(t *testing.T) {
+	s := Aurora()
+	// Time should be flops / (peak * eff).
+	flops := 1e12
+	d := 10000.0
+	want := flops / (s.PeakFlopsPerRank * s.GemmEff(d))
+	if got := s.GemmTime(flops, d); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("GemmTime = %v, want %v", got, want)
+	}
+	if !math.IsInf(s.GemmTime(1, 0), 1) {
+		t.Fatal("GemmTime with zero dim should be +Inf")
+	}
+}
+
+func TestEffGetBandwidthDegrades(t *testing.T) {
+	s := Frontier()
+	b1 := s.EffGetBandwidth(1)
+	b100 := s.EffGetBandwidth(100)
+	b1000 := s.EffGetBandwidth(1000)
+	if !(b1 > b100 && b100 > b1000) {
+		t.Fatalf("bandwidth not degrading: %v %v %v", b1, b100, b1000)
+	}
+	if b1 != s.GetBandwidth {
+		t.Fatalf("single-node bandwidth %v, want %v", b1, s.GetBandwidth)
+	}
+	if s.EffGetBandwidth(0) != s.GetBandwidth {
+		t.Fatal("nodes<1 should clamp to 1")
+	}
+}
+
+func TestCommTimeComponents(t *testing.T) {
+	s := Aurora()
+	// Latency-only message.
+	latOnly := s.CommTime(0, 10, 1)
+	want := 10 * s.GetLatencySec * (1 - s.CommOverlap)
+	if math.Abs(latOnly-want) > 1e-18 {
+		t.Fatalf("latency-only CommTime %v, want %v", latOnly, want)
+	}
+	// Adding bytes increases time.
+	if s.CommTime(1e9, 10, 1) <= latOnly {
+		t.Fatal("bytes did not increase comm time")
+	}
+	// More nodes => more contention => slower for same bytes.
+	if s.CommTime(1e9, 0, 500) <= s.CommTime(1e9, 0, 2) {
+		t.Fatal("contention not increasing comm time")
+	}
+}
+
+func TestBarrierTimeGrowsWithNodes(t *testing.T) {
+	s := Frontier()
+	if s.BarrierTime(100) <= s.BarrierTime(2) {
+		t.Fatal("barrier not growing")
+	}
+	if s.BarrierTime(0) != s.BarrierLatencySec {
+		t.Fatal("degenerate barrier wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("aurora")
+	if err != nil || a.Name != "aurora" {
+		t.Fatalf("ByName aurora: %v %v", a.Name, err)
+	}
+	f, err := ByName("frontier")
+	if err != nil || f.Name != "frontier" {
+		t.Fatalf("ByName frontier: %v %v", f.Name, err)
+	}
+	if _, err := ByName("summit"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestFrontierNoisierThanAurora(t *testing.T) {
+	// The paper's central observation: Frontier is harder to predict.
+	if Frontier().NoiseRel <= Aurora().NoiseRel {
+		t.Fatal("Frontier must have more run-to-run noise than Aurora")
+	}
+}
+
+// Property: GemmEff is bounded in (0, MaxGemmEff] for positive dims.
+func TestQuickGemmEffBounds(t *testing.T) {
+	s := Aurora()
+	f := func(dRaw uint32) bool {
+		d := float64(dRaw%1000000) + 1
+		e := s.GemmEff(d)
+		return e > 0 && e <= s.MaxGemmEff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CommTime is non-negative and monotone in bytes.
+func TestQuickCommTimeMonotone(t *testing.T) {
+	s := Frontier()
+	f := func(b1Raw, b2Raw uint32, nodesRaw uint16) bool {
+		b1, b2 := float64(b1Raw), float64(b2Raw)
+		if b1 > b2 {
+			b1, b2 = b2, b1
+		}
+		nodes := int(nodesRaw%1000) + 1
+		t1 := s.CommTime(b1, 1, nodes)
+		t2 := s.CommTime(b2, 1, nodes)
+		return t1 >= 0 && t2 >= t1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

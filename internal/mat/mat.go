@@ -1,0 +1,414 @@
+// Package mat implements the dense linear algebra needed by parcost's
+// kernel-based regressors (kernel ridge, Gaussian processes, Bayesian ridge,
+// polynomial least squares).
+//
+// The implementation is deliberately small: row-major dense matrices,
+// cache-blocked and goroutine-parallel matrix multiply, and a Cholesky
+// factorization for symmetric positive definite solves. These four
+// operations dominate every fit in the ML stack; nothing else from a full
+// BLAS/LAPACK is required.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	RowsN, ColsN int
+	Data         []float64
+}
+
+// NewDense allocates an r x c zero matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Dense{RowsN: r, ColsN: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows. The data is
+// copied.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0)
+	}
+	c := len(rows[0])
+	m := NewDense(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d cols, want %d", i, len(row), c))
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Dims returns the matrix dimensions.
+func (m *Dense) Dims() (r, c int) { return m.RowsN, m.ColsN }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.ColsN+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.ColsN+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.ColsN : (i+1)*m.ColsN] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.RowsN, m.ColsN)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.ColsN, m.RowsN)
+	for i := 0; i < m.RowsN; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.ColsN+i] = v
+		}
+	}
+	return t
+}
+
+// AddScaledIdentity adds s to the diagonal in place. The matrix must be
+// square.
+func (m *Dense) AddScaledIdentity(s float64) {
+	if m.RowsN != m.ColsN {
+		panic("mat: AddScaledIdentity on non-square matrix")
+	}
+	for i := 0; i < m.RowsN; i++ {
+		m.Data[i*m.ColsN+i] += s
+	}
+}
+
+// Scale multiplies every element by s in place.
+func (m *Dense) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// parallelThreshold is the flop count above which Mul fans out to
+// goroutines; below it the scheduling overhead exceeds the gain.
+const parallelThreshold = 1 << 20
+
+// Mul returns a * b using a cache-blocked ikj loop order, parallelized over
+// row blocks of a when the problem is large enough.
+func Mul(a, b *Dense) *Dense {
+	if a.ColsN != b.RowsN {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.RowsN, a.ColsN, b.RowsN, b.ColsN))
+	}
+	out := NewDense(a.RowsN, b.ColsN)
+	flops := a.RowsN * a.ColsN * b.ColsN
+	if flops < parallelThreshold {
+		mulRange(a, b, out, 0, a.RowsN)
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.RowsN {
+		workers = a.RowsN
+	}
+	var wg sync.WaitGroup
+	chunk := (a.RowsN + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.RowsN {
+			hi = a.RowsN
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRange(a, b, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// mulRange computes rows [lo, hi) of out = a*b with ikj ordering, which
+// streams b row-wise and keeps the inner loop vectorizable.
+func mulRange(a, b, out *Dense, lo, hi int) {
+	n, p := a.ColsN, b.ColsN
+	for i := lo; i < hi; i++ {
+		ai := a.Data[i*n : (i+1)*n]
+		oi := out.Data[i*p : (i+1)*p]
+		for k := 0; k < n; k++ {
+			aik := ai[k]
+			if aik == 0 {
+				continue
+			}
+			bk := b.Data[k*p : (k+1)*p]
+			for j, bv := range bk {
+				oi[j] += aik * bv
+			}
+		}
+	}
+}
+
+// MulVec returns a * x.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.ColsN != len(x) {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d * %d", a.RowsN, a.ColsN, len(x)))
+	}
+	out := make([]float64, a.RowsN)
+	for i := 0; i < a.RowsN; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out
+}
+
+// MulTVec returns aᵀ * x without forming the transpose.
+func MulTVec(a *Dense, x []float64) []float64 {
+	if a.RowsN != len(x) {
+		panic("mat: MulTVec dimension mismatch")
+	}
+	out := make([]float64, a.ColsN)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for j, v := range row {
+			out[j] += xi * v
+		}
+	}
+	return out
+}
+
+// AtA returns aᵀa, exploiting symmetry (only the upper triangle is computed
+// and mirrored). Used to form normal equations.
+func AtA(a *Dense) *Dense {
+	n := a.ColsN
+	out := NewDense(n, n)
+	for r := 0; r < a.RowsN; r++ {
+		row := a.Row(r)
+		for i := 0; i < n; i++ {
+			ri := row[i]
+			if ri == 0 {
+				continue
+			}
+			oi := out.Data[i*n : (i+1)*n]
+			for j := i; j < n; j++ {
+				oi[j] += ri * row[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out.Data[j*n+i] = out.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Cholesky holds the lower-triangular factor L of an SPD matrix A = L Lᵀ.
+type Cholesky struct {
+	n int
+	l []float64 // row-major lower triangle (full n*n storage for simplicity)
+}
+
+// NewCholesky factorizes the SPD matrix a. It returns an error if a is not
+// square or not positive definite (within floating-point tolerance). The
+// input is not modified.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.RowsN != a.ColsN {
+		return nil, fmt.Errorf("mat: Cholesky of non-square %dx%d matrix", a.RowsN, a.ColsN)
+	}
+	n := a.RowsN
+	l := make([]float64, n*n)
+	copy(l, a.Data)
+	// Right-looking Cholesky; only the lower triangle of l is referenced.
+	for k := 0; k < n; k++ {
+		d := l[k*n+k]
+		for p := 0; p < k; p++ {
+			d -= l[k*n+p] * l[k*n+p]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("mat: matrix not positive definite at pivot %d (d=%g)", k, d)
+		}
+		dk := math.Sqrt(d)
+		l[k*n+k] = dk
+		for i := k + 1; i < n; i++ {
+			s := l[i*n+k]
+			li := l[i*n : i*n+k]
+			lk := l[k*n : k*n+k]
+			for p, v := range lk {
+				s -= li[p] * v
+			}
+			l[i*n+k] = s / dk
+		}
+	}
+	// Zero the strict upper triangle so L is clean.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l[i*n+j] = 0
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Size returns the factorized dimension.
+func (c *Cholesky) Size() int { return c.n }
+
+// SolveVec solves A x = b for x, overwriting nothing.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	if len(b) != c.n {
+		panic("mat: Cholesky SolveVec length mismatch")
+	}
+	x := append([]float64(nil), b...)
+	c.solveInPlace(x)
+	return x
+}
+
+// solveInPlace solves A x = b where b is overwritten with x.
+func (c *Cholesky) solveInPlace(x []float64) {
+	n, l := c.n, c.l
+	// Forward substitution L y = b.
+	for i := 0; i < n; i++ {
+		s := x[i]
+		row := l[i*n : i*n+i]
+		for p, v := range row {
+			s -= v * x[p]
+		}
+		x[i] = s / l[i*n+i]
+	}
+	// Back substitution Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for p := i + 1; p < n; p++ {
+			s -= l[p*n+i] * x[p]
+		}
+		x[i] = s / l[i*n+i]
+	}
+}
+
+// SolveMat solves A X = B column-by-column.
+func (c *Cholesky) SolveMat(b *Dense) *Dense {
+	if b.RowsN != c.n {
+		panic("mat: Cholesky SolveMat dimension mismatch")
+	}
+	out := NewDense(b.RowsN, b.ColsN)
+	col := make([]float64, c.n)
+	for j := 0; j < b.ColsN; j++ {
+		for i := 0; i < c.n; i++ {
+			col[i] = b.At(i, j)
+		}
+		c.solveInPlace(col)
+		for i := 0; i < c.n; i++ {
+			out.Set(i, j, col[i])
+		}
+	}
+	return out
+}
+
+// LogDet returns log|A| = 2 Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.l[i*c.n+i])
+	}
+	return 2 * s
+}
+
+// LSolveVec solves L y = b (forward substitution only). Gaussian process
+// predictive variance needs this half-solve.
+func (c *Cholesky) LSolveVec(b []float64) []float64 {
+	if len(b) != c.n {
+		panic("mat: LSolveVec length mismatch")
+	}
+	y := append([]float64(nil), b...)
+	n, l := c.n, c.l
+	for i := 0; i < n; i++ {
+		s := y[i]
+		row := l[i*n : i*n+i]
+		for p, v := range row {
+			s -= v * y[p]
+		}
+		y[i] = s / l[i*n+i]
+	}
+	return y
+}
+
+// SolveSPD solves A x = b for SPD A, adding escalating jitter to the
+// diagonal if the factorization fails. Kernel matrices are routinely
+// borderline-singular, so this is the standard robust entry point used by
+// the regressors. It returns an error only if even large jitter fails.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	ch, err := RobustCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return ch.SolveVec(b), nil
+}
+
+// RobustCholesky factorizes a with escalating diagonal jitter on failure.
+// The input matrix is modified only by the jitter retries on an internal
+// copy; a itself is untouched.
+func RobustCholesky(a *Dense) (*Cholesky, error) {
+	ch, err := NewCholesky(a)
+	if err == nil {
+		return ch, nil
+	}
+	// Scale jitter to the mean diagonal magnitude.
+	var diag float64
+	for i := 0; i < a.RowsN; i++ {
+		diag += math.Abs(a.At(i, i))
+	}
+	diag /= float64(a.RowsN)
+	if diag == 0 {
+		diag = 1
+	}
+	work := a.Clone()
+	jitter := diag * 1e-12
+	for attempt := 0; attempt < 12; attempt++ {
+		work.AddScaledIdentity(jitter)
+		if ch, err = NewCholesky(work); err == nil {
+			return ch, nil
+		}
+		jitter *= 10
+	}
+	return nil, fmt.Errorf("mat: RobustCholesky failed even with jitter: %w", err)
+}

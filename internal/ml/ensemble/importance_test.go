@@ -1,0 +1,63 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"parcost/internal/ml/tree"
+	"parcost/internal/rng"
+)
+
+func relevantFeatureData(r *rng.Source, n int) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := r.Uniform(-5, 5)
+		b := r.Uniform(-5, 5)
+		c := r.Uniform(-5, 5) // irrelevant
+		x[i] = []float64{a, b, c}
+		y[i] = 2*a*a + b // depends on features 0 and 1, not 2
+	}
+	return x, y
+}
+
+func TestRFFeatureImportances(t *testing.T) {
+	r := rng.New(1)
+	x, y := relevantFeatureData(r, 400)
+	rf := NewRandomForest(60, tree.Params{MaxDepth: 8}, 7)
+	if err := rf.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := rf.FeatureImportances()
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("RF importances sum %v", sum)
+	}
+	// The irrelevant feature (index 2) should be least important.
+	if imp[2] > imp[0] || imp[2] > imp[1] {
+		t.Fatalf("irrelevant feature not least important: %v", imp)
+	}
+}
+
+func TestGBFeatureImportances(t *testing.T) {
+	r := rng.New(2)
+	x, y := relevantFeatureData(r, 400)
+	gb := NewGradientBoosting(150, 0.1, tree.Params{MaxDepth: 4}, 3)
+	if err := gb.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := gb.FeatureImportances()
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("GB importances sum %v", sum)
+	}
+	if imp[2] > imp[0] {
+		t.Fatalf("GB did not downweight irrelevant feature: %v", imp)
+	}
+}

@@ -1,0 +1,276 @@
+// Package kernel implements the kernel-based regressors from the paper:
+// Kernel Ridge regression (KR), Gaussian Process regression (GP) with
+// predictive uncertainty, and epsilon Support Vector Regression (SVR).
+//
+// All three share the Kernel abstraction and internal feature/target
+// standardization. The Gaussian process additionally exposes PredictStd,
+// which the uncertainty-sampling active-learning strategy (Algorithm 1)
+// relies on.
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"parcost/internal/mat"
+	"parcost/internal/ml"
+	"parcost/internal/stats"
+)
+
+// Kernel computes similarity between two (standardized) feature vectors.
+type Kernel interface {
+	Eval(a, b []float64) float64
+	Name() string
+}
+
+// RBF is the Gaussian (squared-exponential) kernel
+// k(a,b) = exp(-‖a−b‖² / (2ℓ²)).
+type RBF struct {
+	Length float64 // length scale ℓ
+}
+
+// Eval computes the RBF kernel value.
+func (k RBF) Eval(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-d2 / (2 * k.Length * k.Length))
+}
+
+// Name identifies the kernel.
+func (k RBF) Name() string { return "rbf" }
+
+// Poly is the polynomial kernel k(a,b) = (γ·aᵀb + c0)^degree.
+type Poly struct {
+	Degree int
+	Gamma  float64
+	Coef0  float64
+}
+
+// Eval computes the polynomial kernel value.
+func (k Poly) Eval(a, b []float64) float64 {
+	return math.Pow(k.Gamma*mat.Dot(a, b)+k.Coef0, float64(k.Degree))
+}
+
+// Name identifies the kernel.
+func (k Poly) Name() string { return "poly" }
+
+// gram builds the n×n kernel matrix of the rows of x.
+func gram(k Kernel, x [][]float64) *mat.Dense {
+	n := len(x)
+	g := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		g.Set(i, i, k.Eval(x[i], x[i]))
+		for j := i + 1; j < n; j++ {
+			v := k.Eval(x[i], x[j])
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	return g
+}
+
+// KernelRidge is kernel ridge regression: it solves (K + αI)a = y in the
+// kernel-induced space and predicts with f(x) = Σ aᵢ k(xᵢ, x). The paper
+// lists it as model "KR".
+type KernelRidge struct {
+	Kernel Kernel
+	Alpha  float64
+
+	scaler *stats.StandardScaler
+	tScale *stats.TargetScaler
+	xTrain [][]float64
+	dual   []float64
+}
+
+// NewKernelRidge returns a kernel ridge regressor.
+func NewKernelRidge(k Kernel, alpha float64) *KernelRidge {
+	return &KernelRidge{Kernel: k, Alpha: alpha}
+}
+
+// Name returns the model identifier.
+func (m *KernelRidge) Name() string { return "kernelridge" }
+
+// Fit solves the dual system (K + αI)a = y on standardized data.
+func (m *KernelRidge) Fit(x [][]float64, y []float64) error {
+	if _, err := ml.CheckXY(x, y); err != nil {
+		return err
+	}
+	m.scaler = stats.FitScaler(x)
+	m.xTrain = m.scaler.Transform(x)
+	m.tScale = stats.FitTargetScaler(y)
+	ys := m.tScale.Transform(y)
+
+	g := gram(m.Kernel, m.xTrain)
+	g.AddScaledIdentity(m.Alpha)
+	dual, err := mat.SolveSPD(g, ys)
+	if err != nil {
+		return fmt.Errorf("kernel: KRR solve failed: %w", err)
+	}
+	m.dual = dual
+	return nil
+}
+
+// Predict evaluates f(x) = Σ aᵢ k(xᵢ, x) on the original target scale.
+func (m *KernelRidge) Predict(x [][]float64) []float64 {
+	if m.dual == nil {
+		panic("kernel: KernelRidge.Predict before Fit")
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		rs := m.scaler.TransformRow(row)
+		var s float64
+		for j, xt := range m.xTrain {
+			s += m.dual[j] * m.Kernel.Eval(xt, rs)
+		}
+		out[i] = m.tScale.InverseOne(s)
+	}
+	return out
+}
+
+// GaussianProcess is GP regression with a fixed kernel and observation noise
+// variance. It exposes both the posterior mean and standard deviation. The
+// paper lists it as model "GP" and uses it as the surrogate in
+// uncertainty-sampling active learning.
+type GaussianProcess struct {
+	Kernel Kernel
+	Noise  float64 // observation noise variance (on standardized targets)
+
+	scaler  *stats.StandardScaler
+	tScale  *stats.TargetScaler
+	xTrain  [][]float64
+	chol    *mat.Cholesky
+	alpha   []float64 // (K+σ²I)⁻¹ y
+	autoLen bool
+}
+
+// medianDistance returns the median pairwise Euclidean distance among the
+// rows of x (capped-sample for large n), the classic kernel length-scale
+// heuristic. Returns 0 if fewer than two distinct points.
+func medianDistance(x [][]float64) float64 {
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	// Subsample pairs to keep this O(cap²) for large sets.
+	const cap = 200
+	m := n
+	stride := 1
+	if n > cap {
+		stride = n / cap
+		m = cap
+	}
+	var dists []float64
+	idx := make([]int, 0, m)
+	for i := 0; i < n && len(idx) < m; i += stride {
+		idx = append(idx, i)
+	}
+	for a := 0; a < len(idx); a++ {
+		for b := a + 1; b < len(idx); b++ {
+			var d2 float64
+			ra, rb := x[idx[a]], x[idx[b]]
+			for k := range ra {
+				d := ra[k] - rb[k]
+				d2 += d * d
+			}
+			dists = append(dists, math.Sqrt(d2))
+		}
+	}
+	if len(dists) == 0 {
+		return 0
+	}
+	return stats.Quantile(dists, 0.5)
+}
+
+// NewGaussianProcess returns a GP regressor.
+func NewGaussianProcess(k Kernel, noise float64) *GaussianProcess {
+	return &GaussianProcess{Kernel: k, Noise: noise}
+}
+
+// Name returns the model identifier.
+func (g *GaussianProcess) Name() string { return "gp" }
+
+// AutoLength, when set, overrides an RBF kernel's length scale at Fit time
+// with the median pairwise distance of the standardized training features
+// (the "median heuristic"). This adapts the kernel to the data the way
+// scikit-learn's GP does by maximizing the marginal likelihood, without the
+// cost of a full optimization.
+func (g *GaussianProcess) AutoLength(on bool) *GaussianProcess {
+	g.autoLen = on
+	return g
+}
+
+// Fit factorizes (K + σ²I) and precomputes the predictive weights.
+func (g *GaussianProcess) Fit(x [][]float64, y []float64) error {
+	if _, err := ml.CheckXY(x, y); err != nil {
+		return err
+	}
+	g.scaler = stats.FitScaler(x)
+	g.xTrain = g.scaler.Transform(x)
+	g.tScale = stats.FitTargetScaler(y)
+	ys := g.tScale.Transform(y)
+
+	if g.autoLen {
+		if rbf, ok := g.Kernel.(RBF); ok {
+			if l := medianDistance(g.xTrain); l > 0 {
+				rbf.Length = l
+				g.Kernel = rbf
+			}
+		}
+	}
+
+	k := gram(g.Kernel, g.xTrain)
+	k.AddScaledIdentity(g.Noise)
+	ch, err := mat.RobustCholesky(k)
+	if err != nil {
+		return fmt.Errorf("kernel: GP factorization failed: %w", err)
+	}
+	g.chol = ch
+	g.alpha = ch.SolveVec(ys)
+	return nil
+}
+
+// Predict returns posterior-mean predictions on the original scale.
+func (g *GaussianProcess) Predict(x [][]float64) []float64 {
+	mean, _ := g.PredictStd(x)
+	return mean
+}
+
+// PredictStd returns the posterior mean and standard deviation for each
+// input, on the original target scale. The variance is
+// k** − k*ᵀ(K+σ²I)⁻¹k*, computed stably via the Cholesky factor.
+func (g *GaussianProcess) PredictStd(x [][]float64) (mean, std []float64) {
+	if g.chol == nil {
+		panic("kernel: GaussianProcess.PredictStd before Fit")
+	}
+	mean = make([]float64, len(x))
+	std = make([]float64, len(x))
+	for i, row := range x {
+		rs := g.scaler.TransformRow(row)
+		kStar := make([]float64, len(g.xTrain))
+		for j, xt := range g.xTrain {
+			kStar[j] = g.Kernel.Eval(xt, rs)
+		}
+		// Posterior mean (standardized), then inverse-transformed.
+		muStd := mat.Dot(kStar, g.alpha)
+		mean[i] = g.tScale.InverseOne(muStd)
+
+		// Posterior variance: kxx - v·v where v = L⁻¹ k*.
+		kxx := g.Kernel.Eval(rs, rs)
+		v := g.chol.LSolveVec(kStar)
+		varStd := kxx - mat.Dot(v, v)
+		if varStd < 0 {
+			varStd = 0
+		}
+		// Scale variance back to the original target units.
+		std[i] = math.Sqrt(varStd) * g.tScale.Std
+	}
+	return mean, std
+}
+
+var (
+	_ ml.Regressor    = (*KernelRidge)(nil)
+	_ ml.StdPredictor = (*GaussianProcess)(nil)
+)

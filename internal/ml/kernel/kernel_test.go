@@ -1,0 +1,272 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parcost/internal/rng"
+	"parcost/internal/stats"
+)
+
+// smoothData generates y = sin-like smooth function of 2 features.
+func smoothData(r *rng.Source, n int, noise float64) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := r.Uniform(-3, 3)
+		b := r.Uniform(-3, 3)
+		x[i] = []float64{a, b}
+		y[i] = math.Sin(a) + 0.5*b*b - 0.3*a*b + noise*r.Normal()
+	}
+	return x, y
+}
+
+func TestRBFKernelProperties(t *testing.T) {
+	k := RBF{Length: 1.5}
+	a := []float64{1, 2, 3}
+	if v := k.Eval(a, a); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("k(a,a) = %v, want 1", v)
+	}
+	// Symmetry.
+	b := []float64{0, -1, 2}
+	if math.Abs(k.Eval(a, b)-k.Eval(b, a)) > 1e-15 {
+		t.Fatal("RBF not symmetric")
+	}
+	// Decreasing with distance.
+	near := k.Eval(a, []float64{1, 2, 3.1})
+	far := k.Eval(a, []float64{1, 2, 10})
+	if near <= far {
+		t.Fatal("RBF not decreasing with distance")
+	}
+	if k.Name() != "rbf" {
+		t.Fatal("name")
+	}
+}
+
+func TestPolyKernel(t *testing.T) {
+	k := Poly{Degree: 2, Gamma: 1, Coef0: 1}
+	// (1·(1·1+1·1)+1)² = (2+1)² = 9
+	if v := k.Eval([]float64{1, 1}, []float64{1, 1}); math.Abs(v-9) > 1e-12 {
+		t.Fatalf("poly kernel = %v, want 9", v)
+	}
+	if k.Name() != "poly" {
+		t.Fatal("name")
+	}
+}
+
+func TestKernelRidgeFitsSmooth(t *testing.T) {
+	r := rng.New(1)
+	x, y := smoothData(r, 200, 0.01)
+	m := NewKernelRidge(RBF{Length: 1.0}, 1e-3)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := stats.R2(y, m.Predict(x)); r2 < 0.95 {
+		t.Fatalf("KRR train R2 = %v", r2)
+	}
+	if m.Name() != "kernelridge" {
+		t.Fatal("name")
+	}
+}
+
+func TestKernelRidgeGeneralizes(t *testing.T) {
+	r := rng.New(2)
+	xTr, yTr := smoothData(r, 300, 0.05)
+	xTe, yTe := smoothData(r, 100, 0.05)
+	m := NewKernelRidge(RBF{Length: 1.2}, 1e-2)
+	if err := m.Fit(xTr, yTr); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := stats.R2(yTe, m.Predict(xTe)); r2 < 0.85 {
+		t.Fatalf("KRR test R2 = %v", r2)
+	}
+}
+
+func TestKernelRidgePredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewKernelRidge(RBF{Length: 1}, 1).Predict([][]float64{{1}})
+}
+
+func TestGPFitsSmooth(t *testing.T) {
+	r := rng.New(3)
+	x, y := smoothData(r, 150, 0.02)
+	g := NewGaussianProcess(RBF{Length: 1.0}, 1e-4)
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := stats.R2(y, g.Predict(x)); r2 < 0.95 {
+		t.Fatalf("GP train R2 = %v", r2)
+	}
+	if g.Name() != "gp" {
+		t.Fatal("name")
+	}
+}
+
+func TestGPUncertaintyGrowsAwayFromData(t *testing.T) {
+	// Train on points near the origin; uncertainty should be larger far away.
+	r := rng.New(4)
+	n := 80
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := r.Uniform(-1, 1)
+		b := r.Uniform(-1, 1)
+		x[i] = []float64{a, b}
+		y[i] = a + b
+	}
+	g := NewGaussianProcess(RBF{Length: 0.7}, 1e-4)
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	_, stdNear := g.PredictStd([][]float64{{0, 0}})
+	_, stdFar := g.PredictStd([][]float64{{20, 20}})
+	if stdFar[0] <= stdNear[0] {
+		t.Fatalf("uncertainty did not grow away from data: near %v far %v", stdNear[0], stdFar[0])
+	}
+}
+
+func TestGPStdNonNegative(t *testing.T) {
+	r := rng.New(5)
+	x, y := smoothData(r, 60, 0.1)
+	g := NewGaussianProcess(RBF{Length: 1.0}, 1e-3)
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	_, std := g.PredictStd(x)
+	for i, s := range std {
+		if s < 0 || math.IsNaN(s) {
+			t.Fatalf("bad std at %d: %v", i, s)
+		}
+	}
+}
+
+func TestGPPredictStdBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewGaussianProcess(RBF{Length: 1}, 1).PredictStd([][]float64{{1}})
+}
+
+func TestSVRFitsSmooth(t *testing.T) {
+	r := rng.New(6)
+	x, y := smoothData(r, 200, 0.05)
+	m := NewSVR(RBF{Length: 1.0}, 10, 0.05)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := stats.R2(y, m.Predict(x)); r2 < 0.8 {
+		t.Fatalf("SVR train R2 = %v", r2)
+	}
+	if m.Name() != "svr" {
+		t.Fatal("name")
+	}
+	if m.NumSupportVectors() == 0 {
+		t.Fatal("no support vectors")
+	}
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSVRGeneralizes(t *testing.T) {
+	r := rng.New(7)
+	xTr, yTr := smoothData(r, 300, 0.05)
+	xTe, yTe := smoothData(r, 100, 0.05)
+	m := NewSVR(RBF{Length: 1.2}, 20, 0.02)
+	if err := m.Fit(xTr, yTr); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := stats.R2(yTe, m.Predict(xTe)); r2 < 0.7 {
+		t.Fatalf("SVR test R2 = %v", r2)
+	}
+}
+
+func TestSVREpsilonTube(t *testing.T) {
+	// Larger epsilon => fewer support vectors (more points inside the tube).
+	r := rng.New(8)
+	x, y := smoothData(r, 150, 0.05)
+	tight := NewSVR(RBF{Length: 1}, 10, 0.01)
+	loose := NewSVR(RBF{Length: 1}, 10, 0.5)
+	if err := tight.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := loose.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if loose.NumSupportVectors() > tight.NumSupportVectors() {
+		t.Fatalf("looser tube has more SVs: %d vs %d", loose.NumSupportVectors(), tight.NumSupportVectors())
+	}
+}
+
+func TestSVRPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSVR(RBF{Length: 1}, 1, 0.1).Predict([][]float64{{1}})
+}
+
+// Property: GP posterior mean interpolates noise-free training data well.
+func TestQuickGPInterpolates(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		x, y := smoothData(r, 40, 0.0)
+		g := NewGaussianProcess(RBF{Length: 1.0}, 1e-6)
+		if err := g.Fit(x, y); err != nil {
+			return false
+		}
+		return stats.R2(y, g.Predict(x)) > 0.9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KRR with tiny alpha interpolates training data.
+func TestQuickKRRInterpolates(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		x, y := smoothData(r, 40, 0.0)
+		m := NewKernelRidge(RBF{Length: 1.0}, 1e-8)
+		if err := m.Fit(x, y); err != nil {
+			return false
+		}
+		return stats.R2(y, m.Predict(x)) > 0.9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKRRFit(b *testing.B) {
+	r := rng.New(1)
+	x, y := smoothData(r, 400, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewKernelRidge(RBF{Length: 1}, 1e-2)
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGPPredictStd(b *testing.B) {
+	r := rng.New(1)
+	x, y := smoothData(r, 300, 0.05)
+	g := NewGaussianProcess(RBF{Length: 1}, 1e-3)
+	if err := g.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PredictStd(x)
+	}
+}

@@ -1,0 +1,97 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"parcost/internal/stats"
+)
+
+// KNN is a k-nearest-neighbors regressor on standardized features, with
+// optional inverse-distance weighting. It is a simple, non-parametric
+// baseline: useful as a sanity check against the paper's models and as a
+// committee member. Features are standardized so all four of
+// ⟨O, V, nodes, tile⟩ contribute comparably to the distance.
+type KNN struct {
+	K        int
+	Weighted bool // inverse-distance weighting (else uniform average)
+
+	scaler *stats.StandardScaler
+	xTrain [][]float64
+	yTrain []float64
+}
+
+// NewKNN returns a k-NN regressor. k is clamped to at least 1 at fit time.
+func NewKNN(k int, weighted bool) *KNN {
+	return &KNN{K: k, Weighted: weighted}
+}
+
+// Name returns the model identifier.
+func (m *KNN) Name() string { return "knn" }
+
+// Fit stores the standardized training set.
+func (m *KNN) Fit(x [][]float64, y []float64) error {
+	if _, err := CheckXY(x, y); err != nil {
+		return err
+	}
+	if m.K < 1 {
+		m.K = 1
+	}
+	if m.K > len(x) {
+		m.K = len(x)
+	}
+	m.scaler = stats.FitScaler(x)
+	m.xTrain = m.scaler.Transform(x)
+	m.yTrain = append([]float64(nil), y...)
+	return nil
+}
+
+// Predict returns the (optionally distance-weighted) mean target of the k
+// nearest training points for each query.
+func (m *KNN) Predict(x [][]float64) []float64 {
+	if m.xTrain == nil {
+		panic("ml: KNN.Predict before Fit")
+	}
+	out := make([]float64, len(x))
+	type nb struct {
+		d2  float64
+		idx int
+	}
+	for qi, row := range x {
+		rs := m.scaler.TransformRow(row)
+		nbs := make([]nb, len(m.xTrain))
+		for j, xt := range m.xTrain {
+			var d2 float64
+			for k := range rs {
+				d := rs[k] - xt[k]
+				d2 += d * d
+			}
+			nbs[j] = nb{d2: d2, idx: j}
+		}
+		sort.Slice(nbs, func(a, b int) bool { return nbs[a].d2 < nbs[b].d2 })
+		var num, den float64
+		for i := 0; i < m.K; i++ {
+			n := nbs[i]
+			w := 1.0
+			if m.Weighted {
+				w = 1.0 / (math.Sqrt(n.d2) + 1e-9)
+			}
+			num += w * m.yTrain[n.idx]
+			den += w
+		}
+		if den == 0 {
+			out[qi] = 0
+		} else {
+			out[qi] = num / den
+		}
+	}
+	return out
+}
+
+// String summarizes the configuration.
+func (m *KNN) String() string {
+	return fmt.Sprintf("KNN(k=%d weighted=%v)", m.K, m.Weighted)
+}
+
+var _ Regressor = (*KNN)(nil)

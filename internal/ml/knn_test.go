@@ -1,0 +1,90 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"parcost/internal/rng"
+	"parcost/internal/stats"
+)
+
+func knnData(r *rng.Source, n int) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := r.Uniform(-3, 3)
+		b := r.Uniform(-3, 3)
+		x[i] = []float64{a, b}
+		y[i] = a*a + b
+	}
+	return x, y
+}
+
+func TestKNNFitsLocalStructure(t *testing.T) {
+	r := rng.New(1)
+	x, y := knnData(r, 400)
+	m := NewKNN(5, true)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := stats.R2(y, m.Predict(x)); r2 < 0.9 {
+		t.Fatalf("KNN train R2 = %v", r2)
+	}
+	if m.Name() != "knn" || m.String() == "" {
+		t.Fatal("metadata")
+	}
+}
+
+func TestKNNK1MemorizesTraining(t *testing.T) {
+	// With k=1 and distinct points, the nearest neighbor of a training point
+	// is itself, so predictions equal targets.
+	r := rng.New(2)
+	x, y := knnData(r, 100)
+	m := NewKNN(1, false)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict(x)
+	for i := range y {
+		if math.Abs(pred[i]-y[i]) > 1e-9 {
+			t.Fatalf("k=1 did not memorize sample %d", i)
+		}
+	}
+}
+
+func TestKNNKClampedToN(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}}
+	y := []float64{1, 2, 3}
+	m := NewKNN(100, false)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// With k >= n, every prediction is the global mean.
+	for _, p := range m.Predict([][]float64{{0.5}, {10}}) {
+		if math.Abs(p-2) > 1e-9 {
+			t.Fatalf("expected global mean 2, got %v", p)
+		}
+	}
+}
+
+func TestKNNGeneralizes(t *testing.T) {
+	r := rng.New(3)
+	xTr, yTr := knnData(r, 500)
+	xTe, yTe := knnData(r, 150)
+	m := NewKNN(8, true)
+	if err := m.Fit(xTr, yTr); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := stats.R2(yTe, m.Predict(xTe)); r2 < 0.8 {
+		t.Fatalf("KNN test R2 = %v", r2)
+	}
+}
+
+func TestKNNPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewKNN(3, false).Predict([][]float64{{1}})
+}

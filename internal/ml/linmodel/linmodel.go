@@ -1,0 +1,320 @@
+// Package linmodel implements the linear regression family from the paper:
+// Polynomial Regression (PR), ridge regression, and Bayesian Ridge
+// Regression (BR).
+//
+// All three fit a linear model in an (optionally polynomial-expanded)
+// feature space, solving the regularized normal equations via the Cholesky
+// factorization in internal/mat. Features are standardized internally so the
+// regularization acts uniformly across columns.
+package linmodel
+
+import (
+	"fmt"
+	"math"
+
+	"parcost/internal/mat"
+	"parcost/internal/ml"
+	"parcost/internal/stats"
+)
+
+// expandPoly maps a feature row to its polynomial feature vector up to the
+// given degree, including cross terms, with a leading bias term. For degree
+// 1 it is just [1, x₁, …, x_d]; for degree 2 it adds all squares and
+// pairwise products. Degrees above 3 are supported but grow combinatorially.
+func expandPoly(row []float64, degree int) []float64 {
+	// Start with the bias and linear terms.
+	terms := []float64{1}
+	terms = append(terms, row...)
+	if degree < 2 {
+		return terms
+	}
+	// Generate multi-indices of total degree 2..degree over the features.
+	prev := make([][]int, len(row)) // index combinations of current degree
+	for i := range row {
+		prev[i] = []int{i}
+	}
+	for deg := 2; deg <= degree; deg++ {
+		var next [][]int
+		for _, combo := range prev {
+			last := combo[len(combo)-1]
+			for j := last; j < len(row); j++ {
+				nc := append(append([]int(nil), combo...), j)
+				prod := 1.0
+				for _, idx := range nc {
+					prod *= row[idx]
+				}
+				terms = append(terms, prod)
+				next = append(next, nc)
+			}
+		}
+		prev = next
+	}
+	return terms
+}
+
+// Ridge is ℓ2-regularized linear regression in a polynomial feature space.
+// Degree 1 is ordinary ridge; degree ≥ 2 realizes the paper's Polynomial
+// Regression (PR) model.
+type Ridge struct {
+	Degree int     // polynomial degree (>= 1)
+	Alpha  float64 // ℓ2 regularization strength (on standardized features)
+
+	scaler *stats.StandardScaler
+	tScale *stats.TargetScaler
+	coef   []float64 // coefficients in expanded+scaled space
+	dim    int
+	name   string
+}
+
+// NewRidge returns a ridge regressor of the given degree and regularization.
+func NewRidge(degree int, alpha float64) *Ridge {
+	if degree < 1 {
+		degree = 1
+	}
+	n := "ridge"
+	if degree >= 2 {
+		n = fmt.Sprintf("poly%d", degree)
+	}
+	return &Ridge{Degree: degree, Alpha: alpha, name: n}
+}
+
+// NewPolynomial is an alias constructor for the paper's PR model.
+func NewPolynomial(degree int, alpha float64) *Ridge {
+	r := NewRidge(degree, alpha)
+	r.name = fmt.Sprintf("poly%d", degree)
+	return r
+}
+
+// Name returns the model identifier.
+func (r *Ridge) Name() string { return r.name }
+
+// Fit solves the regularized normal equations (ΦᵀΦ + αI)β = Φᵀy where Φ is
+// the standardized polynomial design matrix.
+func (r *Ridge) Fit(x [][]float64, y []float64) error {
+	if _, err := ml.CheckXY(x, y); err != nil {
+		return err
+	}
+	r.scaler = stats.FitScaler(x)
+	xs := r.scaler.Transform(x)
+	r.tScale = stats.FitTargetScaler(y)
+	ys := r.tScale.Transform(y)
+
+	phi := mat.NewDense(len(xs), len(expandPoly(xs[0], r.Degree)))
+	for i, row := range xs {
+		copy(phi.Row(i), expandPoly(row, r.Degree))
+	}
+	r.dim = phi.ColsN
+
+	// Normal equations with ℓ2 penalty (bias column left unpenalized is a
+	// common choice; here we penalize uniformly, which is standard for
+	// standardized features and matches sklearn's Ridge default).
+	gram := mat.AtA(phi)
+	gram.AddScaledIdentity(r.Alpha)
+	rhs := mat.MulTVec(phi, ys)
+	coef, err := mat.SolveSPD(gram, rhs)
+	if err != nil {
+		return fmt.Errorf("linmodel: ridge solve failed: %w", err)
+	}
+	r.coef = coef
+	return nil
+}
+
+// Predict returns predictions on the original target scale.
+func (r *Ridge) Predict(x [][]float64) []float64 {
+	if r.coef == nil {
+		panic("linmodel: Ridge.Predict before Fit")
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		phi := expandPoly(r.scaler.TransformRow(row), r.Degree)
+		out[i] = r.tScale.InverseOne(mat.Dot(phi, r.coef))
+	}
+	return out
+}
+
+// BayesianRidge is ridge regression with the regularization and noise
+// precisions (α, λ) estimated from the data by evidence maximization, as in
+// Bishop (2006) §3.5. It therefore needs no hyper-parameter tuning. The
+// paper lists it as model "BR".
+type BayesianRidge struct {
+	MaxIter int     // evidence-maximization iterations
+	Tol     float64 // convergence tolerance on (α, λ)
+
+	scaler *stats.StandardScaler
+	tScale *stats.TargetScaler
+	coef   []float64
+	Alpha  float64 // estimated weight precision
+	Lambda float64 // estimated noise precision
+	dim    int
+	fitted bool
+}
+
+// NewBayesianRidge returns a Bayesian ridge regressor with sensible
+// evidence-maximization defaults.
+func NewBayesianRidge() *BayesianRidge {
+	return &BayesianRidge{MaxIter: 300, Tol: 1e-4}
+}
+
+// Name returns the model identifier.
+func (b *BayesianRidge) Name() string { return "bayesridge" }
+
+// Fit estimates (α, λ) and the posterior-mean coefficients by alternating
+// between the coefficient solve and the evidence update until convergence.
+func (b *BayesianRidge) Fit(x [][]float64, y []float64) error {
+	if _, err := ml.CheckXY(x, y); err != nil {
+		return err
+	}
+	b.scaler = stats.FitScaler(x)
+	xs := b.scaler.Transform(x)
+	b.tScale = stats.FitTargetScaler(y)
+	ys := b.tScale.Transform(y)
+
+	// Design matrix with a bias column.
+	d := len(xs[0]) + 1
+	phi := mat.NewDense(len(xs), d)
+	for i, row := range xs {
+		phi.Set(i, 0, 1)
+		for j, v := range row {
+			phi.Set(i, j+1, v)
+		}
+	}
+	b.dim = d
+	gram := mat.AtA(phi) // ΦᵀΦ, reused each iteration
+	phiTy := mat.MulTVec(phi, ys)
+	n := float64(len(xs))
+
+	// Eigenvalues of ΦᵀΦ are needed for the effective-parameter count γ.
+	eig := symmetricEigenvalues(gram)
+
+	alpha := 1.0
+	lambda := 1.0 / (stats.Variance(ys) + 1e-9)
+	var coef []float64
+	for iter := 0; iter < b.MaxIter; iter++ {
+		// Posterior mean solves (λ ΦᵀΦ + α I) m = λ Φᵀy.
+		a := gram.Clone()
+		a.Scale(lambda)
+		a.AddScaledIdentity(alpha)
+		rhs := make([]float64, d)
+		for i := range rhs {
+			rhs[i] = lambda * phiTy[i]
+		}
+		m, err := mat.SolveSPD(a, rhs)
+		if err != nil {
+			return fmt.Errorf("linmodel: bayesian ridge solve failed: %w", err)
+		}
+		coef = m
+
+		// Effective number of well-determined parameters.
+		gamma := 0.0
+		for _, ev := range eig {
+			gamma += (lambda * ev) / (lambda*ev + alpha)
+		}
+		// Update precisions.
+		mm := mat.Dot(m, m)
+		newAlpha := gamma / (mm + 1e-12)
+		resid := residualSS(phi, m, ys)
+		newLambda := (n - gamma) / (resid + 1e-12)
+
+		if math.Abs(newAlpha-alpha) < b.Tol*alpha && math.Abs(newLambda-lambda) < b.Tol*lambda {
+			alpha, lambda = newAlpha, newLambda
+			break
+		}
+		alpha, lambda = newAlpha, newLambda
+	}
+	b.Alpha, b.Lambda, b.coef, b.fitted = alpha, lambda, coef, true
+	return nil
+}
+
+// Predict returns posterior-mean predictions on the original scale.
+func (b *BayesianRidge) Predict(x [][]float64) []float64 {
+	if !b.fitted {
+		panic("linmodel: BayesianRidge.Predict before Fit")
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		rs := b.scaler.TransformRow(row)
+		s := b.coef[0]
+		for j, v := range rs {
+			s += b.coef[j+1] * v
+		}
+		out[i] = b.tScale.InverseOne(s)
+	}
+	return out
+}
+
+// residualSS returns Σ(Φm − y)².
+func residualSS(phi *mat.Dense, m, y []float64) float64 {
+	pred := mat.MulVec(phi, m)
+	var s float64
+	for i, p := range pred {
+		d := p - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// symmetricEigenvalues returns the eigenvalues of a small symmetric matrix
+// via the cyclic Jacobi method. Used only for the effective-parameter count
+// in Bayesian ridge, where the matrix is at most (d+1)×(d+1) with d small.
+func symmetricEigenvalues(a *mat.Dense) []float64 {
+	n := a.RowsN
+	// Work on a copy.
+	m := a.Clone()
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += m.At(p, q) * m.At(p, q)
+			}
+		}
+		if off < 1e-20 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := m.At(p, p)
+				aqq := m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := sign(theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					mkp := m.At(k, p)
+					mkq := m.At(k, q)
+					m.Set(k, p, c*mkp-s*mkq)
+					m.Set(k, q, s*mkp+c*mkq)
+				}
+				for k := 0; k < n; k++ {
+					mpk := m.At(p, k)
+					mqk := m.At(q, k)
+					m.Set(p, k, c*mpk-s*mqk)
+					m.Set(q, k, s*mpk+c*mqk)
+				}
+			}
+		}
+	}
+	ev := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ev[i] = m.At(i, i)
+		if ev[i] < 0 {
+			ev[i] = 0 // SPD up to roundoff
+		}
+	}
+	return ev
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+var (
+	_ ml.Regressor = (*Ridge)(nil)
+	_ ml.Regressor = (*BayesianRidge)(nil)
+)

@@ -1,0 +1,81 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+// constModel is a trivial Regressor for exercising the helpers.
+type constModel struct{ c float64 }
+
+func (m *constModel) Fit(x [][]float64, y []float64) error { return nil }
+func (m *constModel) Predict(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = m.c
+	}
+	return out
+}
+func (m *constModel) Name() string { return "const" }
+
+func TestPredictOne(t *testing.T) {
+	if v := PredictOne(&constModel{c: 3.5}, []float64{1, 2}); v != 3.5 {
+		t.Fatalf("PredictOne = %v", v)
+	}
+}
+
+func TestCheckXY(t *testing.T) {
+	d, err := CheckXY([][]float64{{1, 2}, {3, 4}}, []float64{1, 2})
+	if err != nil || d != 2 {
+		t.Fatalf("CheckXY = %d, %v", d, err)
+	}
+}
+
+func TestCheckXYErrors(t *testing.T) {
+	cases := []struct {
+		x [][]float64
+		y []float64
+	}{
+		{nil, nil},
+		{[][]float64{{1}}, []float64{1, 2}},
+		{[][]float64{{}}, []float64{1}},
+		{[][]float64{{1, 2}, {3}}, []float64{1, 2}},
+		{[][]float64{{1, math.NaN()}}, []float64{1}},
+		{[][]float64{{1, 2}}, []float64{math.Inf(1)}},
+	}
+	for i, c := range cases {
+		if _, err := CheckXY(c.x, c.y); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCloneMatrix(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}}
+	c := CloneMatrix(x)
+	c[0][0] = 99
+	if x[0][0] != 1 {
+		t.Fatal("CloneMatrix did not deep copy")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{10, 20, 30}
+	sx, sy := Subset(x, y, []int{2, 0})
+	if sx[0][0] != 3 || sy[0] != 30 || sx[1][0] != 1 || sy[1] != 10 {
+		t.Fatalf("Subset wrong: %v %v", sx, sy)
+	}
+}
+
+func TestColumnDim(t *testing.T) {
+	if ColumnDim(nil) != 0 {
+		t.Fatal("empty dim")
+	}
+	if ColumnDim([][]float64{{1, 2, 3}}) != 3 {
+		t.Fatal("dim")
+	}
+}
+
+// Ensure constModel satisfies the interface at compile time.
+var _ Regressor = (*constModel)(nil)

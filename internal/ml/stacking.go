@@ -1,0 +1,120 @@
+package ml
+
+import (
+	"fmt"
+
+	"parcost/internal/rng"
+	"parcost/internal/stats"
+)
+
+// Stacking is a stacked-generalization ensemble: several base regressors are
+// trained, their out-of-fold predictions form a meta-feature matrix, and a
+// meta-regressor learns to combine them. This is a standard way to squeeze a
+// little more accuracy out of a heterogeneous model set and rounds out the
+// library as a production-grade tool.
+type Stacking struct {
+	Bases []Regressor
+	Meta  Regressor
+	Folds int
+	Seed  uint64
+
+	fittedBases []Regressor
+	nBase       int
+}
+
+// NewStacking returns a stacking ensemble over the given base models with a
+// meta-regressor. Folds controls the out-of-fold prediction scheme.
+func NewStacking(bases []Regressor, meta Regressor, folds int, seed uint64) *Stacking {
+	if folds < 2 {
+		folds = 5
+	}
+	return &Stacking{Bases: bases, Meta: meta, Folds: folds, Seed: seed}
+}
+
+// Name returns the model identifier.
+func (s *Stacking) Name() string { return "stacking" }
+
+// Fit trains base models with out-of-fold prediction to build meta-features,
+// fits the meta-model on them, then refits each base on the full data.
+func (s *Stacking) Fit(x [][]float64, y []float64) error {
+	if _, err := CheckXY(x, y); err != nil {
+		return err
+	}
+	if len(s.Bases) == 0 {
+		return fmt.Errorf("ml: stacking needs at least one base model")
+	}
+	if s.Meta == nil {
+		return fmt.Errorf("ml: stacking needs a meta model")
+	}
+	s.nBase = len(s.Bases)
+	n := len(x)
+	folds := stats.KFold(n, s.Folds, rng.New(s.Seed))
+
+	// Out-of-fold meta-features: meta[i][b] = base b's prediction for sample
+	// i when i was held out.
+	meta := make([][]float64, n)
+	for i := range meta {
+		meta[i] = make([]float64, s.nBase)
+	}
+	for b, base := range s.Bases {
+		for _, f := range folds {
+			trX, trY := Subset(x, y, f.Train)
+			clone, err := cloneFit(base, trX, trY)
+			if err != nil {
+				return fmt.Errorf("ml: stacking base %d fold fit: %w", b, err)
+			}
+			teX, _ := Subset(x, y, f.Test)
+			pred := clone.Predict(teX)
+			for k, idx := range f.Test {
+				meta[idx][b] = pred[k]
+			}
+		}
+	}
+
+	// Fit the meta-model on the out-of-fold predictions.
+	if err := s.Meta.Fit(meta, y); err != nil {
+		return fmt.Errorf("ml: stacking meta fit: %w", err)
+	}
+	// Refit each base on all data for inference.
+	s.fittedBases = make([]Regressor, s.nBase)
+	for b, base := range s.Bases {
+		fitted, err := cloneFit(base, x, y)
+		if err != nil {
+			return fmt.Errorf("ml: stacking base %d refit: %w", b, err)
+		}
+		s.fittedBases[b] = fitted
+	}
+	return nil
+}
+
+// Predict runs each base model and combines via the meta-model.
+func (s *Stacking) Predict(x [][]float64) []float64 {
+	if s.fittedBases == nil {
+		panic("ml: Stacking.Predict before Fit")
+	}
+	meta := make([][]float64, len(x))
+	for i := range meta {
+		meta[i] = make([]float64, s.nBase)
+	}
+	for b, base := range s.fittedBases {
+		pred := base.Predict(x)
+		for i := range x {
+			meta[i][b] = pred[i]
+		}
+	}
+	return s.Meta.Predict(meta)
+}
+
+// cloneFit is a placeholder hook: since Regressor has no Clone, stacking
+// relies on base models being re-fittable in place. Fit resets their trained
+// state, so we simply re-Fit the provided instance and return it. Base models
+// must therefore be distinct instances (the common case, since the caller
+// constructs them once).
+func cloneFit(r Regressor, x [][]float64, y []float64) (Regressor, error) {
+	if err := r.Fit(x, y); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+var _ Regressor = (*Stacking)(nil)

@@ -1,0 +1,97 @@
+package ml
+
+import (
+	"testing"
+
+	"parcost/internal/rng"
+	"parcost/internal/stats"
+)
+
+// linearBase is a trivial least-squares-free base: predicts the mean. Used
+// to keep stacking tests fast and dependency-free.
+type meanBase struct{ mean float64 }
+
+func (m *meanBase) Fit(x [][]float64, y []float64) error {
+	m.mean = stats.Mean(y)
+	return nil
+}
+func (m *meanBase) Predict(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = m.mean
+	}
+	return out
+}
+func (m *meanBase) Name() string { return "mean" }
+
+func TestStackingFitsAndPredicts(t *testing.T) {
+	r := rng.New(1)
+	n := 200
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := r.Uniform(-3, 3)
+		x[i] = []float64{a}
+		y[i] = 2*a + 1
+	}
+	bases := []Regressor{NewKNN(5, true), NewKNN(15, false)}
+	meta := NewKNN(5, true)
+	s := NewStacking(bases, meta, 4, 7)
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred := s.Predict(x)
+	if len(pred) != n {
+		t.Fatal("prediction count")
+	}
+	if r2 := stats.R2(y, pred); r2 < 0.8 {
+		t.Fatalf("stacking train R2 = %v", r2)
+	}
+	if s.Name() != "stacking" {
+		t.Fatal("name")
+	}
+}
+
+func TestStackingErrors(t *testing.T) {
+	if err := NewStacking(nil, NewKNN(3, false), 4, 1).Fit([][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("empty bases accepted")
+	}
+	s := &Stacking{Bases: []Regressor{NewKNN(3, false)}, Folds: 4}
+	if err := s.Fit([][]float64{{1}, {2}}, []float64{1, 2}); err == nil {
+		t.Fatal("nil meta accepted")
+	}
+}
+
+func TestStackingPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewStacking([]Regressor{&meanBase{}}, &meanBase{}, 4, 1).Predict([][]float64{{1}})
+}
+
+func TestStackingBeatsMeanBaseline(t *testing.T) {
+	// Stacking two kNNs with a kNN meta should beat a constant-mean model.
+	r := rng.New(2)
+	n := 300
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := r.Uniform(-3, 3)
+		b := r.Uniform(-3, 3)
+		x[i] = []float64{a, b}
+		y[i] = a*a - b
+	}
+	s := NewStacking([]Regressor{NewKNN(5, true), NewKNN(20, true)}, NewKNN(8, true), 5, 3)
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	stackR2 := stats.R2(y, s.Predict(x))
+	mean := &meanBase{}
+	_ = mean.Fit(x, y)
+	meanR2 := stats.R2(y, mean.Predict(x))
+	if stackR2 <= meanR2 {
+		t.Fatalf("stacking (%.3f) did not beat mean baseline (%.3f)", stackR2, meanR2)
+	}
+}

@@ -1,0 +1,65 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+// expModel is a base regressor returning a fixed log-space value, to test
+// the LogTarget inverse transform in isolation.
+type logAwareConst struct{ logVal float64 }
+
+func (m *logAwareConst) Fit([][]float64, []float64) error { return nil }
+func (m *logAwareConst) Predict(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = m.logVal
+	}
+	return out
+}
+func (m *logAwareConst) Name() string { return "logconst" }
+
+func TestLogTargetInverse(t *testing.T) {
+	// Base predicts log1p(100) in log space → LogTarget should report ~100.
+	m := NewLogTarget(&logAwareConst{logVal: math.Log1p(100)})
+	got := m.Predict([][]float64{{0}})[0]
+	if math.Abs(got-100) > 1e-9 {
+		t.Fatalf("LogTarget inverse = %v, want 100", got)
+	}
+	if m.Name() != "log(logconst)" {
+		t.Fatalf("name %q", m.Name())
+	}
+}
+
+func TestLogTargetNonNegative(t *testing.T) {
+	// Even a negative base prediction must clamp to >= 0.
+	m := NewLogTarget(&logAwareConst{logVal: -5})
+	if got := m.Predict([][]float64{{0}})[0]; got < 0 {
+		t.Fatalf("LogTarget produced negative prediction %v", got)
+	}
+}
+
+func TestLogTargetRejectsNegativeTarget(t *testing.T) {
+	m := NewLogTarget(&constModel{c: 1})
+	if err := m.Fit([][]float64{{1}}, []float64{-1}); err == nil {
+		t.Fatal("LogTarget accepted a negative target")
+	}
+}
+
+func TestLogTargetFitsExponentialSurface(t *testing.T) {
+	// A target that grows multiplicatively is captured better in log space.
+	// Here we only verify Fit/Predict round-trips on a monotone set.
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{10, 100, 1000, 10000}
+	// A constant base can't fit this, but the transform must not error and
+	// must return non-negative predictions.
+	m := NewLogTarget(&constModel{c: math.Log1p(1000)})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range m.Predict(x) {
+		if p < 0 || math.IsNaN(p) {
+			t.Fatalf("bad prediction %v", p)
+		}
+	}
+}

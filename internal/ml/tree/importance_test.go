@@ -1,0 +1,79 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"parcost/internal/rng"
+)
+
+// featureImportanceData makes a target that depends only on feature 0.
+func featureImportanceData(r *rng.Source, n int) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := r.Uniform(-5, 5)
+		b := r.Uniform(-5, 5) // irrelevant feature
+		x[i] = []float64{a, b}
+		y[i] = 3 * a // depends only on feature 0
+	}
+	return x, y
+}
+
+func TestFeatureImportancesSumToOne(t *testing.T) {
+	r := rng.New(1)
+	x, y := featureImportanceData(r, 300)
+	tr := New(Params{MaxDepth: 8}, nil)
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.FeatureImportances()
+	var sum float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatal("negative importance")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum to %v, want 1", sum)
+	}
+}
+
+func TestFeatureImportancesIdentifiesRelevant(t *testing.T) {
+	r := rng.New(2)
+	x, y := featureImportanceData(r, 400)
+	tr := New(Params{MaxDepth: 10}, nil)
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.FeatureImportances()
+	// Feature 0 drives the target; it must dominate.
+	if imp[0] < 0.8 {
+		t.Fatalf("relevant feature importance %v too low (imp=%v)", imp[0], imp)
+	}
+}
+
+func TestFeatureImportancesStump(t *testing.T) {
+	// Constant target: no splits, importances all zero.
+	x := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	y := []float64{7, 7, 7}
+	tr := New(DefaultParams(), nil)
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range tr.FeatureImportances() {
+		if v != 0 {
+			t.Fatalf("stump importance nonzero: %v", v)
+		}
+	}
+}
+
+func TestFeatureImportancesBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(DefaultParams(), nil).FeatureImportances()
+}

@@ -1,0 +1,313 @@
+// Package tree implements a CART regression tree: the paper's Decision
+// Tree (DT) model, and the base learner for the Random Forest, Gradient
+// Boosting, and AdaBoost ensembles.
+//
+// The splitter is exact: for each candidate feature it sorts the samples and
+// evaluates every threshold between adjacent distinct values, choosing the
+// split that maximizes variance reduction (equivalently, minimizes the
+// weighted child sum-of-squared-error). Sample weights are supported so the
+// same tree drives AdaBoost.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"parcost/internal/ml"
+	"parcost/internal/rng"
+)
+
+// Params configures tree growth.
+type Params struct {
+	MaxDepth        int     // maximum depth (0 = unlimited)
+	MinSamplesSplit int     // minimum samples required to split a node
+	MinSamplesLeaf  int     // minimum samples in each resulting leaf
+	MaxFeatures     int     // features considered per split (0 = all)
+	MinImpurityDec  float64 // minimum variance reduction to accept a split
+}
+
+// DefaultParams returns unrestricted growth with leaf size 1.
+func DefaultParams() Params {
+	return Params{MaxDepth: 0, MinSamplesSplit: 2, MinSamplesLeaf: 1}
+}
+
+// node is a tree node: either an internal split or a leaf value.
+type node struct {
+	leaf      bool
+	value     float64 // leaf prediction
+	feature   int     // split feature
+	threshold float64 // split threshold (go left if x[feature] <= threshold)
+	left      *node
+	right     *node
+	samples   int
+}
+
+// Tree is a fitted regression tree.
+type Tree struct {
+	Params Params
+	root   *node
+	dim    int
+	rng    *rng.Source // for MaxFeatures subsampling
+	nodes  int
+	depth  int
+	gains  []float64 // accumulated variance-reduction per feature
+}
+
+// New returns an unfitted tree with the given parameters. The rng is used
+// only when MaxFeatures < dim (random split-feature subsampling); pass a
+// deterministic source for reproducibility.
+func New(p Params, r *rng.Source) *Tree {
+	if p.MinSamplesSplit < 2 {
+		p.MinSamplesSplit = 2
+	}
+	if p.MinSamplesLeaf < 1 {
+		p.MinSamplesLeaf = 1
+	}
+	return &Tree{Params: p, rng: r}
+}
+
+// Name returns the model identifier.
+func (t *Tree) Name() string { return "decisiontree" }
+
+// Fit grows the tree with uniform sample weights.
+func (t *Tree) Fit(x [][]float64, y []float64) error {
+	w := make([]float64, len(y))
+	for i := range w {
+		w[i] = 1
+	}
+	return t.FitWeighted(x, y, w)
+}
+
+// FitWeighted grows the tree with explicit sample weights (used by AdaBoost).
+func (t *Tree) FitWeighted(x [][]float64, y, w []float64) error {
+	d, err := ml.CheckXY(x, y)
+	if err != nil {
+		return err
+	}
+	if len(w) != len(y) {
+		return fmt.Errorf("tree: %d weights but %d samples", len(w), len(y))
+	}
+	t.dim = d
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.nodes = 0
+	t.depth = 0
+	t.gains = make([]float64, d)
+	t.root = t.build(x, y, w, idx, 0)
+	return nil
+}
+
+// build recursively constructs a subtree over the given sample indices.
+func (t *Tree) build(x [][]float64, y, w []float64, idx []int, depth int) *node {
+	if depth > t.depth {
+		t.depth = depth
+	}
+	t.nodes++
+	n := &node{samples: len(idx)}
+	n.value = weightedMean(y, w, idx)
+
+	// Stopping conditions.
+	if len(idx) < t.Params.MinSamplesSplit ||
+		(t.Params.MaxDepth > 0 && depth >= t.Params.MaxDepth) ||
+		constantTarget(y, idx) {
+		n.leaf = true
+		return n
+	}
+
+	feat, thr, gain, ok := t.bestSplit(x, y, w, idx)
+	if !ok || gain < t.Params.MinImpurityDec {
+		n.leaf = true
+		return n
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x[i][feat] <= thr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) < t.Params.MinSamplesLeaf || len(rightIdx) < t.Params.MinSamplesLeaf {
+		n.leaf = true
+		return n
+	}
+	n.feature = feat
+	n.threshold = thr
+	// Accumulate the total variance reduction attributable to this feature
+	// (the standard impurity-based feature-importance measure).
+	t.gains[feat] += gain
+	n.left = t.build(x, y, w, leftIdx, depth+1)
+	n.right = t.build(x, y, w, rightIdx, depth+1)
+	return n
+}
+
+// FeatureImportances returns the normalized impurity-based importance of
+// each feature: the fraction of total variance reduction attributable to
+// splits on that feature. The returned slice sums to 1 (or is all zeros for
+// a stump with no splits).
+func (t *Tree) FeatureImportances() []float64 {
+	if t.gains == nil {
+		panic("tree: FeatureImportances before Fit")
+	}
+	out := make([]float64, len(t.gains))
+	var total float64
+	for _, g := range t.gains {
+		total += g
+	}
+	if total == 0 {
+		return out
+	}
+	for i, g := range t.gains {
+		out[i] = g / total
+	}
+	return out
+}
+
+// featureSubset returns the feature indices to consider at a split.
+func (t *Tree) featureSubset() []int {
+	if t.Params.MaxFeatures <= 0 || t.Params.MaxFeatures >= t.dim {
+		all := make([]int, t.dim)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	if t.rng == nil {
+		t.rng = rng.New(0)
+	}
+	return t.rng.Sample(t.dim, t.Params.MaxFeatures)
+}
+
+// bestSplit finds the variance-reducing split over the candidate features.
+// It returns the feature, threshold, weighted SSE reduction, and whether any
+// valid split was found.
+func (t *Tree) bestSplit(x [][]float64, y, w []float64, idx []int) (int, float64, float64, bool) {
+	parentSSE, parentW := weightedSSE(y, w, idx)
+	if parentW == 0 {
+		return 0, 0, 0, false
+	}
+	bestGain := 0.0
+	bestFeat := -1
+	bestThr := 0.0
+
+	order := make([]int, len(idx))
+	for _, feat := range t.featureSubset() {
+		copy(order, idx)
+		f := feat
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+
+		// Prefix sums of w, w*y, w*y² for O(n) threshold scan.
+		var leftW, leftWY, leftWY2 float64
+		totW, totWY, totWY2 := parentW, 0.0, 0.0
+		for _, i := range idx {
+			totWY += w[i] * y[i]
+			totWY2 += w[i] * y[i] * y[i]
+		}
+		for s := 0; s < len(order)-1; s++ {
+			i := order[s]
+			leftW += w[i]
+			leftWY += w[i] * y[i]
+			leftWY2 += w[i] * y[i] * y[i]
+			// Only split between distinct feature values.
+			if x[order[s]][f] == x[order[s+1]][f] {
+				continue
+			}
+			rightW := totW - leftW
+			if leftW <= 0 || rightW <= 0 {
+				continue
+			}
+			leftSSE := leftWY2 - leftWY*leftWY/leftW
+			rightWY := totWY - leftWY
+			rightWY2 := totWY2 - leftWY2
+			rightSSE := rightWY2 - rightWY*rightWY/rightW
+			gain := parentSSE - (leftSSE + rightSSE)
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThr = (x[order[s]][f] + x[order[s+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return 0, 0, 0, false
+	}
+	return bestFeat, bestThr, bestGain, true
+}
+
+// Predict returns one prediction per input row.
+func (t *Tree) Predict(x [][]float64) []float64 {
+	if t.root == nil {
+		panic("tree: Predict before Fit")
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = t.predictRow(row)
+	}
+	return out
+}
+
+func (t *Tree) predictRow(row []float64) float64 {
+	n := t.root
+	for !n.leaf {
+		if row[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// NodeCount returns the number of nodes in the fitted tree.
+func (t *Tree) NodeCount() int { return t.nodes }
+
+// Depth returns the depth of the fitted tree.
+func (t *Tree) Depth() int { return t.depth }
+
+// weightedMean returns Σ wᵢyᵢ / Σ wᵢ over the given indices.
+func weightedMean(y, w []float64, idx []int) float64 {
+	var sw, swy float64
+	for _, i := range idx {
+		sw += w[i]
+		swy += w[i] * y[i]
+	}
+	if sw == 0 {
+		return 0
+	}
+	return swy / sw
+}
+
+// weightedSSE returns the weighted sum of squared deviations from the
+// weighted mean, and the total weight.
+func weightedSSE(y, w []float64, idx []int) (sse, totW float64) {
+	var swy, swy2 float64
+	for _, i := range idx {
+		totW += w[i]
+		swy += w[i] * y[i]
+		swy2 += w[i] * y[i] * y[i]
+	}
+	if totW == 0 {
+		return 0, 0
+	}
+	return swy2 - swy*swy/totW, totW
+}
+
+// constantTarget reports whether all targets at idx are equal.
+func constantTarget(y []float64, idx []int) bool {
+	if len(idx) == 0 {
+		return true
+	}
+	first := y[idx[0]]
+	for _, i := range idx[1:] {
+		if math.Abs(y[i]-first) > 1e-15 {
+			return false
+		}
+	}
+	return true
+}
+
+var _ ml.Regressor = (*Tree)(nil)

@@ -1,0 +1,178 @@
+// Package modelsel provides cross-validation and hyper-parameter search for
+// the paper's model suite. It mirrors the scikit-learn / scikit-optimize
+// tools the paper used: K-fold cross validation and three search strategies
+// — GridSearchCV, RandomizedSearchCV, and a Bayesian (GP-EI) search standing
+// in for scikit-optimize's BayesSearchCV.
+//
+// A model is described by a Factory (building an ml.Regressor from a
+// hyper-parameter point) and a Space (the searchable axes). The registry in
+// registry.go exposes all nine paper models with sensible search spaces.
+package modelsel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"parcost/internal/ml"
+	"parcost/internal/rng"
+	"parcost/internal/stats"
+)
+
+// Params is a hyper-parameter point: axis name → value. Continuous and
+// integer hyper-parameters are both stored as float64; factories round as
+// needed.
+type Params map[string]float64
+
+// Clone returns a copy of the params.
+func (p Params) Clone() Params {
+	c := make(Params, len(p))
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}
+
+// String renders the params in sorted key order.
+func (p Params) String() string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%g", k, p[k])
+	}
+	return s
+}
+
+// Factory builds a fresh, unfitted model from a hyper-parameter point.
+type Factory func(Params) (ml.Regressor, error)
+
+// Axis is one searchable hyper-parameter with a discrete candidate set
+// (grid search) and, for continuous axes, a [Lo, Hi] range with Log spacing
+// for random/Bayesian sampling.
+type Axis struct {
+	Name   string
+	Values []float64 // discrete grid values (used by GridSearch)
+	Lo, Hi float64   // continuous range (used by Random/Bayes)
+	Log    bool      // sample/space logarithmically
+	Int    bool      // round to integer
+}
+
+// Space is an ordered list of axes.
+type Space []Axis
+
+// gridPoints expands the Cartesian product of all axes' discrete Values.
+func (s Space) gridPoints() []Params {
+	points := []Params{{}}
+	for _, ax := range s {
+		var next []Params
+		for _, p := range points {
+			for _, v := range ax.Values {
+				np := p.Clone()
+				np[ax.Name] = v
+				next = append(next, np)
+			}
+		}
+		points = next
+	}
+	return points
+}
+
+// sample draws a uniform random point from the continuous ranges.
+func (s Space) sample(r *rng.Source) Params {
+	p := make(Params, len(s))
+	for _, ax := range s {
+		p[ax.Name] = ax.sample(r)
+	}
+	return p
+}
+
+func (ax Axis) sample(r *rng.Source) float64 {
+	lo, hi := ax.Lo, ax.Hi
+	var v float64
+	if ax.Log {
+		v = math.Exp(r.Uniform(math.Log(lo), math.Log(hi)))
+	} else {
+		v = r.Uniform(lo, hi)
+	}
+	if ax.Int {
+		v = math.Round(v)
+	}
+	return v
+}
+
+// toVector encodes a params point as a feature vector for the GP surrogate,
+// applying log scaling on log axes so the kernel sees a sensible geometry.
+func (s Space) toVector(p Params) []float64 {
+	v := make([]float64, len(s))
+	for i, ax := range s {
+		x := p[ax.Name]
+		if ax.Log {
+			x = math.Log(x)
+		}
+		v[i] = x
+	}
+	return v
+}
+
+// CVResult is the outcome of one hyper-parameter evaluation.
+type CVResult struct {
+	Params Params
+	Scores stats.Scores // mean across folds
+	// NegMAPE is the scalar the searches maximize (−MAPE); higher is better.
+	NegMAPE float64
+}
+
+// CrossVal runs K-fold CV for a single params point and returns the mean
+// metrics across folds. It refits the factory's model on each fold.
+func CrossVal(factory Factory, params Params, x [][]float64, y []float64, k int, r *rng.Source) (stats.Scores, error) {
+	folds := stats.KFold(len(x), k, r)
+	var sum stats.Scores
+	for _, f := range folds {
+		trX, trY := ml.Subset(x, y, f.Train)
+		teX, teY := ml.Subset(x, y, f.Test)
+		model, err := factory(params)
+		if err != nil {
+			return stats.Scores{}, err
+		}
+		if err := model.Fit(trX, trY); err != nil {
+			return stats.Scores{}, err
+		}
+		pred := model.Predict(teX)
+		sc := stats.Evaluate(teY, pred)
+		sum.R2 += sc.R2
+		sum.MAE += sc.MAE
+		sum.MAPE += sc.MAPE
+	}
+	n := float64(len(folds))
+	return stats.Scores{R2: sum.R2 / n, MAE: sum.MAE / n, MAPE: sum.MAPE / n}, nil
+}
+
+// SearchResult bundles a search's best point and its full evaluation trace.
+type SearchResult struct {
+	Strategy string
+	Best     CVResult
+	Trace    []CVResult // every evaluated point, in evaluation order
+	NumEval  int
+}
+
+// best returns the CVResult with the highest NegMAPE.
+func best(trace []CVResult) CVResult {
+	b := trace[0]
+	for _, r := range trace[1:] {
+		if r.NegMAPE > b.NegMAPE {
+			b = r
+		}
+	}
+	return b
+}
+
+func toResult(p Params, sc stats.Scores) CVResult {
+	return CVResult{Params: p, Scores: sc, NegMAPE: -sc.MAPE}
+}

@@ -1,0 +1,230 @@
+package modelsel
+
+import (
+	"math"
+	"testing"
+
+	"parcost/internal/ml"
+	"parcost/internal/ml/linmodel"
+	"parcost/internal/rng"
+	"parcost/internal/stats"
+)
+
+// quadratic generates a noisy quadratic target in 2 features.
+func quadratic(r *rng.Source, n int) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := r.Uniform(-3, 3)
+		b := r.Uniform(-3, 3)
+		x[i] = []float64{a, b}
+		y[i] = 2*a*a - b*b + a*b + 0.1*r.Normal() + 20
+	}
+	return x, y
+}
+
+func ridgeFactory(p Params) (ml.Regressor, error) {
+	return linmodel.NewRidge(1, fv(p, "alpha", 1.0)), nil
+}
+
+func TestParamsCloneAndString(t *testing.T) {
+	p := Params{"b": 2, "a": 1}
+	c := p.Clone()
+	c["a"] = 99
+	if p["a"] != 1 {
+		t.Fatal("Clone did not deep copy")
+	}
+	if p.String() != "a=1 b=2" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	s := Space{
+		{Name: "a", Values: []float64{1, 2}},
+		{Name: "b", Values: []float64{10, 20, 30}},
+	}
+	pts := s.gridPoints()
+	if len(pts) != 6 {
+		t.Fatalf("grid has %d points, want 6", len(pts))
+	}
+}
+
+func TestCrossVal(t *testing.T) {
+	r := rng.New(1)
+	x, y := quadratic(r, 200)
+	sc, err := CrossVal(ridgeFactory, Params{"alpha": 1.0}, x, y, 5, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linear ridge on quadratic data: modest R2 but finite metrics.
+	if math.IsNaN(sc.R2) || math.IsNaN(sc.MAPE) {
+		t.Fatal("NaN metrics")
+	}
+}
+
+func TestGridSearchFindsGoodAlpha(t *testing.T) {
+	r := rng.New(3)
+	x, y := quadratic(r, 300)
+	space := Space{{Name: "alpha", Values: []float64{1e-4, 1e-2, 1, 100, 1e4}}}
+	res, err := GridSearch(ridgeFactory, space, x, y, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "grid" || res.NumEval != 5 {
+		t.Fatalf("unexpected result meta: %+v", res)
+	}
+	// The best alpha should not be the extreme over-regularized 1e4.
+	if res.Best.Params["alpha"] == 1e4 {
+		t.Fatalf("grid picked degenerate alpha; best=%v", res.Best.Params)
+	}
+	// Best NegMAPE must be the max in the trace.
+	for _, tr := range res.Trace {
+		if tr.NegMAPE > res.Best.NegMAPE+1e-12 {
+			t.Fatal("best is not the argmax of the trace")
+		}
+	}
+}
+
+func TestRandomSearch(t *testing.T) {
+	r := rng.New(4)
+	x, y := quadratic(r, 200)
+	space := Space{{Name: "alpha", Lo: 1e-3, Hi: 1e3, Log: true}}
+	res, err := RandomSearch(ridgeFactory, space, x, y, 4, 15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumEval != 15 || res.Strategy != "random" {
+		t.Fatalf("random search meta: %+v", res)
+	}
+	if res.Best.Params["alpha"] < 1e-3 || res.Best.Params["alpha"] > 1e3 {
+		t.Fatal("sampled alpha out of range")
+	}
+}
+
+func TestBayesSearch(t *testing.T) {
+	r := rng.New(5)
+	x, y := quadratic(r, 200)
+	space := Space{{Name: "alpha", Lo: 1e-3, Hi: 1e3, Log: true}}
+	res, err := BayesSearch(ridgeFactory, space, x, y, 4, 3, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumEval != 12 || res.Strategy != "bayes" {
+		t.Fatalf("bayes search meta: %+v", res)
+	}
+	if math.IsNaN(res.Best.Scores.MAPE) {
+		t.Fatal("NaN best score")
+	}
+}
+
+func TestSearchDeterminism(t *testing.T) {
+	r := rng.New(6)
+	x, y := quadratic(r, 150)
+	space := Space{{Name: "alpha", Values: []float64{0.01, 1, 100}}}
+	a, _ := GridSearch(ridgeFactory, space, x, y, 5, 123)
+	b, _ := GridSearch(ridgeFactory, space, x, y, 5, 123)
+	if a.Best.Params["alpha"] != b.Best.Params["alpha"] || a.Best.Scores.MAPE != b.Best.Scores.MAPE {
+		t.Fatal("grid search not deterministic")
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	// Higher mean at same std => higher EI.
+	ei1 := expectedImprovement(1.0, 0.5, 0.5)
+	ei2 := expectedImprovement(2.0, 0.5, 0.5)
+	if ei2 <= ei1 {
+		t.Fatalf("EI not increasing with mean: %v vs %v", ei1, ei2)
+	}
+	// Zero std => zero EI.
+	if expectedImprovement(5, 0, 0) != 0 {
+		t.Fatal("zero-std EI should be 0")
+	}
+}
+
+func TestNormCDF(t *testing.T) {
+	if math.Abs(normCDF(0)-0.5) > 1e-9 {
+		t.Fatalf("normCDF(0) = %v", normCDF(0))
+	}
+	if normCDF(5) < 0.999 || normCDF(-5) > 0.001 {
+		t.Fatal("normCDF tails wrong")
+	}
+}
+
+func TestRegistryAllModels(t *testing.T) {
+	reg := Registry(1)
+	for _, code := range RegistryCodes() {
+		spec, ok := reg[code]
+		if !ok {
+			t.Fatalf("registry missing %s", code)
+		}
+		// The factory must build a valid model from default params.
+		def := Params{}
+		for _, ax := range spec.Space {
+			if len(ax.Values) > 0 {
+				def[ax.Name] = ax.Values[0]
+			} else {
+				def[ax.Name] = ax.Lo
+			}
+		}
+		m, err := spec.Factory(def)
+		if err != nil {
+			t.Fatalf("%s factory: %v", code, err)
+		}
+		if m.Name() == "" {
+			t.Fatalf("%s built nameless model", code)
+		}
+	}
+}
+
+func TestRegistryModelsFitData(t *testing.T) {
+	r := rng.New(7)
+	x, y := quadratic(r, 120)
+	reg := Registry(3)
+	for _, code := range RegistryCodes() {
+		spec := reg[code]
+		def := Params{}
+		for _, ax := range spec.Space {
+			if len(ax.Values) > 0 {
+				def[ax.Name] = ax.Values[len(ax.Values)-1]
+			} else {
+				def[ax.Name] = ax.Hi
+			}
+		}
+		m, err := spec.Factory(def)
+		if err != nil {
+			t.Fatalf("%s: %v", code, err)
+		}
+		if err := m.Fit(x, y); err != nil {
+			t.Fatalf("%s fit: %v", code, err)
+		}
+		pred := m.Predict(x)
+		if len(pred) != len(y) {
+			t.Fatalf("%s wrong prediction count", code)
+		}
+		if math.IsNaN(stats.R2(y, pred)) {
+			t.Fatalf("%s produced NaN", code)
+		}
+	}
+}
+
+func TestModelByCode(t *testing.T) {
+	if _, err := ModelByCode(1, "GB"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ModelByCode(1, "NOPE"); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+}
+
+func BenchmarkGridSearchRidge(b *testing.B) {
+	r := rng.New(1)
+	x, y := quadratic(r, 300)
+	space := Space{{Name: "alpha", Values: []float64{1e-2, 1e-1, 1, 10, 100}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GridSearch(ridgeFactory, space, x, y, 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package modelsel
+
+import (
+	"fmt"
+	"sort"
+
+	"parcost/internal/ml"
+	"parcost/internal/ml/ensemble"
+	"parcost/internal/ml/kernel"
+	"parcost/internal/ml/linmodel"
+	"parcost/internal/ml/tree"
+)
+
+// ModelSpec describes one of the paper's models: its short code (used in
+// Figures 1 and 2), a Factory, and a search Space.
+type ModelSpec struct {
+	Code    string // paper label, e.g. "PR", "GB"
+	Factory Factory
+	Space   Space
+}
+
+// intv rounds a param value to int, with a default if missing.
+func intv(p Params, key string, def int) int {
+	if v, ok := p[key]; ok {
+		return int(v + 0.5)
+	}
+	return def
+}
+
+func fv(p Params, key string, def float64) float64 {
+	if v, ok := p[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Registry returns every paper model keyed by its short code. The seed makes
+// the stochastic ensembles reproducible. Search spaces are modest so grid
+// search stays tractable while still exercising the tuning code.
+//
+// Paper model codes (Figures 1–2): PR (polynomial regression), KR (kernel
+// ridge), DT (decision tree), RF (random forest), GB (gradient boosting),
+// AB (adaboost), GP (gaussian process), BR (bayesian ridge), SVR, RG (ridge).
+func Registry(seed uint64) map[string]ModelSpec {
+	specs := map[string]ModelSpec{
+		"PR": {
+			Code: "PR",
+			Factory: func(p Params) (ml.Regressor, error) {
+				return linmodel.NewPolynomial(intv(p, "degree", 2), fv(p, "alpha", 1.0)), nil
+			},
+			Space: Space{
+				{Name: "degree", Values: []float64{2, 3}, Lo: 2, Hi: 3, Int: true},
+				{Name: "alpha", Values: []float64{1e-3, 1e-1, 1, 10}, Lo: 1e-4, Hi: 100, Log: true},
+			},
+		},
+		"RG": {
+			Code: "RG",
+			Factory: func(p Params) (ml.Regressor, error) {
+				return linmodel.NewRidge(1, fv(p, "alpha", 1.0)), nil
+			},
+			Space: Space{
+				{Name: "alpha", Values: []float64{1e-2, 1e-1, 1, 10, 100}, Lo: 1e-3, Hi: 1000, Log: true},
+			},
+		},
+		"KR": {
+			Code: "KR",
+			Factory: func(p Params) (ml.Regressor, error) {
+				return kernel.NewKernelRidge(kernel.RBF{Length: fv(p, "length", 1.0)}, fv(p, "alpha", 1e-2)), nil
+			},
+			Space: Space{
+				{Name: "length", Values: []float64{0.5, 1, 2, 4}, Lo: 0.25, Hi: 8, Log: true},
+				{Name: "alpha", Values: []float64{1e-3, 1e-2, 1e-1, 1}, Lo: 1e-4, Hi: 10, Log: true},
+			},
+		},
+		"DT": {
+			Code: "DT",
+			Factory: func(p Params) (ml.Regressor, error) {
+				return tree.New(tree.Params{
+					MaxDepth:        intv(p, "max_depth", 10),
+					MinSamplesLeaf:  intv(p, "min_leaf", 1),
+					MinSamplesSplit: 2,
+				}, nil), nil
+			},
+			Space: Space{
+				{Name: "max_depth", Values: []float64{5, 10, 15, 20}, Lo: 3, Hi: 25, Int: true},
+				{Name: "min_leaf", Values: []float64{1, 2, 5}, Lo: 1, Hi: 10, Int: true},
+			},
+		},
+		"RF": {
+			Code: "RF",
+			Factory: func(p Params) (ml.Regressor, error) {
+				return ensemble.NewRandomForest(intv(p, "n_trees", 100),
+					tree.Params{MaxDepth: intv(p, "max_depth", 12), MinSamplesLeaf: intv(p, "min_leaf", 1)}, seed), nil
+			},
+			Space: Space{
+				{Name: "n_trees", Values: []float64{50, 100, 200}, Lo: 30, Hi: 300, Int: true},
+				{Name: "max_depth", Values: []float64{8, 12, 16}, Lo: 5, Hi: 20, Int: true},
+				{Name: "min_leaf", Values: []float64{1, 2}, Lo: 1, Hi: 5, Int: true},
+			},
+		},
+		"GB": {
+			Code: "GB",
+			Factory: func(p Params) (ml.Regressor, error) {
+				return ensemble.NewGradientBoosting(intv(p, "n_trees", 300), fv(p, "lr", 0.1),
+					tree.Params{MaxDepth: intv(p, "max_depth", 10), MinSamplesLeaf: intv(p, "min_leaf", 1)}, seed), nil
+			},
+			Space: Space{
+				{Name: "n_trees", Values: []float64{200, 400, 750}, Lo: 100, Hi: 800, Int: true},
+				{Name: "lr", Values: []float64{0.05, 0.1, 0.2}, Lo: 0.02, Hi: 0.3, Log: true},
+				{Name: "max_depth", Values: []float64{4, 7, 10}, Lo: 3, Hi: 12, Int: true},
+			},
+		},
+		"AB": {
+			Code: "AB",
+			Factory: func(p Params) (ml.Regressor, error) {
+				return ensemble.NewAdaBoost(intv(p, "n_trees", 100),
+					tree.Params{MaxDepth: intv(p, "max_depth", 4)}, seed), nil
+			},
+			Space: Space{
+				{Name: "n_trees", Values: []float64{50, 100, 200}, Lo: 30, Hi: 300, Int: true},
+				{Name: "max_depth", Values: []float64{3, 4, 6}, Lo: 2, Hi: 8, Int: true},
+			},
+		},
+		"GP": {
+			Code: "GP",
+			Factory: func(p Params) (ml.Regressor, error) {
+				return kernel.NewGaussianProcess(kernel.RBF{Length: fv(p, "length", 1.0)}, fv(p, "noise", 1e-3)), nil
+			},
+			Space: Space{
+				{Name: "length", Values: []float64{0.5, 1, 2, 4}, Lo: 0.25, Hi: 8, Log: true},
+				{Name: "noise", Values: []float64{1e-4, 1e-3, 1e-2}, Lo: 1e-5, Hi: 1e-1, Log: true},
+			},
+		},
+		"BR": {
+			Code: "BR",
+			Factory: func(p Params) (ml.Regressor, error) {
+				return linmodel.NewBayesianRidge(), nil
+			},
+			// Bayesian ridge estimates its own regularization; only the
+			// iteration budget is a (rarely-tuned) knob.
+			Space: Space{
+				{Name: "dummy", Values: []float64{0}, Lo: 0, Hi: 0},
+			},
+		},
+		"SVR": {
+			Code: "SVR",
+			Factory: func(p Params) (ml.Regressor, error) {
+				return kernel.NewSVR(kernel.RBF{Length: fv(p, "length", 1.0)}, fv(p, "C", 10), fv(p, "epsilon", 0.05)), nil
+			},
+			Space: Space{
+				{Name: "length", Values: []float64{0.5, 1, 2}, Lo: 0.25, Hi: 4, Log: true},
+				{Name: "C", Values: []float64{1, 10, 100}, Lo: 0.5, Hi: 200, Log: true},
+				{Name: "epsilon", Values: []float64{0.01, 0.05, 0.1}, Lo: 0.005, Hi: 0.3, Log: true},
+			},
+		},
+	}
+	return specs
+}
+
+// RegistryCodes returns the model codes in the paper's figure order.
+func RegistryCodes() []string {
+	return []string{"PR", "KR", "RG", "DT", "RF", "GB", "AB", "BR", "SVR", "GP"}
+}
+
+// ModelByCode returns the spec for a code, erroring on unknown codes.
+func ModelByCode(seed uint64, code string) (ModelSpec, error) {
+	s, ok := Registry(seed)[code]
+	if !ok {
+		codes := RegistryCodes()
+		sort.Strings(codes)
+		return ModelSpec{}, fmt.Errorf("modelsel: unknown model code %q (have %v)", code, codes)
+	}
+	return s, nil
+}

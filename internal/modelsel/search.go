@@ -1,0 +1,166 @@
+package modelsel
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"parcost/internal/ml/kernel"
+	"parcost/internal/rng"
+)
+
+// GridSearch evaluates every point in the Cartesian product of the space's
+// discrete Values with K-fold CV, in parallel, and returns the best by
+// −MAPE. This is the GridSearchCV equivalent.
+func GridSearch(factory Factory, space Space, x [][]float64, y []float64, k int, seed uint64) (SearchResult, error) {
+	points := space.gridPoints()
+	return evalPointsParallel("grid", factory, points, x, y, k, seed)
+}
+
+// RandomSearch draws nIter random points from the space's continuous ranges
+// and evaluates them with K-fold CV. This is the RandomizedSearchCV
+// equivalent.
+func RandomSearch(factory Factory, space Space, x [][]float64, y []float64, k, nIter int, seed uint64) (SearchResult, error) {
+	r := rng.New(seed)
+	points := make([]Params, nIter)
+	for i := range points {
+		points[i] = space.sample(r)
+	}
+	return evalPointsParallel("random", factory, points, x, y, k, seed)
+}
+
+// evalPointsParallel cross-validates a fixed set of points concurrently.
+// Each point gets its own RNG stream (derived from seed and index) so the
+// result is independent of scheduling.
+func evalPointsParallel(strategy string, factory Factory, points []Params, x [][]float64, y []float64, k int, seed uint64) (SearchResult, error) {
+	trace := make([]CVResult, len(points))
+	errs := make([]error, len(points))
+	base := rng.New(seed)
+	seeds := make([]uint64, len(points))
+	for i := range seeds {
+		seeds[i] = base.Uint64()
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sc, err := CrossVal(factory, points[i], x, y, k, rng.New(seeds[i]))
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				trace[i] = toResult(points[i], sc)
+			}
+		}()
+	}
+	for i := range points {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, e := range errs {
+		if e != nil {
+			return SearchResult{}, e
+		}
+	}
+	return SearchResult{Strategy: strategy, Best: best(trace), Trace: trace, NumEval: len(trace)}, nil
+}
+
+// BayesSearch is a Gaussian-process / expected-improvement search standing
+// in for scikit-optimize's BayesSearchCV. It seeds with a few random points,
+// then iteratively fits a GP surrogate over evaluated (params → −MAPE)
+// pairs and picks the next point maximizing expected improvement over a
+// random candidate pool.
+func BayesSearch(factory Factory, space Space, x [][]float64, y []float64, k, nInit, nIter int, seed uint64) (SearchResult, error) {
+	if nInit < 2 {
+		nInit = 2
+	}
+	r := rng.New(seed)
+	var trace []CVResult
+
+	// Initial random design.
+	for i := 0; i < nInit; i++ {
+		p := space.sample(r)
+		sc, err := CrossVal(factory, p, x, y, k, r.Split())
+		if err != nil {
+			return SearchResult{}, err
+		}
+		trace = append(trace, toResult(p, sc))
+	}
+
+	for it := nInit; it < nIter; it++ {
+		// Build the surrogate dataset from the trace.
+		sx := make([][]float64, len(trace))
+		sy := make([]float64, len(trace))
+		for i, t := range trace {
+			sx[i] = space.toVector(t.Params)
+			sy[i] = t.NegMAPE
+		}
+		gp := kernel.NewGaussianProcess(kernel.RBF{Length: 1.0}, 1e-4)
+		if err := gp.Fit(sx, sy); err != nil {
+			// Surrogate failed (e.g. degenerate); fall back to random.
+			p := space.sample(r)
+			sc, err := CrossVal(factory, p, x, y, k, r.Split())
+			if err != nil {
+				return SearchResult{}, err
+			}
+			trace = append(trace, toResult(p, sc))
+			continue
+		}
+		bestY := best(trace).NegMAPE
+
+		// Candidate pool; pick the max expected improvement.
+		const poolSize = 64
+		cand := make([][]float64, poolSize)
+		candParams := make([]Params, poolSize)
+		for i := 0; i < poolSize; i++ {
+			p := space.sample(r)
+			candParams[i] = p
+			cand[i] = space.toVector(p)
+		}
+		mean, std := gp.PredictStd(cand)
+		bestEI := -1.0
+		bestIdx := 0
+		for i := range cand {
+			ei := expectedImprovement(mean[i], std[i], bestY)
+			if ei > bestEI {
+				bestEI = ei
+				bestIdx = i
+			}
+		}
+		p := candParams[bestIdx]
+		sc, err := CrossVal(factory, p, x, y, k, r.Split())
+		if err != nil {
+			return SearchResult{}, err
+		}
+		trace = append(trace, toResult(p, sc))
+	}
+	return SearchResult{Strategy: "bayes", Best: best(trace), Trace: trace, NumEval: len(trace)}, nil
+}
+
+// expectedImprovement returns EI(x) for maximization given the surrogate's
+// predictive mean/std and the current best observed value.
+func expectedImprovement(mean, std, best float64) float64 {
+	if std <= 1e-12 {
+		return 0
+	}
+	imp := mean - best
+	z := imp / std
+	return imp*normCDF(z) + std*normPDF(z)
+}
+
+// normPDF is the standard normal density.
+func normPDF(z float64) float64 {
+	return 0.3989422804014327 * math.Exp(-0.5*z*z)
+}
+
+// normCDF is the standard normal CDF via the error function.
+func normCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}

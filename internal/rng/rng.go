@@ -1,0 +1,213 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// generation for every stochastic component in parcost.
+//
+// All experiments in the paper reproduction must be bit-for-bit
+// reproducible, so nothing in this module reads global state: each consumer
+// receives an explicit *Source seeded by the caller, and independent
+// subsystems obtain statistically independent streams via Split.
+//
+// The core generator is SplitMix64 feeding a xoshiro256** state, which is
+// small, fast, and passes BigCrush; we do not use math/rand so that stream
+// splitting and cross-version stability are under our control.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random source. It is NOT safe for
+// concurrent use; use Split to derive independent sources for goroutines.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is used for seeding and for deriving split streams.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded deterministically from seed.
+func New(seed uint64) *Source {
+	var r Source
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not be seeded with all zeros; splitmix64 output of any
+	// seed cannot be all zeros across four draws, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split derives a new Source whose stream is statistically independent of
+// the parent's subsequent outputs. The parent advances by one draw.
+func (r *Source) Split() *Source {
+	sm := r.Uint64()
+	var c Source
+	for i := range c.s {
+		c.s[i] = splitmix64(&sm)
+	}
+	return &c
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + (w1 >> 32)
+	lo = a * b
+	return
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (r *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Normal returns a standard normal variate via the Marsaglia polar method.
+func (r *Source) Normal() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// NormalScaled returns a normal variate with the given mean and stddev.
+func (r *Source) NormalScaled(mean, std float64) float64 {
+	return mean + std*r.Normal()
+}
+
+// LogNormal returns exp(N(mu, sigma)). With mu = -sigma^2/2 the result has
+// mean 1, which is the convention used for multiplicative runtime noise.
+func (r *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Normal())
+}
+
+// NoiseFactor returns a mean-one multiplicative log-normal noise factor with
+// relative standard deviation approximately rel.
+func (r *Source) NoiseFactor(rel float64) float64 {
+	if rel <= 0 {
+		return 1
+	}
+	sigma := math.Sqrt(math.Log(1 + rel*rel))
+	return r.LogNormal(-sigma*sigma/2, sigma)
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p in place (Fisher-Yates).
+func (r *Source) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// ShuffleFloat64 permutes p in place.
+func (r *Source) ShuffleFloat64(p []float64) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Sample returns k distinct indices drawn uniformly from [0, n) in random
+// order. It panics if k > n or k < 0.
+func (r *Source) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample k out of range")
+	}
+	// Partial Fisher-Yates over an index table: O(n) memory, O(k) swaps.
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p[:k]
+}
+
+// Bootstrap returns n indices sampled with replacement from [0, n).
+func (r *Source) Bootstrap(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = r.Intn(n)
+	}
+	return idx
+}
+
+// Choice returns a single uniform element of xs. It panics on empty input.
+func (r *Source) Choice(xs []int) int {
+	if len(xs) == 0 {
+		panic("rng: Choice on empty slice")
+	}
+	return xs[r.Intn(len(xs))]
+}
+
+// Exponential returns an exponential variate with the given rate.
+func (r *Source) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential with non-positive rate")
+	}
+	return -math.Log(1-r.Float64()) / rate
+}

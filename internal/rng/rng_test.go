@@ -1,0 +1,347 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero-seeded source has repeated outputs: %d unique", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// Child and parent streams must not be identical.
+	match := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			match++
+		}
+	}
+	if match > 1 {
+		t.Fatalf("split stream mirrors parent: %d matches", match)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a, b := New(9), New(9)
+	ca, cb := a.Split(), b.Split()
+	for i := 0; i < 100; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatal("splits of identical sources differ")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(13)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance %v", variance)
+	}
+}
+
+func TestNormalScaled(t *testing.T) {
+	r := New(19)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.NormalScaled(5, 2)
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.05 {
+		t.Fatalf("scaled normal mean %v, want ~5", mean)
+	}
+}
+
+func TestNoiseFactorMeanOne(t *testing.T) {
+	r := New(23)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.NoiseFactor(0.05)
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.01 {
+		t.Fatalf("noise factor mean %v, want ~1", mean)
+	}
+}
+
+func TestNoiseFactorZero(t *testing.T) {
+	if v := New(1).NoiseFactor(0); v != 1 {
+		t.Fatalf("NoiseFactor(0) = %v, want 1", v)
+	}
+}
+
+func TestNoiseFactorSpread(t *testing.T) {
+	r := New(29)
+	const n, rel = 100000, 0.08
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NoiseFactor(rel)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(std-rel) > 0.01 {
+		t.Fatalf("noise std %v, want ~%v", std, rel)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(31)
+	p := r.Perm(100)
+	sorted := append([]int(nil), p...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("Perm is not a permutation at %d: %d", i, v)
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(37)
+	s := r.Sample(50, 20)
+	if len(s) != 20 {
+		t.Fatalf("Sample returned %d items, want 20", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 50 {
+			t.Fatalf("sample value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate sample value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleFull(t *testing.T) {
+	r := New(41)
+	s := r.Sample(10, 10)
+	sorted := append([]int(nil), s...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("full sample not a permutation: %v", s)
+		}
+	}
+}
+
+func TestSamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(5, 6) did not panic")
+		}
+	}()
+	New(1).Sample(5, 6)
+}
+
+func TestBootstrapRange(t *testing.T) {
+	r := New(43)
+	idx := r.Bootstrap(100)
+	if len(idx) != 100 {
+		t.Fatalf("Bootstrap length %d", len(idx))
+	}
+	for _, v := range idx {
+		if v < 0 || v >= 100 {
+			t.Fatalf("bootstrap index %d out of range", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(47)
+	const n, rate = 200000, 2.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(rate)
+	}
+	if mean := sum / n; math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("exponential mean %v, want %v", mean, 1/rate)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(53)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+// Property: Intn output is always within bounds for arbitrary seeds and n.
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Perm always yields a valid permutation.
+func TestQuickPermValid(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical seeds yield identical Float64 streams.
+func TestQuickDeterministicStreams(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 20; i++ {
+			if a.Float64() != b.Float64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormal(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Normal()
+	}
+	_ = sink
+}

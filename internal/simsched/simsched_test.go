@@ -1,0 +1,277 @@
+package simsched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parcost/internal/rng"
+)
+
+func TestListMakespanSingleRank(t *testing.T) {
+	durs := []float64{1, 2, 3, 4}
+	if m := ListMakespan(durs, 1); m != 10 {
+		t.Fatalf("single rank makespan %v, want 10", m)
+	}
+}
+
+func TestListMakespanPerfectBalance(t *testing.T) {
+	durs := []float64{2, 2, 2, 2}
+	if m := ListMakespan(durs, 4); m != 2 {
+		t.Fatalf("makespan %v, want 2", m)
+	}
+	if m := ListMakespan(durs, 2); m != 4 {
+		t.Fatalf("makespan %v, want 4", m)
+	}
+}
+
+func TestListMakespanEmpty(t *testing.T) {
+	if m := ListMakespan(nil, 4); m != 0 {
+		t.Fatalf("empty makespan %v", m)
+	}
+}
+
+func TestListMakespanLowerBounds(t *testing.T) {
+	// Makespan must be >= max task and >= total/ranks.
+	r := rng.New(1)
+	durs := make([]float64, 200)
+	total, maxD := 0.0, 0.0
+	for i := range durs {
+		durs[i] = r.Uniform(0.1, 10)
+		total += durs[i]
+		if durs[i] > maxD {
+			maxD = durs[i]
+		}
+	}
+	ranks := 8
+	m := ListMakespan(durs, ranks)
+	if m < maxD-1e-9 {
+		t.Fatalf("makespan %v below max task %v", m, maxD)
+	}
+	if m < total/float64(ranks)-1e-9 {
+		t.Fatalf("makespan %v below total/ranks %v", m, total/float64(ranks))
+	}
+}
+
+func TestListMakespanGreedyBound(t *testing.T) {
+	// Greedy list scheduling is within (2 - 1/m) of optimal; in particular
+	// it never exceeds total/ranks + maxTask.
+	r := rng.New(2)
+	durs := make([]float64, 500)
+	total, maxD := 0.0, 0.0
+	for i := range durs {
+		durs[i] = r.Uniform(0, 5)
+		total += durs[i]
+		if durs[i] > maxD {
+			maxD = durs[i]
+		}
+	}
+	ranks := 16
+	m := ListMakespan(durs, ranks)
+	if m > total/float64(ranks)+maxD+1e-9 {
+		t.Fatalf("makespan %v exceeds greedy bound", m)
+	}
+}
+
+func TestListMakespanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero ranks did not panic")
+		}
+	}()
+	ListMakespan([]float64{1}, 0)
+}
+
+func TestExpectedMakespanRegimes(t *testing.T) {
+	// Fewer tasks than ranks: makespan ~ expected max, near mean.
+	m := ExpectedMakespan(4, 2, 0.1, 2.3, 100)
+	if m < 2 || m > 2.3 {
+		t.Fatalf("under-subscribed makespan %v out of [2, 2.3]", m)
+	}
+	// Many tasks: makespan ~ mean load.
+	big := ExpectedMakespan(100000, 1, 0.2, 1.5, 100)
+	meanLoad := 100000 * 1.0 / 100
+	if big < meanLoad {
+		t.Fatalf("oversubscribed makespan %v below mean load %v", big, meanLoad)
+	}
+	if big > meanLoad*1.2 {
+		t.Fatalf("oversubscribed makespan %v too far above mean load", big)
+	}
+}
+
+func TestExpectedMakespanZero(t *testing.T) {
+	if ExpectedMakespan(0, 1, 1, 2, 4) != 0 {
+		t.Fatal("zero tasks should give zero makespan")
+	}
+}
+
+func TestExpectedMakespanApproximatesList(t *testing.T) {
+	// The aggregate model should be within ~25% of actual list scheduling
+	// for a realistic oversubscribed workload.
+	r := rng.New(3)
+	const n, ranks = 20000, 64
+	mean, std := 0.5, 0.15
+	durs := make([]float64, n)
+	maxD := 0.0
+	for i := range durs {
+		d := mean + std*r.Normal()
+		if d < 0 {
+			d = 0
+		}
+		durs[i] = d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	got := ListMakespan(durs, ranks)
+	approx := ExpectedMakespan(n, mean, std, maxD, ranks)
+	relErr := math.Abs(approx-got) / got
+	if relErr > 0.25 {
+		t.Fatalf("aggregate model rel err %.3f vs list scheduler (got=%v approx=%v)", relErr, got, approx)
+	}
+}
+
+func TestEngineLinearChain(t *testing.T) {
+	e := NewEngine()
+	a := e.Add(1)
+	b := e.Add(2, a)
+	c := e.Add(3, b)
+	_ = c
+	res := e.Run(4)
+	if res.Makespan != 6 {
+		t.Fatalf("chain makespan %v, want 6", res.Makespan)
+	}
+	if res.TotalWork != 6 {
+		t.Fatalf("total work %v", res.TotalWork)
+	}
+}
+
+func TestEngineIndependentTasks(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 4; i++ {
+		e.Add(5)
+	}
+	if m := e.Run(4).Makespan; m != 5 {
+		t.Fatalf("4 independent tasks on 4 ranks makespan %v, want 5", m)
+	}
+	if m := e.Run(2).Makespan; m != 10 {
+		t.Fatalf("4 independent tasks on 2 ranks makespan %v, want 10", m)
+	}
+}
+
+func TestEngineDiamond(t *testing.T) {
+	// a -> {b, c} -> d
+	e := NewEngine()
+	a := e.Add(1)
+	b := e.Add(2, a)
+	c := e.Add(4, a)
+	e.Add(1, b, c)
+	res := e.Run(2)
+	// a finishes at 1; b,c run in parallel on 2 ranks, c finishes at 5;
+	// d starts at 5, finishes at 6.
+	if res.Makespan != 6 {
+		t.Fatalf("diamond makespan %v, want 6", res.Makespan)
+	}
+}
+
+func TestEngineEfficiency(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 8; i++ {
+		e.Add(1)
+	}
+	res := e.Run(4)
+	if eff := res.Efficiency(4); math.Abs(eff-1) > 1e-12 {
+		t.Fatalf("efficiency %v, want 1", eff)
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	build := func() *Engine {
+		e := NewEngine()
+		r := rng.New(99)
+		ids := []int{}
+		for i := 0; i < 50; i++ {
+			var deps []int
+			if len(ids) > 0 && r.Float64() < 0.5 {
+				deps = append(deps, ids[r.Intn(len(ids))])
+			}
+			ids = append(ids, e.Add(r.Uniform(0.1, 2), deps...))
+		}
+		return e
+	}
+	a := build().Run(4)
+	b := build().Run(4)
+	if a.Makespan != b.Makespan {
+		t.Fatal("engine not deterministic")
+	}
+}
+
+func TestEngineBadDep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("forward dependency did not panic")
+		}
+	}()
+	e := NewEngine()
+	e.Add(1, 5)
+}
+
+func TestEngineEmpty(t *testing.T) {
+	if m := NewEngine().Run(4).Makespan; m != 0 {
+		t.Fatalf("empty DAG makespan %v", m)
+	}
+}
+
+// Property: Engine on independent tasks equals ListMakespan.
+func TestQuickEngineMatchesList(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(60)
+		ranks := 1 + r.Intn(8)
+		durs := make([]float64, n)
+		e := NewEngine()
+		for i := range durs {
+			durs[i] = r.Uniform(0, 5)
+			e.Add(durs[i])
+		}
+		return math.Abs(e.Run(ranks).Makespan-ListMakespan(durs, ranks)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: makespan is at least total/ranks and at least the max task.
+func TestQuickMakespanLowerBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(100)
+		ranks := 1 + r.Intn(16)
+		durs := make([]float64, n)
+		total, maxD := 0.0, 0.0
+		for i := range durs {
+			durs[i] = r.Uniform(0, 10)
+			total += durs[i]
+			if durs[i] > maxD {
+				maxD = durs[i]
+			}
+		}
+		m := ListMakespan(durs, ranks)
+		return m >= maxD-1e-9 && m >= total/float64(ranks)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkListMakespan(b *testing.B) {
+	r := rng.New(1)
+	durs := make([]float64, 100000)
+	for i := range durs {
+		durs[i] = r.Uniform(0, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ListMakespan(durs, 128)
+	}
+}

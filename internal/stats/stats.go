@@ -1,0 +1,328 @@
+// Package stats provides the evaluation metrics from Section 3.2 of the
+// paper (R², MAE, MAPE), feature scaling, K-fold splitting, and small
+// statistical helpers shared across the ML stack.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"parcost/internal/rng"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (divides by n).
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// R2 returns the coefficient of determination:
+//
+//	R² = 1 − Σ(yᵢ−ŷᵢ)² / Σ(yᵢ−ȳ)²
+//
+// As in scikit-learn, a constant-target denominator of zero yields 0.0
+// unless the predictions are also exact (then 1.0). R² can be negative for
+// models worse than predicting the mean.
+func R2(yTrue, yPred []float64) float64 {
+	checkLens("R2", yTrue, yPred)
+	if len(yTrue) == 0 {
+		return 0
+	}
+	mean := Mean(yTrue)
+	var ssRes, ssTot float64
+	for i, y := range yTrue {
+		r := y - yPred[i]
+		ssRes += r * r
+		d := y - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// MAE returns the mean absolute error.
+func MAE(yTrue, yPred []float64) float64 {
+	checkLens("MAE", yTrue, yPred)
+	if len(yTrue) == 0 {
+		return 0
+	}
+	var s float64
+	for i, y := range yTrue {
+		s += math.Abs(y - yPred[i])
+	}
+	return s / float64(len(yTrue))
+}
+
+// MAPE returns the mean absolute percentage error as a fraction (the paper
+// reports e.g. 0.023, not 2.3%). Zero targets are skipped, matching the
+// practical convention for strictly-positive runtimes.
+func MAPE(yTrue, yPred []float64) float64 {
+	checkLens("MAPE", yTrue, yPred)
+	var s float64
+	n := 0
+	for i, y := range yTrue {
+		if y == 0 {
+			continue
+		}
+		s += math.Abs((y - yPred[i]) / y)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(yTrue, yPred []float64) float64 {
+	checkLens("RMSE", yTrue, yPred)
+	if len(yTrue) == 0 {
+		return 0
+	}
+	var s float64
+	for i, y := range yTrue {
+		d := y - yPred[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(yTrue)))
+}
+
+func checkLens(op string, a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: %s length mismatch %d vs %d", op, len(a), len(b)))
+	}
+}
+
+// Scores bundles the three paper metrics for one evaluation.
+type Scores struct {
+	R2   float64
+	MAE  float64
+	MAPE float64
+}
+
+// Evaluate computes all three paper metrics at once.
+func Evaluate(yTrue, yPred []float64) Scores {
+	return Scores{R2: R2(yTrue, yPred), MAE: MAE(yTrue, yPred), MAPE: MAPE(yTrue, yPred)}
+}
+
+// String renders the scores in the paper's reporting style.
+func (s Scores) String() string {
+	return fmt.Sprintf("R2=%.3f MAE=%.2f MAPE=%.3f", s.R2, s.MAE, s.MAPE)
+}
+
+// StandardScaler centers each feature to zero mean and unit variance, the
+// preprocessing the paper's kernel and linear models require.
+type StandardScaler struct {
+	Means []float64
+	Stds  []float64
+}
+
+// FitScaler learns per-column mean and std from x (rows = samples).
+// Zero-variance columns get std 1 so transformed values are exactly zero.
+func FitScaler(x [][]float64) *StandardScaler {
+	if len(x) == 0 {
+		return &StandardScaler{}
+	}
+	d := len(x[0])
+	s := &StandardScaler{Means: make([]float64, d), Stds: make([]float64, d)}
+	n := float64(len(x))
+	for _, row := range x {
+		for j, v := range row {
+			s.Means[j] += v
+		}
+	}
+	for j := range s.Means {
+		s.Means[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - s.Means[j]
+			s.Stds[j] += d * d
+		}
+	}
+	for j := range s.Stds {
+		s.Stds[j] = math.Sqrt(s.Stds[j] / n)
+		if s.Stds[j] == 0 {
+			s.Stds[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform returns a scaled copy of x.
+func (s *StandardScaler) Transform(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = (v - s.Means[j]) / s.Stds[j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// TransformRow returns a scaled copy of a single sample.
+func (s *StandardScaler) TransformRow(row []float64) []float64 {
+	r := make([]float64, len(row))
+	for j, v := range row {
+		r[j] = (v - s.Means[j]) / s.Stds[j]
+	}
+	return r
+}
+
+// TargetScaler standardizes a 1-D target vector and inverts predictions.
+type TargetScaler struct {
+	Mean, Std float64
+}
+
+// FitTargetScaler learns mean/std of y; zero variance maps to std 1.
+func FitTargetScaler(y []float64) *TargetScaler {
+	t := &TargetScaler{Mean: Mean(y), Std: Std(y)}
+	if t.Std == 0 {
+		t.Std = 1
+	}
+	return t
+}
+
+// Transform returns the standardized copy of y.
+func (t *TargetScaler) Transform(y []float64) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		out[i] = (v - t.Mean) / t.Std
+	}
+	return out
+}
+
+// Inverse maps standardized predictions back to the original scale.
+func (t *TargetScaler) Inverse(y []float64) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		out[i] = v*t.Std + t.Mean
+	}
+	return out
+}
+
+// InverseOne maps a single standardized prediction back.
+func (t *TargetScaler) InverseOne(v float64) float64 { return v*t.Std + t.Mean }
+
+// Fold is one train/validation split of row indices.
+type Fold struct {
+	Train []int
+	Test  []int
+}
+
+// KFold returns k shuffled cross-validation folds over n samples. Each
+// sample appears in exactly one test fold. Panics if k < 2 or k > n.
+func KFold(n, k int, r *rng.Source) []Fold {
+	if k < 2 || k > n {
+		panic(fmt.Sprintf("stats: KFold invalid k=%d for n=%d", k, n))
+	}
+	perm := r.Perm(n)
+	folds := make([]Fold, k)
+	base := n / k
+	rem := n % k
+	start := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		test := append([]int(nil), perm[start:start+size]...)
+		train := make([]int, 0, n-size)
+		train = append(train, perm[:start]...)
+		train = append(train, perm[start+size:]...)
+		folds[i] = Fold{Train: train, Test: test}
+		start += size
+	}
+	return folds
+}
+
+// TrainTestSplit shuffles [0,n) and splits it so the test set holds
+// round(n*testFrac) samples, mirroring sklearn's train_test_split.
+func TrainTestSplit(n int, testFrac float64, r *rng.Source) (train, test []int) {
+	if testFrac < 0 || testFrac > 1 {
+		panic("stats: testFrac out of [0,1]")
+	}
+	perm := r.Perm(n)
+	nTest := int(math.Round(float64(n) * testFrac))
+	return perm[nTest:], perm[:nTest]
+}
+
+// ArgsortDesc returns indices that would sort xs in descending order.
+// Ties break by lower index first, keeping query selection deterministic.
+func ArgsortDesc(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	return idx
+}
+
+// ArgMin returns the index of the smallest element (first on ties) and its
+// value. Panics on empty input.
+func ArgMin(xs []float64) (int, float64) {
+	if len(xs) == 0 {
+		panic("stats: ArgMin of empty slice")
+	}
+	best, bv := 0, xs[0]
+	for i, v := range xs[1:] {
+		if v < bv {
+			best, bv = i+1, v
+		}
+	}
+	return best, bv
+}
+
+// Quantile returns the q-quantile (0≤q≤1) of xs using linear interpolation
+// on a sorted copy. Panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

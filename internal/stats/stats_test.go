@@ -1,0 +1,364 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"parcost/internal/rng"
+)
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Fatalf("Variance = %v", Variance(xs))
+	}
+	if Std(xs) != 2 {
+		t.Fatalf("Std = %v", Std(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty-slice moments should be 0")
+	}
+}
+
+func TestR2Perfect(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if r := R2(y, y); r != 1 {
+		t.Fatalf("perfect R2 = %v", r)
+	}
+}
+
+func TestR2MeanPredictor(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	pred := []float64{2.5, 2.5, 2.5, 2.5}
+	if r := R2(y, pred); math.Abs(r) > 1e-12 {
+		t.Fatalf("mean-predictor R2 = %v, want 0", r)
+	}
+}
+
+func TestR2Negative(t *testing.T) {
+	y := []float64{1, 2, 3}
+	pred := []float64{10, 10, 10}
+	if r := R2(y, pred); r >= 0 {
+		t.Fatalf("bad predictor R2 = %v, want negative", r)
+	}
+}
+
+func TestR2ConstantTarget(t *testing.T) {
+	y := []float64{5, 5, 5}
+	if r := R2(y, []float64{5, 5, 5}); r != 1 {
+		t.Fatalf("exact constant R2 = %v", r)
+	}
+	if r := R2(y, []float64{4, 5, 6}); r != 0 {
+		t.Fatalf("inexact constant R2 = %v", r)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	if m := MAE([]float64{1, 2, 3}, []float64{2, 2, 1}); m != 1 {
+		t.Fatalf("MAE = %v", m)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	y := []float64{100, 200}
+	pred := []float64{110, 180}
+	if m := MAPE(y, pred); math.Abs(m-0.10) > 1e-12 {
+		t.Fatalf("MAPE = %v, want 0.10", m)
+	}
+}
+
+func TestMAPESkipsZeros(t *testing.T) {
+	y := []float64{0, 100}
+	pred := []float64{5, 150}
+	if m := MAPE(y, pred); math.Abs(m-0.5) > 1e-12 {
+		t.Fatalf("MAPE with zero target = %v, want 0.5", m)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if r := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(r-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %v", r)
+	}
+}
+
+func TestMetricLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MAE([]float64{1}, []float64{1, 2})
+}
+
+func TestEvaluateBundle(t *testing.T) {
+	y := []float64{10, 20, 30}
+	s := Evaluate(y, y)
+	if s.R2 != 1 || s.MAE != 0 || s.MAPE != 0 {
+		t.Fatalf("Evaluate perfect: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	x := [][]float64{{1, 10}, {2, 20}, {3, 30}, {4, 40}}
+	s := FitScaler(x)
+	tx := s.Transform(x)
+	// Each column must have mean ~0 and std ~1.
+	for j := 0; j < 2; j++ {
+		col := make([]float64, len(tx))
+		for i := range tx {
+			col[i] = tx[i][j]
+		}
+		if math.Abs(Mean(col)) > 1e-12 {
+			t.Fatalf("col %d mean %v", j, Mean(col))
+		}
+		if math.Abs(Std(col)-1) > 1e-12 {
+			t.Fatalf("col %d std %v", j, Std(col))
+		}
+	}
+}
+
+func TestScalerConstantColumn(t *testing.T) {
+	x := [][]float64{{5, 1}, {5, 2}, {5, 3}}
+	s := FitScaler(x)
+	tx := s.Transform(x)
+	for i := range tx {
+		if tx[i][0] != 0 {
+			t.Fatalf("constant column should scale to 0, got %v", tx[i][0])
+		}
+	}
+}
+
+func TestScalerTransformRow(t *testing.T) {
+	x := [][]float64{{0, 0}, {2, 4}}
+	s := FitScaler(x)
+	r := s.TransformRow([]float64{1, 2})
+	if math.Abs(r[0]) > 1e-12 || math.Abs(r[1]) > 1e-12 {
+		t.Fatalf("midpoint should scale to zero: %v", r)
+	}
+}
+
+func TestTargetScalerRoundTrip(t *testing.T) {
+	y := []float64{10, 20, 30, 40}
+	ts := FitTargetScaler(y)
+	z := ts.Transform(y)
+	back := ts.Inverse(z)
+	for i := range y {
+		if math.Abs(back[i]-y[i]) > 1e-12 {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+	if v := ts.InverseOne(ts.Transform([]float64{25})[0]); math.Abs(v-25) > 1e-12 {
+		t.Fatalf("InverseOne = %v", v)
+	}
+}
+
+func TestTargetScalerConstant(t *testing.T) {
+	ts := FitTargetScaler([]float64{7, 7, 7})
+	z := ts.Transform([]float64{7})
+	if z[0] != 0 {
+		t.Fatalf("constant target transform = %v", z[0])
+	}
+}
+
+func TestKFoldPartition(t *testing.T) {
+	r := rng.New(1)
+	const n, k = 23, 5
+	folds := KFold(n, k, r)
+	if len(folds) != k {
+		t.Fatalf("%d folds", len(folds))
+	}
+	seen := map[int]int{}
+	for _, f := range folds {
+		if len(f.Train)+len(f.Test) != n {
+			t.Fatal("fold does not cover all samples")
+		}
+		for _, i := range f.Test {
+			seen[i]++
+		}
+		// Train/test must be disjoint.
+		inTest := map[int]bool{}
+		for _, i := range f.Test {
+			inTest[i] = true
+		}
+		for _, i := range f.Train {
+			if inTest[i] {
+				t.Fatal("train/test overlap")
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("sample %d in %d test folds", i, seen[i])
+		}
+	}
+}
+
+func TestKFoldSizes(t *testing.T) {
+	r := rng.New(2)
+	folds := KFold(10, 3, r)
+	sizes := []int{len(folds[0].Test), len(folds[1].Test), len(folds[2].Test)}
+	sort.Ints(sizes)
+	if sizes[0] != 3 || sizes[2] != 4 {
+		t.Fatalf("fold sizes %v", sizes)
+	}
+}
+
+func TestKFoldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KFold(3, 5) did not panic")
+		}
+	}()
+	KFold(3, 5, rng.New(1))
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	r := rng.New(3)
+	train, test := TrainTestSplit(100, 0.25, r)
+	if len(test) != 25 || len(train) != 75 {
+		t.Fatalf("split sizes %d/%d", len(train), len(test))
+	}
+	all := append(append([]int(nil), train...), test...)
+	sort.Ints(all)
+	for i, v := range all {
+		if v != i {
+			t.Fatal("split is not a partition")
+		}
+	}
+}
+
+func TestArgsortDesc(t *testing.T) {
+	idx := ArgsortDesc([]float64{1, 3, 2})
+	if idx[0] != 1 || idx[1] != 2 || idx[2] != 0 {
+		t.Fatalf("ArgsortDesc = %v", idx)
+	}
+}
+
+func TestArgsortDescStableTies(t *testing.T) {
+	idx := ArgsortDesc([]float64{5, 5, 5})
+	if idx[0] != 0 || idx[1] != 1 || idx[2] != 2 {
+		t.Fatalf("ties not stable: %v", idx)
+	}
+}
+
+func TestArgMin(t *testing.T) {
+	i, v := ArgMin([]float64{3, 1, 2, 1})
+	if i != 1 || v != 1 {
+		t.Fatalf("ArgMin = (%d, %v)", i, v)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); math.Abs(q-2.5) > 1e-12 {
+		t.Fatalf("median = %v", q)
+	}
+}
+
+// Property: R2 of any prediction vector is <= 1.
+func TestQuickR2UpperBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(40)
+		y := make([]float64, n)
+		p := make([]float64, n)
+		for i := range y {
+			y[i] = r.Normal() * 10
+			p[i] = r.Normal() * 10
+		}
+		return R2(y, p) <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MAE is symmetric and non-negative; zero iff equal vectors.
+func TestQuickMAEProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.Normal()
+			b[i] = r.Normal()
+		}
+		m1, m2 := MAE(a, b), MAE(b, a)
+		if m1 < 0 || math.Abs(m1-m2) > 1e-12 {
+			return false
+		}
+		return MAE(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaler Transform then manual inverse recovers the input.
+func TestQuickScalerInverse(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n, d := 2+r.Intn(20), 1+r.Intn(5)
+		x := make([][]float64, n)
+		for i := range x {
+			x[i] = make([]float64, d)
+			for j := range x[i] {
+				x[i][j] = r.Normal() * 100
+			}
+		}
+		s := FitScaler(x)
+		tx := s.Transform(x)
+		for i := range x {
+			for j := range x[i] {
+				back := tx[i][j]*s.Stds[j] + s.Means[j]
+				if math.Abs(back-x[i][j]) > 1e-9*(1+math.Abs(x[i][j])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KFold always partitions [0,n).
+func TestQuickKFoldPartition(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 6 + r.Intn(50)
+		k := 2 + r.Intn(4)
+		folds := KFold(n, k, r)
+		count := make([]int, n)
+		for _, fo := range folds {
+			for _, i := range fo.Test {
+				count[i]++
+			}
+		}
+		for _, c := range count {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
