@@ -256,6 +256,34 @@ func BenchmarkAblation_GBHyper(b *testing.B) {
 	}
 }
 
+// --- Ablation: split engine (exact vs histogram) ---
+//
+// Compares the reference exact splitter against the shared-binned-matrix
+// histogram engine on the paper's GB workload. The histogram engine bins the
+// training matrix once per ensemble fit and scans O(bins) per feature per
+// node, so the gap widens with tree count and depth.
+
+func BenchmarkAblation_SplitterEngine(b *testing.B) {
+	spec := machine.Aurora()
+	d := ccsd.Generate(spec, ccsd.GenConfig{TargetSize: 800, Noise: true, Seed: 1})
+	train, _ := d.Split(0.25, rng.New(2))
+	trX, trY := train.Features(), train.Targets()
+	for _, eng := range []struct {
+		name string
+		s    tree.Splitter
+	}{{"exact", tree.SplitterExact}, {"hist", tree.SplitterHist}} {
+		b.Run(eng.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gb := ensemble.NewGradientBoosting(100, 0.1,
+					tree.Params{MaxDepth: 10, Splitter: eng.s}, 1)
+				if err := gb.Fit(trX, trY); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablation: feature scaling effect on a kernel model ---
 
 func BenchmarkAblation_Scaling(b *testing.B) {

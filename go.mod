@@ -1,0 +1,3 @@
+module parcost
+
+go 1.24

@@ -41,6 +41,12 @@ type Harness struct {
 	// at the default.
 	GBTrees int
 
+	// Splitter overrides the tree split engine for the harness's GB models.
+	// The default (tree.SplitterAuto) selects the shared-binned-matrix
+	// histogram engine at experiment sizes; set tree.SplitterExact to
+	// reproduce results with the reference engine.
+	Splitter tree.Splitter
+
 	// Problems overrides the set of molecular problem sizes evaluated by the
 	// STQ/BQ tables and active-learning goal tracking. Nil selects the full
 	// paper list (23 sizes). Tests set a small subset to keep the suite fast.
@@ -60,9 +66,12 @@ func (h *Harness) problemList() []dataset.Problem {
 // the GBTrees override.
 func (h *Harness) gbModel(seed uint64) *ensemble.GradientBoosting {
 	if h.GBTrees > 0 {
-		return ensemble.NewGradientBoosting(h.GBTrees, 0.1, tree.Params{MaxDepth: 10}, seed)
+		return ensemble.NewGradientBoosting(h.GBTrees, 0.1,
+			tree.Params{MaxDepth: 10, Splitter: h.Splitter}, seed)
 	}
-	return ensemble.NewGradientBoostingPaper(seed)
+	gb := ensemble.NewGradientBoostingPaper(seed)
+	gb.Params.Splitter = h.Splitter
+	return gb
 }
 
 // HarnessConfig controls dataset generation for the harness.

@@ -325,20 +325,23 @@ func (c *Cholesky) solveInPlace(x []float64) {
 	}
 }
 
-// SolveMat solves A X = B column-by-column.
+// SolveMat solves A X = B column-by-column. One RHS buffer is reused for
+// every column, gathered and scattered with direct data indexing rather than
+// per-element At/Set calls.
 func (c *Cholesky) SolveMat(b *Dense) *Dense {
 	if b.RowsN != c.n {
 		panic("mat: Cholesky SolveMat dimension mismatch")
 	}
 	out := NewDense(b.RowsN, b.ColsN)
+	cols := b.ColsN
 	col := make([]float64, c.n)
-	for j := 0; j < b.ColsN; j++ {
-		for i := 0; i < c.n; i++ {
-			col[i] = b.At(i, j)
+	for j := 0; j < cols; j++ {
+		for i, p := 0, j; i < c.n; i, p = i+1, p+cols {
+			col[i] = b.Data[p]
 		}
 		c.solveInPlace(col)
-		for i := 0; i < c.n; i++ {
-			out.Set(i, j, col[i])
+		for i, p := 0, j; i < c.n; i, p = i+1, p+cols {
+			out.Data[p] = col[i]
 		}
 	}
 	return out

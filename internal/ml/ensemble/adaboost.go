@@ -66,16 +66,36 @@ func (a *AdaBoost) Fit(x [][]float64, y []float64) error {
 	a.betas = nil
 	r := rng.New(a.Seed)
 
+	params := a.Params
+	params.Splitter = resolveSplitter(params, N)
+	var bm *tree.BinnedMatrix
+	if params.Splitter == tree.SplitterHist {
+		// Bin the training matrix once; every boosting round fits and
+		// evaluates against it.
+		bm = tree.NewBinnedMatrix(x, params.MaxBins)
+	}
+
 	for m := 0; m < a.NumTrees; m++ {
 		// Sample a training set according to the current weights (the
 		// resampling form of AdaBoost.R2), then fit a tree.
 		idx := weightedSample(weights, N, r)
-		sx, sy := ml.Subset(x, y, idx)
-		tr := tree.New(a.Params, r.Split())
-		if err := tr.Fit(sx, sy); err != nil {
-			return fmt.Errorf("ensemble: adaboost tree %d: %w", m, err)
+		tr := tree.New(params, r.Split())
+		var pred []float64
+		if bm != nil {
+			if err := tr.FitBinned(bm, y, idx); err != nil {
+				return fmt.Errorf("ensemble: adaboost tree %d: %w", m, err)
+			}
+			// Rows outside the resample must route exactly as Predict will
+			// route them later, so the vote weights describe the model that
+			// actually serves predictions.
+			pred = tr.Predict(x)
+		} else {
+			sx, sy := ml.Subset(x, y, idx)
+			if err := tr.Fit(sx, sy); err != nil {
+				return fmt.Errorf("ensemble: adaboost tree %d: %w", m, err)
+			}
+			pred = tr.Predict(x)
 		}
-		pred := tr.Predict(x)
 
 		// Per-sample loss, normalized by the max absolute error.
 		maxErr := 0.0

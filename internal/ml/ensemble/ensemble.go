@@ -19,6 +19,25 @@ import (
 	"parcost/internal/stats"
 )
 
+// histMinSamples is the training-set size at which an ensemble with
+// tree.SplitterAuto switches to the histogram engine. It is far below the
+// standalone tree.HistAutoMinSamples cutover because the ensemble builds the
+// BinnedMatrix once and shares it across every member tree, so the binning
+// cost is amortized over up to hundreds of fits.
+const histMinSamples = 32
+
+// resolveSplitter maps SplitterAuto to a concrete engine for an ensemble fit
+// over n samples.
+func resolveSplitter(p tree.Params, n int) tree.Splitter {
+	if p.Splitter != tree.SplitterAuto {
+		return p.Splitter
+	}
+	if n >= histMinSamples {
+		return tree.SplitterHist
+	}
+	return tree.SplitterExact
+}
+
 // RandomForest is a bagged ensemble of regression trees with per-split
 // feature subsampling, averaging the member predictions. The paper lists it
 // as model "RF".
@@ -66,6 +85,13 @@ func (f *RandomForest) Fit(x [][]float64, y []float64) error {
 		sampleN = 1
 	}
 
+	params.Splitter = resolveSplitter(params, len(x))
+	var bm *tree.BinnedMatrix
+	if params.Splitter == tree.SplitterHist {
+		// Bin the training matrix once; every tree fits against it.
+		bm = tree.NewBinnedMatrix(x, params.MaxBins)
+	}
+
 	f.trees = make([]*tree.Tree, f.NumTrees)
 	base := rng.New(f.Seed)
 	// Pre-derive per-tree seeds so concurrency doesn't affect results.
@@ -77,17 +103,23 @@ func (f *RandomForest) Fit(x [][]float64, y []float64) error {
 	workers := runtime.GOMAXPROCS(0)
 	var wg sync.WaitGroup
 	jobs := make(chan int)
+	// The lowest-indexed failure wins so the reported error does not depend
+	// on goroutine scheduling.
 	var fitErr error
+	fitErrIdx := -1
 	var errMu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for ti := range jobs {
-				tr, err := fitOneForestTree(x, y, params, seeds[ti], sampleN)
+				tr, err := fitOneForestTree(x, y, bm, params, seeds[ti], sampleN)
 				if err != nil {
 					errMu.Lock()
-					fitErr = err
+					if fitErrIdx < 0 || ti < fitErrIdx {
+						fitErr = fmt.Errorf("ensemble: RF tree %d: %w", ti, err)
+						fitErrIdx = ti
+					}
 					errMu.Unlock()
 					continue
 				}
@@ -100,36 +132,51 @@ func (f *RandomForest) Fit(x [][]float64, y []float64) error {
 	}
 	close(jobs)
 	wg.Wait()
-	return fitErr
+	if fitErr != nil {
+		f.trees = nil // a partial forest must not serve predictions
+		return fitErr
+	}
+	return nil
 }
 
-func fitOneForestTree(x [][]float64, y []float64, params tree.Params, seed uint64, sampleN int) (*tree.Tree, error) {
+func fitOneForestTree(x [][]float64, y []float64, bm *tree.BinnedMatrix, params tree.Params, seed uint64, sampleN int) (*tree.Tree, error) {
 	r := rng.New(seed)
 	idx := r.Bootstrap(len(x))[:sampleN]
-	bx, by := ml.Subset(x, y, idx)
 	tr := tree.New(params, r.Split())
+	if bm != nil {
+		if err := tr.FitBinned(bm, y, idx); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+	bx, by := ml.Subset(x, y, idx)
 	if err := tr.Fit(bx, by); err != nil {
 		return nil, err
 	}
 	return tr, nil
 }
 
-// Predict averages the predictions of all member trees.
+// Predict averages the predictions of the fitted member trees.
 func (f *RandomForest) Predict(x [][]float64) []float64 {
 	if f.trees == nil {
 		panic("ensemble: RandomForest.Predict before Fit")
 	}
 	out := make([]float64, len(x))
+	fitted := 0
 	for _, tr := range f.trees {
 		if tr == nil {
 			continue
 		}
+		fitted++
 		p := tr.Predict(x)
 		for i := range out {
 			out[i] += p[i]
 		}
 	}
-	inv := 1.0 / float64(f.NumTrees)
+	if fitted == 0 {
+		panic("ensemble: RandomForest.Predict with no fitted trees")
+	}
+	inv := 1.0 / float64(fitted)
 	for i := range out {
 		out[i] *= inv
 	}
@@ -201,11 +248,17 @@ func (g *GradientBoosting) Fit(x [][]float64, y []float64) error {
 		subN = 1
 	}
 
+	params := g.Params
+	params.Splitter = resolveSplitter(params, len(x))
+	if params.Splitter == tree.SplitterHist {
+		return g.fitHist(x, y, params, pred, residual, r, sub, subN)
+	}
+
 	for m := 0; m < g.NumTrees; m++ {
 		for i := range residual {
 			residual[i] = y[i] - pred[i] // negative gradient of ½(y−f)²
 		}
-		tr := tree.New(g.Params, r.Split())
+		tr := tree.New(params, r.Split())
 		var err error
 		if sub < 1.0 {
 			idx := r.Sample(len(x), subN)
@@ -222,6 +275,49 @@ func (g *GradientBoosting) Fit(x [][]float64, y []float64) error {
 		for i := range pred {
 			pred[i] += g.LearningRate * step[i]
 		}
+		g.trees = append(g.trees, tr)
+	}
+	return nil
+}
+
+// fitHist is the histogram-engine boosting loop: the training matrix is
+// binned once and shared by all rounds, trees fit against row indices (no
+// per-round feature-matrix copies), and each round's training-set update
+// comes from the just-grown tree's cached leaf assignments instead of a full
+// root-to-leaf traversal of every sample.
+func (g *GradientBoosting) fitHist(x [][]float64, y []float64, params tree.Params, pred, residual []float64, r *rng.Source, sub float64, subN int) error {
+	bm := tree.NewBinnedMatrix(x, params.MaxBins)
+	n := len(x)
+	allRows := make([]int, n)
+	for i := range allRows {
+		allRows[i] = i
+	}
+	for m := 0; m < g.NumTrees; m++ {
+		for i := range residual {
+			residual[i] = y[i] - pred[i] // negative gradient of ½(y−f)²
+		}
+		tr := tree.New(params, r.Split())
+		var step []float64
+		if sub < 1.0 {
+			idx := r.Sample(n, subN)
+			if err := tr.FitBinned(bm, residual, idx); err != nil {
+				return fmt.Errorf("ensemble: GB tree %d: %w", m, err)
+			}
+			// Out-of-sample rows weren't assigned leaves during growth, and
+			// they must route exactly as the deployed model will route them —
+			// predict through the float thresholds.
+			step = tr.Predict(x)
+		} else {
+			tr.CacheTrainPredictions(true)
+			if err := tr.FitBinned(bm, residual, allRows); err != nil {
+				return fmt.Errorf("ensemble: GB tree %d: %w", m, err)
+			}
+			step = tr.TrainPredictions()
+		}
+		for i := range pred {
+			pred[i] += g.LearningRate * step[i]
+		}
+		tr.DropTrainCache()
 		g.trees = append(g.trees, tr)
 	}
 	return nil

@@ -1,0 +1,166 @@
+package tree
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultMaxBins is the default number of quantile bins per feature used by
+// the histogram splitter. 256 keeps codes in a uint8 and matches the
+// LightGBM/XGBoost-hist convention.
+const DefaultMaxBins = 256
+
+// BinnedMatrix is a column-major, quantile-binned view of a feature matrix:
+// every feature value is mapped to a small integer code (≤ 256 bins), and the
+// original real-valued cut points are retained so splits chosen on codes
+// translate back to ordinary float thresholds.
+//
+// The matrix is built once per ensemble fit and shared by every tree in the
+// ensemble: binning costs one sort per feature, after which each tree node
+// finds its best split by scanning O(bins) histogram entries instead of
+// re-sorting samples per feature. Codes are stored per feature (column-major)
+// so histogram accumulation walks memory sequentially.
+type BinnedMatrix struct {
+	n, d     int
+	codes    [][]uint8   // [feature][row] bin code of each sample
+	cuts     [][]float64 // [feature] ascending thresholds; len = bins-1
+	binMin   [][]float64 // [feature][bin] smallest observed value in bin
+	binMax   [][]float64 // [feature][bin] largest observed value in bin
+	maxCodes int         // max bins over features (histogram stride)
+}
+
+// NewBinnedMatrix quantile-bins x into at most maxBins codes per feature
+// (0 selects DefaultMaxBins). Cut points fall at midpoints between observed
+// values, the same threshold convention the exact splitter uses, so on data
+// with ≤ maxBins distinct values per feature the histogram splitter sees
+// exactly the exact splitter's candidate set.
+func NewBinnedMatrix(x [][]float64, maxBins int) *BinnedMatrix {
+	if maxBins <= 1 || maxBins > DefaultMaxBins {
+		maxBins = DefaultMaxBins
+	}
+	n := len(x)
+	if n == 0 {
+		return &BinnedMatrix{}
+	}
+	d := len(x[0])
+	bm := &BinnedMatrix{
+		n: n, d: d,
+		codes:  make([][]uint8, d),
+		cuts:   make([][]float64, d),
+		binMin: make([][]float64, d),
+		binMax: make([][]float64, d),
+	}
+	vals := make([]float64, n)
+	for f := 0; f < d; f++ {
+		for i, row := range x {
+			vals[i] = row[f]
+		}
+		sort.Float64s(vals)
+		bm.cuts[f] = chooseCuts(vals, maxBins)
+		cuts := bm.cuts[f]
+		nb := len(cuts) + 1
+		codes := make([]uint8, n)
+		lo := make([]float64, nb)
+		hi := make([]float64, nb)
+		for b := range lo {
+			lo[b] = math.Inf(1)
+			hi[b] = math.Inf(-1)
+		}
+		for i, row := range x {
+			v := row[f]
+			c := uint8(sort.SearchFloat64s(cuts, v))
+			codes[i] = c
+			if v < lo[c] {
+				lo[c] = v
+			}
+			if v > hi[c] {
+				hi[c] = v
+			}
+		}
+		bm.codes[f] = codes
+		bm.binMin[f] = lo
+		bm.binMax[f] = hi
+		if nb > bm.maxCodes {
+			bm.maxCodes = nb
+		}
+	}
+	return bm
+}
+
+// chooseCuts returns ascending cut thresholds over a sorted value slice. With
+// few distinct values every adjacent distinct pair gets a midpoint cut;
+// otherwise cuts sit at quantile boundaries, skipping boundaries that fall
+// inside runs of equal values.
+func chooseCuts(sorted []float64, maxBins int) []float64 {
+	n := len(sorted)
+	distinct := 1
+	for i := 1; i < n && distinct <= maxBins; i++ {
+		if sorted[i] != sorted[i-1] {
+			distinct++
+		}
+	}
+	var cuts []float64
+	if distinct <= maxBins {
+		cuts = make([]float64, 0, distinct-1)
+		for i := 1; i < n; i++ {
+			if sorted[i] != sorted[i-1] {
+				cuts = append(cuts, midpoint(sorted[i-1], sorted[i]))
+			}
+		}
+		return cuts
+	}
+	cuts = make([]float64, 0, maxBins-1)
+	for b := 1; b < maxBins; b++ {
+		pos := b * n / maxBins
+		lo, hi := sorted[pos-1], sorted[pos]
+		if hi <= lo {
+			// The quantile landed inside a run of equal values. Relocate the
+			// boundary to the run's edge rather than dropping it: a heavily
+			// skewed feature (one dominant value) would otherwise lose every
+			// boundary and become unsplittable.
+			v := lo
+			j := pos + sort.Search(n-pos, func(k int) bool { return sorted[pos+k] > v })
+			if j < n {
+				lo, hi = v, sorted[j]
+			} else {
+				// The run reaches the end; cut before it instead.
+				i := sort.SearchFloat64s(sorted, v)
+				if i == 0 {
+					continue // constant feature
+				}
+				lo, hi = sorted[i-1], v
+			}
+		}
+		c := midpoint(lo, hi)
+		if len(cuts) == 0 || c > cuts[len(cuts)-1] {
+			cuts = append(cuts, c)
+		}
+	}
+	return cuts
+}
+
+// midpoint returns a threshold strictly below hi separating lo from hi.
+func midpoint(lo, hi float64) float64 {
+	m := lo + (hi-lo)/2
+	if m >= hi { // adjacent floats can round the midpoint up to hi
+		m = lo
+	}
+	return m
+}
+
+// Rows returns the number of samples.
+func (bm *BinnedMatrix) Rows() int { return bm.n }
+
+// Dim returns the number of features.
+func (bm *BinnedMatrix) Dim() int { return bm.d }
+
+// NumBins returns the number of bin codes feature f uses (≥ 1).
+func (bm *BinnedMatrix) NumBins(f int) int { return len(bm.cuts[f]) + 1 }
+
+// Cut returns the real-valued threshold separating codes ≤ b from codes > b
+// for feature f. A sample's raw value v satisfies v <= Cut(f, b) exactly when
+// its code is ≤ b, so binned splits and float-threshold prediction agree.
+func (bm *BinnedMatrix) Cut(f, b int) float64 { return bm.cuts[f][b] }
+
+// Code returns the bin code of sample row on feature f.
+func (bm *BinnedMatrix) Code(f, row int) uint8 { return bm.codes[f][row] }

@@ -1,0 +1,395 @@
+package tree
+
+// Histogram-based tree growth (LightGBM/XGBoost-hist style). Instead of
+// sorting samples per feature per node, each node accumulates per-bin
+// statistics (count, Σw, Σwy, Σwy²) over pre-binned feature codes and scans
+// the ≤ 256 bin boundaries for the best variance-reducing split. Three
+// further techniques keep the hot path allocation-free:
+//
+//   - the parent-minus-sibling subtraction trick: after a split only the
+//     smaller child accumulates its histogram from samples; the larger child
+//     reuses the parent's buffer with the sibling subtracted in place;
+//   - in-place sample-index partitioning over one shared rows slice, instead
+//     of append-grown left/right index slices per node;
+//   - slab allocation of nodes and a free-list pool of histogram buffers.
+
+import "math"
+
+// histBin holds one bin's accumulated statistics.
+type histBin struct {
+	n   float64 // sample count (bootstrap duplicates count once each)
+	w   float64 // Σ w
+	wy  float64 // Σ w·y
+	wy2 float64 // Σ w·y²
+}
+
+// histSums is a node's total statistics (the zeroth histogram moment).
+type histSums struct {
+	n   int
+	w   float64
+	wy  float64
+	wy2 float64
+}
+
+func (s histSums) sse() float64 {
+	if s.w <= 0 {
+		return 0
+	}
+	return s.wy2 - s.wy*s.wy/s.w
+}
+
+// nodeArena slab-allocates nodes so a tree fit costs O(nodes/256) allocations
+// instead of one per node. Full slabs stay reachable through node pointers.
+type nodeArena struct {
+	chunk []node
+}
+
+const arenaChunk = 256
+
+func (a *nodeArena) alloc() *node {
+	if len(a.chunk) == cap(a.chunk) {
+		a.chunk = make([]node, 0, arenaChunk)
+	}
+	a.chunk = append(a.chunk, node{})
+	return &a.chunk[len(a.chunk)-1]
+}
+
+// histBuilder grows one tree over a BinnedMatrix.
+type histBuilder struct {
+	t      *Tree
+	bm     *BinnedMatrix
+	y, w   []float64 // indexed by BinnedMatrix row id; w nil = uniform
+	stride int       // histogram entries per feature (bm.maxCodes)
+	pool   [][]histBin
+	arena  nodeArena
+	useSub bool  // all features at every node → subtraction trick applies
+	feats  []int // feature universe when useSub
+}
+
+// getHist returns a histogram buffer with at least the given features zeroed.
+// When feats is nil the whole buffer is zeroed (useSub mode touches all).
+func (hb *histBuilder) getHist(feats []int) []histBin {
+	var h []histBin
+	if k := len(hb.pool); k > 0 {
+		h = hb.pool[k-1]
+		hb.pool = hb.pool[:k-1]
+	} else {
+		return make([]histBin, hb.bm.d*hb.stride) // fresh buffers are zero
+	}
+	if feats == nil {
+		clear(h)
+		return h
+	}
+	for _, f := range feats {
+		lo := f * hb.stride
+		clear(h[lo : lo+hb.bm.NumBins(f)])
+	}
+	return h
+}
+
+func (hb *histBuilder) putHist(h []histBin) { hb.pool = append(hb.pool, h) }
+
+// accumulate adds the given rows into hist for each listed feature. The
+// column-major code layout makes the inner loop a sequential gather.
+func (hb *histBuilder) accumulate(hist []histBin, feats, rows []int) {
+	for _, f := range feats {
+		codes := hb.bm.codes[f]
+		h := hist[f*hb.stride:]
+		if hb.w == nil {
+			for _, r := range rows {
+				yv := hb.y[r]
+				b := &h[codes[r]]
+				b.n++
+				b.w++
+				b.wy += yv
+				b.wy2 += yv * yv
+			}
+		} else {
+			for _, r := range rows {
+				yv, wv := hb.y[r], hb.w[r]
+				b := &h[codes[r]]
+				b.n++
+				b.w += wv
+				b.wy += wv * yv
+				b.wy2 += wv * yv * yv
+			}
+		}
+	}
+}
+
+// subtract computes larger-child statistics in place: hist -= sib.
+func (hb *histBuilder) subtract(hist, sib []histBin, feats []int) {
+	for _, f := range feats {
+		lo := f * hb.stride
+		hi := lo + hb.bm.NumBins(f)
+		h, s := hist[lo:hi], sib[lo:hi]
+		for i := range h {
+			h[i].n -= s[i].n
+			h[i].w -= s[i].w
+			h[i].wy -= s[i].wy
+			h[i].wy2 -= s[i].wy2
+		}
+	}
+}
+
+// rowSums accumulates total node statistics directly from samples.
+func (hb *histBuilder) rowSums(rows []int) histSums {
+	s := histSums{n: len(rows)}
+	if hb.w == nil {
+		for _, r := range rows {
+			yv := hb.y[r]
+			s.w++
+			s.wy += yv
+			s.wy2 += yv * yv
+		}
+	} else {
+		for _, r := range rows {
+			yv, wv := hb.y[r], hb.w[r]
+			s.w += wv
+			s.wy += wv * yv
+			s.wy2 += wv * yv * yv
+		}
+	}
+	return s
+}
+
+// bestSplit scans bin boundaries of the candidate features for the largest
+// weighted-SSE reduction. Like the exact splitter, it ignores MinSamplesLeaf
+// here — build leafs the node afterwards if the winning split violates it —
+// so both engines implement the same pre-pruning semantics.
+func (hb *histBuilder) bestSplit(hist []histBin, feats []int, sums histSums) (feat, bin int, gain float64, ok bool) {
+	parentSSE := sums.sse()
+	bestGain := 0.0
+	bestFeat, bestBin := -1, -1
+	for _, f := range feats {
+		nb := hb.bm.NumBins(f)
+		if nb < 2 {
+			continue
+		}
+		h := hist[f*hb.stride : f*hb.stride+nb]
+		var lc, lw, lwy, lwy2 float64
+		for b := 0; b < nb-1; b++ {
+			e := h[b]
+			lc += e.n
+			lw += e.w
+			lwy += e.wy
+			lwy2 += e.wy2
+			// Counts are exact integers even after subtraction, unlike the
+			// float moments, whose ~1e-16 residues in empty bins could
+			// otherwise fake a candidate with samples on both sides.
+			if lc <= 0 || float64(sums.n)-lc <= 0 {
+				continue
+			}
+			rw := sums.w - lw
+			if lw <= 0 || rw <= 0 {
+				continue
+			}
+			leftSSE := lwy2 - lwy*lwy/lw
+			rwy := sums.wy - lwy
+			rwy2 := sums.wy2 - lwy2
+			rightSSE := rwy2 - rwy*rwy/rw
+			g := parentSSE - (leftSSE + rightSSE)
+			if g > bestGain {
+				bestGain, bestFeat, bestBin = g, f, b
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return 0, 0, 0, false
+	}
+	return bestFeat, bestBin, bestGain, true
+}
+
+// nodeThreshold converts a winning bin boundary into the exact engine's
+// float-threshold convention: the midpoint between the node's highest
+// populated bin at or below the boundary and its lowest populated bin above
+// it, using the per-bin observed value ranges. The raw quantile cut sits just
+// above the left value, so held-out samples falling inside the node's value
+// gap would otherwise route differently than under the exact engine.
+func (hb *histBuilder) nodeThreshold(hist []histBin, feat, bin int) float64 {
+	h := hist[feat*hb.stride:]
+	bl, br := -1, -1
+	for b := bin; b >= 0; b-- {
+		if h[b].n > 0 {
+			bl = b
+			break
+		}
+	}
+	for b, nb := bin+1, hb.bm.NumBins(feat); b < nb; b++ {
+		if h[b].n > 0 {
+			br = b
+			break
+		}
+	}
+	if bl < 0 || br < 0 { // unreachable for a valid split; keep the raw cut
+		return hb.bm.Cut(feat, bin)
+	}
+	return midpoint(hb.bm.binMax[feat][bl], hb.bm.binMin[feat][br])
+}
+
+// leftSums sums the histogram prefix bins 0..bin of feat — the statistics of
+// the left child, with the right child following by subtraction from sums.
+func (hb *histBuilder) leftSums(hist []histBin, feat, bin int) histSums {
+	var s histSums
+	h := hist[feat*hb.stride:]
+	for b := 0; b <= bin; b++ {
+		s.n += int(h[b].n)
+		s.w += h[b].w
+		s.wy += h[b].wy
+		s.wy2 += h[b].wy2
+	}
+	return s
+}
+
+// partitionRows reorders rows in place so samples with code ≤ bin on feat
+// come first, returning the boundary index.
+func partitionRows(rows []int, codes []uint8, bin uint8) int {
+	i, j := 0, len(rows)
+	for i < j {
+		if codes[rows[i]] <= bin {
+			i++
+		} else {
+			j--
+			rows[i], rows[j] = rows[j], rows[i]
+		}
+	}
+	return i
+}
+
+// build grows a subtree over rows. In useSub mode hist holds this node's
+// already-accumulated histogram (owned by the caller); otherwise hist is nil
+// and the node accumulates one for its sampled features on demand.
+func (hb *histBuilder) build(rows []int, hist []histBin, sums histSums, depth int) *node {
+	t := hb.t
+	if depth > t.depth {
+		t.depth = depth
+	}
+	t.nodes++
+	n := hb.arena.alloc()
+	n.leaf = true
+	n.samples = len(rows)
+	if sums.w > 0 {
+		n.value = sums.wy / sums.w
+	}
+
+	// Stopping conditions — identical to the exact engine's, so both produce
+	// the same pre-pruning behavior.
+	if hb.stops(rows, depth) {
+		hb.recordLeaf(rows, n.value)
+		return n
+	}
+
+	feats := hb.feats
+	ownHist := hist == nil
+	if ownHist {
+		feats = t.featureSubset()
+		hist = hb.getHist(feats)
+		hb.accumulate(hist, feats, rows)
+	}
+	feat, bin, gain, ok := hb.bestSplit(hist, feats, sums)
+	if !ok || gain < t.Params.MinImpurityDec {
+		if ownHist {
+			hb.putHist(hist)
+		}
+		hb.recordLeaf(rows, n.value)
+		return n
+	}
+
+	lSums := hb.leftSums(hist, feat, bin)
+	rSums := histSums{n: sums.n - lSums.n, w: sums.w - lSums.w, wy: sums.wy - lSums.wy, wy2: sums.wy2 - lSums.wy2}
+	mid := partitionRows(rows, hb.bm.codes[feat], uint8(bin))
+	left, right := rows[:mid], rows[mid:]
+	if len(left) < t.Params.MinSamplesLeaf || len(right) < t.Params.MinSamplesLeaf {
+		// Same pre-pruning as the exact engine: a winning split that starves
+		// a child turns the node into a leaf.
+		if ownHist {
+			hb.putHist(hist)
+		}
+		hb.recordLeaf(rows, n.value)
+		return n
+	}
+
+	n.leaf = false
+	n.feature = feat
+	n.threshold = hb.nodeThreshold(hist, feat, bin)
+	t.gains[feat] += gain
+
+	if !hb.useSub || ownHist {
+		// Feature subsets differ per node (or this histogram only covers this
+		// node's subset), so children rebuild their own histograms.
+		if ownHist {
+			hb.putHist(hist)
+		}
+		n.left = hb.build(left, nil, lSums, depth+1)
+		n.right = hb.build(right, nil, rSums, depth+1)
+		return n
+	}
+
+	// Subtraction trick: only the smaller child accumulates from samples; the
+	// parent buffer, minus the sibling, becomes the larger child's histogram.
+	// A child that will stop immediately (e.g. the whole level at the depth
+	// cap) gets no histogram at all — build leafs before reading it.
+	small, large := left, right
+	smallSums, largeSums := lSums, rSums
+	if len(left) > len(right) {
+		small, large = right, left
+		smallSums, largeSums = rSums, lSums
+	}
+	var smallHist, largeHist, sib []histBin
+	if !hb.stops(large, depth+1) {
+		sib = hb.getHist(nil)
+		hb.accumulate(sib, feats, small)
+		hb.subtract(hist, sib, feats)
+		largeHist = hist
+		if !hb.stops(small, depth+1) {
+			smallHist = sib
+		}
+	} else if !hb.stops(small, depth+1) {
+		sib = hb.getHist(nil)
+		hb.accumulate(sib, feats, small)
+		smallHist = sib
+	}
+	smallNode := hb.build(small, smallHist, smallSums, depth+1)
+	if sib != nil {
+		hb.putHist(sib)
+	}
+	largeNode := hb.build(large, largeHist, largeSums, depth+1)
+	if len(left) <= len(right) {
+		n.left, n.right = smallNode, largeNode
+	} else {
+		n.left, n.right = largeNode, smallNode
+	}
+	return n
+}
+
+// stops reports whether a node over the given rows at the given depth
+// becomes a leaf without attempting a split. The conditions match the exact
+// engine's exactly (including its constant-target scan, which short-circuits
+// at the first differing target on noisy data).
+func (hb *histBuilder) stops(rows []int, depth int) bool {
+	t := hb.t
+	if len(rows) < t.Params.MinSamplesSplit ||
+		(t.Params.MaxDepth > 0 && depth >= t.Params.MaxDepth) {
+		return true
+	}
+	first := hb.y[rows[0]]
+	for _, r := range rows[1:] {
+		if math.Abs(hb.y[r]-first) > 1e-15 {
+			return false
+		}
+	}
+	return true
+}
+
+// recordLeaf caches the leaf value for every training row that landed here,
+// giving ensembles the just-fit tree's training predictions for free (no
+// root-to-leaf traversal pass). No-op unless the cache was requested.
+func (hb *histBuilder) recordLeaf(rows []int, value float64) {
+	tp := hb.t.trainPred
+	if tp == nil {
+		return
+	}
+	for _, r := range rows {
+		tp[r] = value
+	}
+}

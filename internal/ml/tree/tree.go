@@ -2,11 +2,24 @@
 // Tree (DT) model, and the base learner for the Random Forest, Gradient
 // Boosting, and AdaBoost ensembles.
 //
-// The splitter is exact: for each candidate feature it sorts the samples and
-// evaluates every threshold between adjacent distinct values, choosing the
-// split that maximizes variance reduction (equivalently, minimizes the
-// weighted child sum-of-squared-error). Sample weights are supported so the
-// same tree drives AdaBoost.
+// Two split engines are available, selected by Params.Splitter:
+//
+//   - SplitterExact sorts the samples per candidate feature and evaluates
+//     every threshold between adjacent distinct values, choosing the split
+//     that maximizes variance reduction (equivalently, minimizes the
+//     weighted child sum-of-squared-error). It is the reference engine.
+//   - SplitterHist quantile-bins every feature into ≤ 256 codes once (see
+//     BinnedMatrix) and finds splits by scanning per-bin statistics, the
+//     LightGBM/XGBoost-hist approach: O(bins) per feature per node instead
+//     of O(n log n), with the parent-minus-sibling subtraction trick,
+//     in-place sample partitioning, and slab-allocated nodes. Ensembles
+//     share one BinnedMatrix across all member trees via FitBinned.
+//   - SplitterAuto (the default) picks the histogram engine for large
+//     training sets and the exact engine otherwise.
+//
+// Sample weights are supported by both engines so the same tree drives
+// AdaBoost. Fitted trees predict from ordinary float thresholds regardless
+// of the engine that grew them.
 package tree
 
 import (
@@ -18,13 +31,36 @@ import (
 	"parcost/internal/rng"
 )
 
+// Splitter selects the split-finding engine.
+type Splitter int
+
+const (
+	// SplitterAuto uses the histogram engine when the training set has at
+	// least HistAutoMinSamples rows, the exact engine otherwise.
+	SplitterAuto Splitter = iota
+	// SplitterExact evaluates every threshold between adjacent distinct
+	// values (reference engine; exact feature importances).
+	SplitterExact
+	// SplitterHist finds splits over quantile-binned features (fast engine).
+	SplitterHist
+)
+
+// HistAutoMinSamples is the training-set size at which SplitterAuto switches
+// a standalone tree fit to the histogram engine. Below it the exact engine
+// is cheap and keeps the DT model's interpolation property on small data.
+// Ensembles amortize binning across hundreds of trees and switch much
+// earlier (see the ensemble package).
+const HistAutoMinSamples = 512
+
 // Params configures tree growth.
 type Params struct {
-	MaxDepth        int     // maximum depth (0 = unlimited)
-	MinSamplesSplit int     // minimum samples required to split a node
-	MinSamplesLeaf  int     // minimum samples in each resulting leaf
-	MaxFeatures     int     // features considered per split (0 = all)
-	MinImpurityDec  float64 // minimum variance reduction to accept a split
+	MaxDepth        int      // maximum depth (0 = unlimited)
+	MinSamplesSplit int      // minimum samples required to split a node
+	MinSamplesLeaf  int      // minimum samples in each resulting leaf
+	MaxFeatures     int      // features considered per split (0 = all)
+	MinImpurityDec  float64  // minimum variance reduction to accept a split
+	Splitter        Splitter // split engine (default SplitterAuto)
+	MaxBins         int      // histogram bins per feature (0 = DefaultMaxBins)
 }
 
 // DefaultParams returns unrestricted growth with leaf size 1.
@@ -52,6 +88,12 @@ type Tree struct {
 	nodes  int
 	depth  int
 	gains  []float64 // accumulated variance-reduction per feature
+
+	// trainPred caches, for a histogram fit with cacheTrain set, the leaf
+	// value assigned to each BinnedMatrix row that participated in training
+	// (see CacheTrainPredictions / TrainPredictions).
+	cacheTrain bool
+	trainPred  []float64
 }
 
 // New returns an unfitted tree with the given parameters. The rng is used
@@ -72,6 +114,17 @@ func (t *Tree) Name() string { return "decisiontree" }
 
 // Fit grows the tree with uniform sample weights.
 func (t *Tree) Fit(x [][]float64, y []float64) error {
+	if t.resolveSplitter(len(x)) == SplitterHist {
+		if _, err := ml.CheckXY(x, y); err != nil {
+			return err
+		}
+		bm := NewBinnedMatrix(x, t.Params.MaxBins)
+		rows := make([]int, len(x))
+		for i := range rows {
+			rows[i] = i
+		}
+		return t.FitBinned(bm, y, rows)
+	}
 	w := make([]float64, len(y))
 	for i := range w {
 		w[i] = 1
@@ -88,6 +141,14 @@ func (t *Tree) FitWeighted(x [][]float64, y, w []float64) error {
 	if len(w) != len(y) {
 		return fmt.Errorf("tree: %d weights but %d samples", len(w), len(y))
 	}
+	if t.resolveSplitter(len(x)) == SplitterHist {
+		bm := NewBinnedMatrix(x, t.Params.MaxBins)
+		rows := make([]int, len(x))
+		for i := range rows {
+			rows[i] = i
+		}
+		return t.FitBinnedWeighted(bm, y, w, rows)
+	}
 	t.dim = d
 	idx := make([]int, len(x))
 	for i := range idx {
@@ -96,9 +157,98 @@ func (t *Tree) FitWeighted(x [][]float64, y, w []float64) error {
 	t.nodes = 0
 	t.depth = 0
 	t.gains = make([]float64, d)
+	t.trainPred = nil
 	t.root = t.build(x, y, w, idx, 0)
 	return nil
 }
+
+// resolveSplitter maps SplitterAuto to a concrete engine for n samples.
+func (t *Tree) resolveSplitter(n int) Splitter {
+	if t.Params.Splitter == SplitterAuto {
+		if n >= HistAutoMinSamples {
+			return SplitterHist
+		}
+		return SplitterExact
+	}
+	return t.Params.Splitter
+}
+
+// FitBinned grows the tree with the histogram engine over the given rows of
+// a pre-binned matrix, with uniform sample weights. rows may repeat indices
+// (bootstrap resampling) and is reordered in place during partitioning.
+// Ensembles build one BinnedMatrix per fit and share it across all trees.
+func (t *Tree) FitBinned(bm *BinnedMatrix, y []float64, rows []int) error {
+	return t.FitBinnedWeighted(bm, y, nil, rows)
+}
+
+// FitBinnedWeighted is FitBinned with explicit per-row sample weights
+// (indexed by BinnedMatrix row id; nil means uniform).
+func (t *Tree) FitBinnedWeighted(bm *BinnedMatrix, y, w []float64, rows []int) error {
+	if bm == nil || bm.Rows() == 0 {
+		return fmt.Errorf("tree: empty binned matrix")
+	}
+	if len(y) != bm.Rows() {
+		return fmt.Errorf("tree: %d targets but %d binned rows", len(y), bm.Rows())
+	}
+	if w != nil && len(w) != bm.Rows() {
+		return fmt.Errorf("tree: %d weights but %d binned rows", len(w), bm.Rows())
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("tree: no training rows")
+	}
+	t.dim = bm.Dim()
+	t.nodes = 0
+	t.depth = 0
+	t.gains = make([]float64, t.dim)
+	if !t.cacheTrain {
+		t.trainPred = nil
+	} else if len(t.trainPred) != bm.Rows() {
+		t.trainPred = make([]float64, bm.Rows())
+	}
+	hb := &histBuilder{
+		t: t, bm: bm, y: y, w: w,
+		stride: bm.maxCodes,
+		useSub: t.Params.MaxFeatures <= 0 || t.Params.MaxFeatures >= t.dim,
+	}
+	sums := hb.rowSums(rows)
+	var hist []histBin
+	if hb.useSub {
+		hb.feats = make([]int, t.dim)
+		for i := range hb.feats {
+			hb.feats[i] = i
+		}
+		if !hb.stops(rows, 0) {
+			hist = hb.getHist(nil)
+			hb.accumulate(hist, hb.feats, rows)
+		}
+	}
+	t.root = hb.build(rows, hist, sums, 0)
+	return nil
+}
+
+// CacheTrainPredictions arranges for subsequent FitBinned* calls to record
+// each training row's leaf value as the tree is grown, retrievable via
+// TrainPredictions. Off by default: only callers that consume the cache
+// (gradient boosting's per-round training-set update) should pay the
+// n-sized allocation and per-leaf stores.
+func (t *Tree) CacheTrainPredictions(on bool) {
+	t.cacheTrain = on
+	if !on {
+		t.trainPred = nil
+	}
+}
+
+// TrainPredictions returns the cached per-row leaf assignments from the most
+// recent histogram fit: entry i is the fitted tree's prediction for row i of
+// the BinnedMatrix, recorded as the tree was grown (no traversal pass).
+// Entries for rows excluded from the fit are stale. Returns nil unless
+// CacheTrainPredictions(true) was set before fitting.
+func (t *Tree) TrainPredictions() []float64 { return t.trainPred }
+
+// DropTrainCache releases the cached training predictions. Ensembles call it
+// once a tree's training-set predictions have been consumed so retained
+// member trees don't pin an n-sized slice each.
+func (t *Tree) DropTrainCache() { t.trainPred = nil }
 
 // build recursively constructs a subtree over the given sample indices.
 func (t *Tree) build(x [][]float64, y, w []float64, idx []int, depth int) *node {
@@ -123,14 +273,18 @@ func (t *Tree) build(x [][]float64, y, w []float64, idx []int, depth int) *node 
 		return n
 	}
 
-	var leftIdx, rightIdx []int
-	for _, i := range idx {
-		if x[i][feat] <= thr {
-			leftIdx = append(leftIdx, i)
+	// Partition idx in place around the threshold; the recursion owns idx,
+	// so reordering it is free and avoids append-grown child slices.
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		if x[idx[lo]][feat] <= thr {
+			lo++
 		} else {
-			rightIdx = append(rightIdx, i)
+			hi--
+			idx[lo], idx[hi] = idx[hi], idx[lo]
 		}
 	}
+	leftIdx, rightIdx := idx[:lo], idx[lo:]
 	if len(leftIdx) < t.Params.MinSamplesLeaf || len(rightIdx) < t.Params.MinSamplesLeaf {
 		n.leaf = true
 		return n

@@ -1,0 +1,73 @@
+package parcost_test
+
+import (
+	"math"
+	"testing"
+
+	"parcost/internal/ccsd"
+	"parcost/internal/machine"
+	"parcost/internal/ml/ensemble"
+	"parcost/internal/ml/tree"
+	"parcost/internal/rng"
+	"parcost/internal/stats"
+)
+
+// TestSplitterParityOnCCSD asserts the histogram engine reproduces the exact
+// engine's accuracy on the paper's workload: a GB ensemble trained on the
+// Aurora and Frontier CCSD datasets must reach held-out RMSE within 2%
+// relative of the exact splitter. The CCSD sweep has few distinct values per
+// feature, so the binned candidate-threshold set matches the exact one and
+// the engines should agree almost perfectly.
+func TestSplitterParityOnCCSD(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec machine.Spec
+	}{
+		{"aurora", machine.Aurora()},
+		{"frontier", machine.Frontier()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := ccsd.Generate(tc.spec, ccsd.GenConfig{TargetSize: 800, Noise: true, Seed: 20240601})
+			train, test := d.Split(0.25, rng.New(7))
+			trX, trY := train.Features(), train.Targets()
+			teX, teY := test.Features(), test.Targets()
+
+			fit := func(s tree.Splitter) float64 {
+				gb := ensemble.NewGradientBoosting(150, 0.1,
+					tree.Params{MaxDepth: 8, Splitter: s}, 1)
+				if err := gb.Fit(trX, trY); err != nil {
+					t.Fatal(err)
+				}
+				return stats.RMSE(teY, gb.Predict(teX))
+			}
+			exact := fit(tree.SplitterExact)
+			hist := fit(tree.SplitterHist)
+			if diff := math.Abs(hist-exact) / exact; diff > 0.02 {
+				t.Fatalf("held-out RMSE parity broken: exact %v hist %v (%.2f%% apart)",
+					exact, hist, 100*diff)
+			}
+		})
+	}
+}
+
+// TestSplitterParityRandomForest covers the no-subtraction histogram path
+// (per-node feature subsampling) at the ensemble level.
+func TestSplitterParityRandomForest(t *testing.T) {
+	d := ccsd.Generate(machine.Aurora(), ccsd.GenConfig{TargetSize: 700, Noise: true, Seed: 3})
+	train, test := d.Split(0.25, rng.New(5))
+	trX, trY := train.Features(), train.Targets()
+	teX, teY := test.Features(), test.Targets()
+
+	fit := func(s tree.Splitter) float64 {
+		rf := ensemble.NewRandomForest(60, tree.Params{MaxDepth: 10, Splitter: s}, 9)
+		if err := rf.Fit(trX, trY); err != nil {
+			t.Fatal(err)
+		}
+		return stats.RMSE(teY, rf.Predict(teX))
+	}
+	exact := fit(tree.SplitterExact)
+	hist := fit(tree.SplitterHist)
+	if diff := math.Abs(hist-exact) / exact; diff > 0.05 {
+		t.Fatalf("RF parity broken: exact %v hist %v (%.2f%% apart)", exact, hist, 100*diff)
+	}
+}

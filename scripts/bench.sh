@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the headline paper-table benchmarks once and records the results as
+# BENCH_<date>.json in the repo root, building the performance trajectory
+# across PRs. Pass a custom -bench pattern as $1 to override the default set.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${1:-BenchmarkTable2_GBTrainPredict|BenchmarkFigure1_AuroraModels|BenchmarkAblation_SplitterEngine}"
+out="BENCH_$(date +%Y%m%d).json"
+
+raw=$(go test -run '^$' -bench "$pattern" -benchtime=1x -benchmem .)
+echo "$raw"
+
+{
+  echo '{'
+  echo "  \"date\": \"$(date -Iseconds)\","
+  echo "  \"go\": \"$(go version | awk '{print $3}')\","
+  echo '  "results": ['
+  echo "$raw" | awk '
+    /^Benchmark/ {
+      if (seen) printf ",\n"
+      seen = 1
+      printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $1, $3, $5, $7
+    }
+    END { if (seen) printf "\n" }'
+  echo '  ]'
+  echo '}'
+} > "$out"
+echo "wrote $out"
