@@ -20,6 +20,7 @@ import (
 	"parcost/internal/machine"
 	"parcost/internal/ml/ensemble"
 	"parcost/internal/ml/tree"
+	"parcost/internal/modelsel"
 	"parcost/internal/rng"
 	"parcost/internal/simsched"
 	"parcost/internal/stats"
@@ -278,6 +279,42 @@ func BenchmarkAblation_SplitterEngine(b *testing.B) {
 					tree.Params{MaxDepth: 10, Splitter: eng.s}, 1)
 				if err := gb.Fit(trX, trY); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation: kernel suite, shared distance plane vs scalar grams ---
+//
+// The kernel models historically rebuilt an n×n gram via scalar Kernel.Eval
+// calls for every CV fold × candidate. The shared DistancePlane computes
+// pairwise distances once per search, derives each distinct gram with one
+// elementwise map, and memoizes it across candidates that revisit a
+// length-scale. This bench runs the gram-sensitive kernel grids (KR, GP)
+// both ways on the same data; SVR is excluded because its cost is bound by
+// SMO sweeps, not gram construction.
+
+func BenchmarkAblation_KernelGram(b *testing.B) {
+	spec := machine.Aurora()
+	d := ccsd.Generate(spec, ccsd.GenConfig{TargetSize: 700, Noise: true, Seed: 3})
+	train, _ := d.Split(0.25, rng.New(4))
+	trX, trY := train.Features(), train.Targets()
+	reg := modelsel.Registry(42)
+	for _, mode := range []struct {
+		name string
+		opts []modelsel.Option
+	}{
+		{"plane", nil},
+		{"scalar", []modelsel.Option{modelsel.WithScalarGram()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, code := range []string{"KR", "GP"} {
+					ms := reg[code]
+					if _, err := modelsel.GridSearch(ms.Factory, ms.Space, trX, trY, 3, 42, mode.opts...); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 		})

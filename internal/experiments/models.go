@@ -64,6 +64,25 @@ type ModelComparisonConfig struct {
 	Seed        uint64
 	Strategies  []SearchStrategy
 	Codes       []string // model codes; nil = all
+	// ScalarGram forces kernel models onto pairwise Kernel.Eval gram
+	// construction instead of the shared distance plane (the reference
+	// path); the kernel-suite ablation benchmark flips this.
+	ScalarGram bool
+	// SerialCV evaluates candidates serially instead of on the worker pool
+	// (the determinism reference).
+	SerialCV bool
+}
+
+// searchOptions maps the config's engine knobs to modelsel options.
+func (c ModelComparisonConfig) searchOptions() []modelsel.Option {
+	var opts []modelsel.Option
+	if c.ScalarGram {
+		opts = append(opts, modelsel.WithScalarGram())
+	}
+	if c.SerialCV {
+		opts = append(opts, modelsel.WithSerial())
+	}
+	return opts
 }
 
 // DefaultModelComparisonConfig returns a tractable configuration.
@@ -111,14 +130,15 @@ func (h *Harness) Figure1or2(machineName string, cfg ModelComparisonConfig) (Mod
 		for _, strat := range strategies {
 			var sr modelsel.SearchResult
 			var serr error
+			opts := cfg.searchOptions()
 			dur := timeit(func() {
 				switch strat {
 				case Randomized:
-					sr, serr = modelsel.RandomSearch(spec.Factory, spec.Space, trainX, trainY, cfg.Folds, cfg.RandomIters, cfg.Seed)
+					sr, serr = modelsel.RandomSearch(spec.Factory, spec.Space, trainX, trainY, cfg.Folds, cfg.RandomIters, cfg.Seed, opts...)
 				case Bayes:
-					sr, serr = modelsel.BayesSearch(spec.Factory, spec.Space, trainX, trainY, cfg.Folds, cfg.BayesInit, cfg.BayesIters, cfg.Seed)
+					sr, serr = modelsel.BayesSearch(spec.Factory, spec.Space, trainX, trainY, cfg.Folds, cfg.BayesInit, cfg.BayesIters, cfg.Seed, opts...)
 				default:
-					sr, serr = modelsel.GridSearch(spec.Factory, spec.Space, trainX, trainY, cfg.Folds, cfg.Seed)
+					sr, serr = modelsel.GridSearch(spec.Factory, spec.Space, trainX, trainY, cfg.Folds, cfg.Seed, opts...)
 				}
 			})
 			if serr != nil {

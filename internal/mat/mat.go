@@ -375,6 +375,27 @@ func (c *Cholesky) LSolveVec(b []float64) []float64 {
 	return y
 }
 
+// LSolveVecInto solves L y = b into dst without allocating. dst and b must
+// both have length n; they may alias. Hot prediction loops (GP posterior
+// variance) use this to reuse one scratch buffer across rows.
+func (c *Cholesky) LSolveVecInto(dst, b []float64) {
+	if len(b) != c.n || len(dst) != c.n {
+		panic("mat: LSolveVecInto length mismatch")
+	}
+	if &dst[0] != &b[0] {
+		copy(dst, b)
+	}
+	n, l := c.n, c.l
+	for i := 0; i < n; i++ {
+		s := dst[i]
+		row := l[i*n : i*n+i]
+		for p, v := range row {
+			s -= v * dst[p]
+		}
+		dst[i] = s / l[i*n+i]
+	}
+}
+
 // SolveSPD solves A x = b for SPD A, adding escalating jitter to the
 // diagonal if the factorization fails. Kernel matrices are routinely
 // borderline-singular, so this is the standard robust entry point used by

@@ -69,10 +69,12 @@ func (a *AdaBoost) Fit(x [][]float64, y []float64) error {
 	params := a.Params
 	params.Splitter = resolveSplitter(params, N)
 	var bm *tree.BinnedMatrix
+	var pool *tree.HistPool
 	if params.Splitter == tree.SplitterHist {
 		// Bin the training matrix once; every boosting round fits and
-		// evaluates against it.
+		// evaluates against it, drawing scratch from one shared pool.
 		bm = tree.NewBinnedMatrix(x, params.MaxBins)
+		pool = tree.NewHistPool()
 	}
 
 	for m := 0; m < a.NumTrees; m++ {
@@ -82,6 +84,7 @@ func (a *AdaBoost) Fit(x [][]float64, y []float64) error {
 		tr := tree.New(params, r.Split())
 		var pred []float64
 		if bm != nil {
+			tr.ShareHistPool(pool)
 			if err := tr.FitBinned(bm, y, idx); err != nil {
 				return fmt.Errorf("ensemble: adaboost tree %d: %w", m, err)
 			}

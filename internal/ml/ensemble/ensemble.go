@@ -112,8 +112,11 @@ func (f *RandomForest) Fit(x [][]float64, y []float64) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One histogram-buffer pool per worker: recycled across every
+			// tree this worker grows, never shared between goroutines.
+			pool := tree.NewHistPool()
 			for ti := range jobs {
-				tr, err := fitOneForestTree(x, y, bm, params, seeds[ti], sampleN)
+				tr, err := fitOneForestTree(x, y, bm, params, seeds[ti], sampleN, pool)
 				if err != nil {
 					errMu.Lock()
 					if fitErrIdx < 0 || ti < fitErrIdx {
@@ -139,11 +142,12 @@ func (f *RandomForest) Fit(x [][]float64, y []float64) error {
 	return nil
 }
 
-func fitOneForestTree(x [][]float64, y []float64, bm *tree.BinnedMatrix, params tree.Params, seed uint64, sampleN int) (*tree.Tree, error) {
+func fitOneForestTree(x [][]float64, y []float64, bm *tree.BinnedMatrix, params tree.Params, seed uint64, sampleN int, pool *tree.HistPool) (*tree.Tree, error) {
 	r := rng.New(seed)
 	idx := r.Bootstrap(len(x))[:sampleN]
 	tr := tree.New(params, r.Split())
 	if bm != nil {
+		tr.ShareHistPool(pool)
 		if err := tr.FitBinned(bm, y, idx); err != nil {
 			return nil, err
 		}
@@ -162,13 +166,14 @@ func (f *RandomForest) Predict(x [][]float64) []float64 {
 		panic("ensemble: RandomForest.Predict before Fit")
 	}
 	out := make([]float64, len(x))
+	p := make([]float64, len(x))
 	fitted := 0
 	for _, tr := range f.trees {
 		if tr == nil {
 			continue
 		}
 		fitted++
-		p := tr.Predict(x)
+		tr.PredictInto(x, p)
 		for i := range out {
 			out[i] += p[i]
 		}
@@ -202,6 +207,12 @@ type GradientBoosting struct {
 
 	init  float64 // initial prediction (target mean)
 	trees []*tree.Tree
+
+	// Staged-CV streaming mode (see FitStaged): afterRound observes each
+	// round's tree before the next round starts, and discard drops trees
+	// instead of retaining them, letting rounds recycle one node arena.
+	afterRound func(m int, tr *tree.Tree)
+	discard    bool
 }
 
 // NewGradientBoosting returns a gradient booster.
@@ -254,6 +265,7 @@ func (g *GradientBoosting) Fit(x [][]float64, y []float64) error {
 		return g.fitHist(x, y, params, pred, residual, r, sub, subN)
 	}
 
+	step := make([]float64, len(x))
 	for m := 0; m < g.NumTrees; m++ {
 		for i := range residual {
 			residual[i] = y[i] - pred[i] // negative gradient of ½(y−f)²
@@ -271,11 +283,16 @@ func (g *GradientBoosting) Fit(x [][]float64, y []float64) error {
 			return fmt.Errorf("ensemble: GB tree %d: %w", m, err)
 		}
 		// Update the ensemble prediction over all samples.
-		step := tr.Predict(x)
+		tr.PredictInto(x, step)
 		for i := range pred {
 			pred[i] += g.LearningRate * step[i]
 		}
-		g.trees = append(g.trees, tr)
+		if g.afterRound != nil {
+			g.afterRound(m, tr)
+		}
+		if !g.discard {
+			g.trees = append(g.trees, tr)
+		}
 	}
 	return nil
 }
@@ -292,11 +309,29 @@ func (g *GradientBoosting) fitHist(x [][]float64, y []float64, params tree.Param
 	for i := range allRows {
 		allRows[i] = i
 	}
+	// All boosting rounds share one histogram-buffer pool over the shared
+	// binned matrix and one train-prediction buffer; the sequential loop
+	// makes that race-free.
+	pool := tree.NewHistPool()
+	// Per-round training predictions land in one shared buffer: the
+	// full-sample path caches leaf assignments into it, the subsample path
+	// predicts into it.
+	trainBuf := make([]float64, n)
+	// In discard mode every round's tree dies before the next begins, so
+	// all rounds can carve their nodes from one recycled arena.
+	var arena *tree.NodeArena
+	if g.discard {
+		arena = tree.NewNodeArena()
+	}
 	for m := 0; m < g.NumTrees; m++ {
 		for i := range residual {
 			residual[i] = y[i] - pred[i] // negative gradient of ½(y−f)²
 		}
 		tr := tree.New(params, r.Split())
+		tr.ShareHistPool(pool)
+		if arena != nil {
+			tr.ShareNodeArena(arena)
+		}
 		var step []float64
 		if sub < 1.0 {
 			idx := r.Sample(n, subN)
@@ -306,9 +341,10 @@ func (g *GradientBoosting) fitHist(x [][]float64, y []float64, params tree.Param
 			// Out-of-sample rows weren't assigned leaves during growth, and
 			// they must route exactly as the deployed model will route them —
 			// predict through the float thresholds.
-			step = tr.Predict(x)
+			tr.PredictInto(x, trainBuf)
+			step = trainBuf
 		} else {
-			tr.CacheTrainPredictions(true)
+			tr.CacheTrainPredictionsInto(trainBuf)
 			if err := tr.FitBinned(bm, residual, allRows); err != nil {
 				return fmt.Errorf("ensemble: GB tree %d: %w", m, err)
 			}
@@ -318,7 +354,12 @@ func (g *GradientBoosting) fitHist(x [][]float64, y []float64, params tree.Param
 			pred[i] += g.LearningRate * step[i]
 		}
 		tr.DropTrainCache()
-		g.trees = append(g.trees, tr)
+		if g.afterRound != nil {
+			g.afterRound(m, tr)
+		}
+		if !g.discard {
+			g.trees = append(g.trees, tr)
+		}
 	}
 	return nil
 }
@@ -332,8 +373,9 @@ func (g *GradientBoosting) Predict(x [][]float64) []float64 {
 	for i := range out {
 		out[i] = g.init
 	}
+	step := make([]float64, len(x))
 	for _, tr := range g.trees {
-		step := tr.Predict(x)
+		tr.PredictInto(x, step)
 		for i := range out {
 			out[i] += g.LearningRate * step[i]
 		}
@@ -353,8 +395,9 @@ func (g *GradientBoosting) StagedPredict(x [][]float64) [][]float64 {
 	for i := range acc {
 		acc[i] = g.init
 	}
+	step := make([]float64, len(x))
 	for m, tr := range g.trees {
-		step := tr.Predict(x)
+		tr.PredictInto(x, step)
 		for i := range acc {
 			acc[i] += g.LearningRate * step[i]
 		}

@@ -79,10 +79,11 @@ type KernelRidge struct {
 	Kernel Kernel
 	Alpha  float64
 
-	scaler *stats.StandardScaler
-	tScale *stats.TargetScaler
-	xTrain [][]float64
-	dual   []float64
+	scaler   *stats.StandardScaler
+	tScale   *stats.TargetScaler
+	xTrain   [][]float64
+	planeIdx []int // plane row indices of xTrain when fitted via FitPlane
+	dual     []float64
 }
 
 // NewKernelRidge returns a kernel ridge regressor.
@@ -100,10 +101,30 @@ func (m *KernelRidge) Fit(x [][]float64, y []float64) error {
 	}
 	m.scaler = stats.FitScaler(x)
 	m.xTrain = m.scaler.Transform(x)
+	m.planeIdx = nil // a plain fit invalidates any earlier plane binding
 	m.tScale = stats.FitTargetScaler(y)
 	ys := m.tScale.Transform(y)
 
 	g := gram(m.Kernel, m.xTrain)
+	return m.solve(g, ys)
+}
+
+// FitPlane solves the dual system against a sub-gram sliced from a shared
+// distance plane: the training rows are plane rows trainIdx, standardized by
+// the plane's dataset-level scaler, and the gram costs one elementwise map
+// over cached distances instead of a pairwise kernel pass.
+func (m *KernelRidge) FitPlane(p *DistancePlane, trainIdx []int, y []float64) error {
+	m.scaler = p.Scaler()
+	m.xTrain = p.Rows(trainIdx)
+	m.planeIdx = trainIdx
+	m.tScale = stats.FitTargetScaler(y)
+	ys := m.tScale.Transform(y)
+	// The plane's gram is shared and read-only; the ridge solve shifts the
+	// diagonal, so work on a copy.
+	return m.solve(p.Slice(trainIdx, trainIdx).Gram(m.Kernel).Clone(), ys)
+}
+
+func (m *KernelRidge) solve(g *mat.Dense, ys []float64) error {
 	g.AddScaledIdentity(m.Alpha)
 	dual, err := mat.SolveSPD(g, ys)
 	if err != nil {
@@ -111,6 +132,20 @@ func (m *KernelRidge) Fit(x [][]float64, y []float64) error {
 	}
 	m.dual = dual
 	return nil
+}
+
+// PredictPlane predicts for plane rows testIdx through the shared plane's
+// cached cross-gram, on the original target scale.
+func (m *KernelRidge) PredictPlane(p *DistancePlane, testIdx []int) []float64 {
+	if m.dual == nil || m.planeIdx == nil {
+		panic("kernel: KernelRidge.PredictPlane before FitPlane")
+	}
+	cross := p.Slice(testIdx, m.planeIdx).Gram(m.Kernel)
+	out := make([]float64, len(testIdx))
+	for i := range out {
+		out[i] = m.tScale.InverseOne(mat.Dot(cross.Row(i), m.dual))
+	}
+	return out
 }
 
 // Predict evaluates f(x) = Σ aᵢ k(xᵢ, x) on the original target scale.
@@ -138,12 +173,13 @@ type GaussianProcess struct {
 	Kernel Kernel
 	Noise  float64 // observation noise variance (on standardized targets)
 
-	scaler  *stats.StandardScaler
-	tScale  *stats.TargetScaler
-	xTrain  [][]float64
-	chol    *mat.Cholesky
-	alpha   []float64 // (K+σ²I)⁻¹ y
-	autoLen bool
+	scaler   *stats.StandardScaler
+	tScale   *stats.TargetScaler
+	xTrain   [][]float64
+	planeIdx []int // plane row indices of xTrain when fitted via FitPlane
+	chol     *mat.Cholesky
+	alpha    []float64 // (K+σ²I)⁻¹ y
+	autoLen  bool
 }
 
 // medianDistance returns the median pairwise Euclidean distance among the
@@ -154,15 +190,15 @@ func medianDistance(x [][]float64) float64 {
 	if n < 2 {
 		return 0
 	}
-	// Subsample pairs to keep this O(cap²) for large sets.
-	const cap = 200
+	// Subsample pairs to keep this O(sampleCap²) for large sets.
+	const sampleCap = 200
 	m := n
 	stride := 1
-	if n > cap {
-		stride = n / cap
-		m = cap
+	if n > sampleCap {
+		stride = n / sampleCap
+		m = sampleCap
 	}
-	var dists []float64
+	dists := make([]float64, 0, m*(m-1)/2)
 	idx := make([]int, 0, m)
 	for i := 0; i < n && len(idx) < m; i += stride {
 		idx = append(idx, i)
@@ -209,19 +245,44 @@ func (g *GaussianProcess) Fit(x [][]float64, y []float64) error {
 	}
 	g.scaler = stats.FitScaler(x)
 	g.xTrain = g.scaler.Transform(x)
+	g.planeIdx = nil // a plain fit invalidates any earlier plane binding
 	g.tScale = stats.FitTargetScaler(y)
 	ys := g.tScale.Transform(y)
 
-	if g.autoLen {
-		if rbf, ok := g.Kernel.(RBF); ok {
-			if l := medianDistance(g.xTrain); l > 0 {
-				rbf.Length = l
-				g.Kernel = rbf
-			}
+	g.applyAutoLength()
+	return g.factorize(gram(g.Kernel, g.xTrain), ys)
+}
+
+// FitPlane factorizes against a sub-gram sliced from a shared distance
+// plane. The training rows are plane rows trainIdx, standardized by the
+// plane's dataset-level scaler; the gram is derived from cached distances.
+func (g *GaussianProcess) FitPlane(p *DistancePlane, trainIdx []int, y []float64) error {
+	g.scaler = p.Scaler()
+	g.xTrain = p.Rows(trainIdx)
+	g.planeIdx = trainIdx
+	g.tScale = stats.FitTargetScaler(y)
+	ys := g.tScale.Transform(y)
+	g.applyAutoLength()
+	// The plane's gram is shared and read-only; the noise shift below needs
+	// a copy.
+	return g.factorize(p.Slice(trainIdx, trainIdx).Gram(g.Kernel).Clone(), ys)
+}
+
+// applyAutoLength resolves the median-heuristic length scale against the
+// standardized training rows when AutoLength is enabled.
+func (g *GaussianProcess) applyAutoLength() {
+	if !g.autoLen {
+		return
+	}
+	if rbf, ok := g.Kernel.(RBF); ok {
+		if l := medianDistance(g.xTrain); l > 0 {
+			rbf.Length = l
+			g.Kernel = rbf
 		}
 	}
+}
 
-	k := gram(g.Kernel, g.xTrain)
+func (g *GaussianProcess) factorize(k *mat.Dense, ys []float64) error {
 	k.AddScaledIdentity(g.Noise)
 	ch, err := mat.RobustCholesky(k)
 	if err != nil {
@@ -230,6 +291,20 @@ func (g *GaussianProcess) Fit(x [][]float64, y []float64) error {
 	g.chol = ch
 	g.alpha = ch.SolveVec(ys)
 	return nil
+}
+
+// PredictPlane returns posterior-mean predictions for plane rows testIdx
+// through the shared plane's cached cross-gram.
+func (g *GaussianProcess) PredictPlane(p *DistancePlane, testIdx []int) []float64 {
+	if g.chol == nil || g.planeIdx == nil {
+		panic("kernel: GaussianProcess.PredictPlane before FitPlane")
+	}
+	cross := p.Slice(testIdx, g.planeIdx).Gram(g.Kernel)
+	out := make([]float64, len(testIdx))
+	for i := range out {
+		out[i] = g.tScale.InverseOne(mat.Dot(cross.Row(i), g.alpha))
+	}
+	return out
 }
 
 // Predict returns posterior-mean predictions on the original scale.
@@ -247,9 +322,11 @@ func (g *GaussianProcess) PredictStd(x [][]float64) (mean, std []float64) {
 	}
 	mean = make([]float64, len(x))
 	std = make([]float64, len(x))
+	// One k* and one forward-solve buffer serve every prediction row.
+	kStar := make([]float64, len(g.xTrain))
+	v := make([]float64, len(g.xTrain))
 	for i, row := range x {
 		rs := g.scaler.TransformRow(row)
-		kStar := make([]float64, len(g.xTrain))
 		for j, xt := range g.xTrain {
 			kStar[j] = g.Kernel.Eval(xt, rs)
 		}
@@ -259,7 +336,7 @@ func (g *GaussianProcess) PredictStd(x [][]float64) (mean, std []float64) {
 
 		// Posterior variance: kxx - v·v where v = L⁻¹ k*.
 		kxx := g.Kernel.Eval(rs, rs)
-		v := g.chol.LSolveVec(kStar)
+		g.chol.LSolveVecInto(v, kStar)
 		varStd := kxx - mat.Dot(v, v)
 		if varStd < 0 {
 			varStd = 0
@@ -273,4 +350,7 @@ func (g *GaussianProcess) PredictStd(x [][]float64) (mean, std []float64) {
 var (
 	_ ml.Regressor    = (*KernelRidge)(nil)
 	_ ml.StdPredictor = (*GaussianProcess)(nil)
+	_ PlaneModel      = (*KernelRidge)(nil)
+	_ PlaneModel      = (*GaussianProcess)(nil)
+	_ PlaneModel      = (*SVR)(nil)
 )

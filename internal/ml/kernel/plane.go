@@ -1,0 +1,253 @@
+package kernel
+
+// The distance plane is the kernel stack's shared-structure engine: the
+// pairwise squared-distance matrix of a dataset is computed once — via the
+// cache-blocked parallel matrix multiply, not n²/2 scalar Eval calls — and
+// every RBF (or polynomial) gram matrix for any hyper-parameter point is then
+// derived by a cheap elementwise map over the cached distances. Fold-sliced
+// sub-gram views let K-fold cross-validation and hyper-parameter sweeps
+// (grid / random / Bayes) reuse the same plane for every candidate × fold,
+// the same amortization the tree stack gets from its shared BinnedMatrix.
+
+import (
+	"math"
+	"sync"
+
+	"parcost/internal/mat"
+	"parcost/internal/ml"
+	"parcost/internal/stats"
+)
+
+// GramMode selects how a plane materializes gram matrices.
+type GramMode int
+
+const (
+	// GramDerived maps cached distances/dot-products through the kernel's
+	// elementwise form when the kernel supports it, falling back to scalar
+	// evaluation otherwise. This is the default.
+	GramDerived GramMode = iota
+	// GramScalar always evaluates k(xᵢ, xⱼ) pair-by-pair with Kernel.Eval —
+	// the reference path, mirroring tree.SplitterExact. It shares the
+	// plane's rows and standardization, so the two modes are comparable
+	// entry-for-entry.
+	GramScalar
+)
+
+// DistancePlane holds a dataset's standardized rows and their full pairwise
+// squared-distance matrix. It is immutable after construction and safe for
+// concurrent use by parallel cross-validation workers.
+type DistancePlane struct {
+	scaler *stats.StandardScaler
+	rows   [][]float64 // standardized feature rows
+	sq     []float64   // squared norms ‖xᵢ‖² of the standardized rows
+	d2     *mat.Dense  // d2[i][j] = ‖xᵢ−xⱼ‖²
+	mode   GramMode
+
+	// Derived grams are memoized per (kernel point, index-slice identity):
+	// grid sweeps revisit the same length-scale across the other axes
+	// (alpha, noise, C, epsilon), so each distinct gram is derived once per
+	// search. The cache is byte-bounded: continuous-axis searches
+	// (random/Bayes) never revisit a kernel point, so without a bound they
+	// would retain every candidate's n² matrix for the life of the search
+	// with zero hits. Guarded for the parallel CV workers.
+	mu        sync.Mutex
+	grams     map[gramKey]*mat.Dense
+	gramBytes int
+}
+
+// gramCacheBytes bounds the total size of memoized grams per plane; once
+// reached, further grams are computed but not retained.
+const gramCacheBytes = 64 << 20
+
+// gramKey identifies a memoized gram: the kernel's value (RBF and Poly are
+// comparable structs) plus the identity of the row/column index slices —
+// fold index sets live for the whole search, so pointer identity is exact.
+type gramKey struct {
+	kernel     Kernel
+	rows, cols *int
+	nr, nc     int
+}
+
+// NewDistancePlane standardizes x once (dataset-level scaling, so every fold
+// and every candidate sees the same geometry) and computes the full pairwise
+// squared-distance matrix via ‖a‖² + ‖b‖² − 2aᵀb, with the inner-product
+// term formed by one parallel matrix multiply.
+//
+// Dataset-level scaling is a deliberate trade-off: the self-contained
+// Fit/Predict path refits the scaler on each fold's training rows, while a
+// shared plane must fix the geometry once, so fold-test feature means/stds
+// contribute to the scaler during candidate selection (the usual
+// scale-before-CV convention). Final refits and held-out test scoring go
+// through the self-contained path, so reported test metrics see no leakage.
+func NewDistancePlane(x [][]float64) *DistancePlane {
+	scaler := stats.FitScaler(x)
+	rows := scaler.Transform(x)
+	n := len(rows)
+	xm := mat.FromRows(rows)
+	g := mat.Mul(xm, xm.T())
+	sq := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sq[i] = g.At(i, i)
+	}
+	// Convert the gram of inner products into squared distances in place.
+	// Floating-point cancellation can leave tiny negatives; clamp at zero.
+	for i := 0; i < n; i++ {
+		row := g.Row(i)
+		si := sq[i]
+		for j := range row {
+			v := si + sq[j] - 2*row[j]
+			if v < 0 {
+				v = 0
+			}
+			row[j] = v
+		}
+		row[i] = 0
+	}
+	return &DistancePlane{scaler: scaler, rows: rows, sq: sq, d2: g}
+}
+
+// SetMode switches between derived and scalar gram materialization. Call
+// before handing the plane to workers; the mode is not synchronized.
+func (p *DistancePlane) SetMode(m GramMode) { p.mode = m }
+
+// Mode returns the plane's gram materialization mode.
+func (p *DistancePlane) Mode() GramMode { return p.mode }
+
+// Len returns the number of dataset rows covered by the plane.
+func (p *DistancePlane) Len() int { return len(p.rows) }
+
+// Row returns the i-th standardized feature row (not a copy).
+func (p *DistancePlane) Row(i int) []float64 { return p.rows[i] }
+
+// Scaler returns the dataset-level feature scaler the plane was built with,
+// so models fitted through the plane can standardize out-of-plane queries
+// consistently.
+func (p *DistancePlane) Scaler() *stats.StandardScaler { return p.scaler }
+
+// Rows gathers the standardized rows at the given indices. The returned
+// slice shares the plane's row storage.
+func (p *DistancePlane) Rows(idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		out[i] = p.rows[j]
+	}
+	return out
+}
+
+// gramFunc returns the elementwise map from cached (‖a−b‖², aᵀb) to k(a, b),
+// or nil when the kernel cannot be derived from the plane's cached products.
+func gramFunc(k Kernel) func(d2, dot float64) float64 {
+	switch kk := k.(type) {
+	case RBF:
+		l2 := 2 * kk.Length * kk.Length
+		return func(d2, _ float64) float64 { return math.Exp(-d2 / l2) }
+	case Poly:
+		return func(_, dot float64) float64 {
+			return math.Pow(kk.Gamma*dot+kk.Coef0, float64(kk.Degree))
+		}
+	}
+	return nil
+}
+
+// PlaneSlice is a fold-sliced view of the plane: the kernel values between a
+// row index set and a column index set (e.g. a CV fold's train×train block,
+// or its test×train cross block). Slices are cheap — they hold only the
+// index sets — and materialize grams on demand.
+type PlaneSlice struct {
+	p          *DistancePlane
+	rows, cols []int
+}
+
+// Slice returns the view of kernel values between rows and cols.
+func (p *DistancePlane) Slice(rows, cols []int) PlaneSlice {
+	return PlaneSlice{p: p, rows: rows, cols: cols}
+}
+
+// Gram materializes the slice's kernel matrix. Derivable kernels (RBF, Poly)
+// come from the cached distance/dot products with one elementwise map, and
+// the result is memoized on the plane — callers MUST treat it as read-only
+// (fit paths that shift the diagonal clone first). Other kernels — or a
+// plane in GramScalar mode — fall back to pairwise Eval over the plane's
+// standardized rows, uncached. Symmetric slices (identical row and column
+// index slices) compute the upper triangle once and mirror it.
+func (s PlaneSlice) Gram(k Kernel) *mat.Dense {
+	cacheable := s.p.mode != GramScalar && gramFunc(k) != nil &&
+		len(s.rows) > 0 && len(s.cols) > 0
+	var key gramKey
+	if cacheable {
+		key = gramKey{kernel: k, rows: &s.rows[0], cols: &s.cols[0], nr: len(s.rows), nc: len(s.cols)}
+		s.p.mu.Lock()
+		g, ok := s.p.grams[key]
+		s.p.mu.Unlock()
+		if ok {
+			return g
+		}
+	}
+	g := s.computeGram(k)
+	if cacheable {
+		bytes := len(g.Data) * 8
+		s.p.mu.Lock()
+		if s.p.gramBytes+bytes <= gramCacheBytes {
+			if s.p.grams == nil {
+				s.p.grams = make(map[gramKey]*mat.Dense)
+			}
+			if _, dup := s.p.grams[key]; !dup {
+				s.p.grams[key] = g
+				s.p.gramBytes += bytes
+			}
+		}
+		s.p.mu.Unlock()
+	}
+	return g
+}
+
+// computeGram does the actual materialization.
+func (s PlaneSlice) computeGram(k Kernel) *mat.Dense {
+	out := mat.NewDense(len(s.rows), len(s.cols))
+	var f func(d2, dot float64) float64
+	if s.p.mode != GramScalar {
+		f = gramFunc(k)
+	}
+	symmetric := len(s.rows) > 0 && len(s.rows) == len(s.cols) && &s.rows[0] == &s.cols[0]
+	for i, ri := range s.rows {
+		o := out.Row(i)
+		j0 := 0
+		if symmetric {
+			j0 = i
+		}
+		if f != nil {
+			d2r := s.p.d2.Row(ri)
+			si := s.p.sq[ri]
+			for j := j0; j < len(s.cols); j++ {
+				cj := s.cols[j]
+				d2 := d2r[cj]
+				o[j] = f(d2, 0.5*(si+s.p.sq[cj]-d2))
+			}
+		} else {
+			xi := s.p.rows[ri]
+			for j := j0; j < len(s.cols); j++ {
+				o[j] = k.Eval(xi, s.p.rows[s.cols[j]])
+			}
+		}
+	}
+	if symmetric {
+		for i := range s.rows {
+			for j := i + 1; j < len(s.cols); j++ {
+				out.Set(j, i, out.At(i, j))
+			}
+		}
+	}
+	return out
+}
+
+// PlaneModel is implemented by kernel regressors that can train and predict
+// through a shared DistancePlane instead of rebuilding their gram matrix
+// from scratch. trainIdx/testIdx address plane rows; y is the fold-train
+// target slice aligned with trainIdx. The ordinary Fit/Predict path remains
+// the self-contained reference (it standardizes per training set and
+// evaluates the kernel pairwise).
+type PlaneModel interface {
+	ml.Regressor
+	FitPlane(p *DistancePlane, trainIdx []int, y []float64) error
+	PredictPlane(p *DistancePlane, testIdx []int) []float64
+}

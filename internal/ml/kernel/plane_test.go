@@ -1,0 +1,184 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"parcost/internal/rng"
+)
+
+// planeTestData builds a small random dataset with enough spread for stable
+// kernel fits.
+func planeTestData(r *rng.Source, n, d int) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.Uniform(-2, 2)
+		}
+		x[i] = row
+		y[i] = math.Sin(row[0]) + 0.5*row[1]*row[1] + 0.1*r.Normal()
+	}
+	return x, y
+}
+
+// TestPlaneGramMatchesScalar is the cached-gram parity test: every entry of
+// a plane-derived gram — full, fold-sliced, and cross blocks — must match
+// the pairwise Kernel.Eval value on the same standardized rows within 1e-12,
+// for both derivable kernels.
+func TestPlaneGramMatchesScalar(t *testing.T) {
+	r := rng.New(11)
+	x, _ := planeTestData(r, 60, 4)
+	p := NewDistancePlane(x)
+
+	trainIdx := make([]int, 0, 40)
+	testIdx := make([]int, 0, 20)
+	for i := 0; i < 60; i++ {
+		if i%3 == 0 {
+			testIdx = append(testIdx, i)
+		} else {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+
+	for _, k := range []Kernel{
+		RBF{Length: 0.7},
+		RBF{Length: 3.5},
+		Poly{Degree: 2, Gamma: 0.5, Coef0: 1},
+	} {
+		for _, blk := range []struct {
+			name       string
+			rows, cols []int
+		}{
+			{"train x train", trainIdx, trainIdx},
+			{"test x train", testIdx, trainIdx},
+		} {
+			g := p.Slice(blk.rows, blk.cols).Gram(k)
+			for i, ri := range blk.rows {
+				for j, cj := range blk.cols {
+					want := k.Eval(p.Row(ri), p.Row(cj))
+					if diff := math.Abs(g.At(i, j) - want); diff > 1e-12 {
+						t.Fatalf("%s %s gram[%d][%d]: derived %v scalar %v (diff %g)",
+							k.Name(), blk.name, i, j, g.At(i, j), want, diff)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlaneScalarModeIsExactEval asserts GramScalar mode reproduces
+// Kernel.Eval bit-for-bit (it is the reference path).
+func TestPlaneScalarModeIsExactEval(t *testing.T) {
+	r := rng.New(12)
+	x, _ := planeTestData(r, 30, 3)
+	p := NewDistancePlane(x)
+	p.SetMode(GramScalar)
+	idx := []int{0, 5, 7, 12, 29}
+	g := p.Slice(idx, idx).Gram(RBF{Length: 1.3})
+	k := RBF{Length: 1.3}
+	for i, ri := range idx {
+		for j, cj := range idx {
+			if g.At(i, j) != k.Eval(p.Row(ri), p.Row(cj)) {
+				t.Fatalf("scalar-mode gram[%d][%d] not bit-identical to Eval", i, j)
+			}
+		}
+	}
+}
+
+// TestPlaneModelsMatchScalarGramPath fits KR, GP, and SVR through the plane
+// twice — derived grams vs scalar reference grams — and requires matching
+// predictions. The two paths differ only by ~1e-15 gram perturbations.
+func TestPlaneModelsMatchScalarGramPath(t *testing.T) {
+	r := rng.New(13)
+	x, y := planeTestData(r, 80, 4)
+	trainIdx := make([]int, 0, 60)
+	testIdx := make([]int, 0, 20)
+	for i := range x {
+		if i%4 == 0 {
+			testIdx = append(testIdx, i)
+		} else {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+	trY := make([]float64, len(trainIdx))
+	for i, j := range trainIdx {
+		trY[i] = y[j]
+	}
+
+	models := map[string]func() PlaneModel{
+		"KR":  func() PlaneModel { return NewKernelRidge(RBF{Length: 1.2}, 1e-2) },
+		"GP":  func() PlaneModel { return NewGaussianProcess(RBF{Length: 1.2}, 1e-3) },
+		"SVR": func() PlaneModel { return NewSVR(RBF{Length: 1.2}, 10, 0.05) },
+	}
+	derived := NewDistancePlane(x)
+	scalar := NewDistancePlane(x)
+	scalar.SetMode(GramScalar)
+
+	for name, build := range models {
+		md := build()
+		if err := md.FitPlane(derived, trainIdx, trY); err != nil {
+			t.Fatalf("%s derived fit: %v", name, err)
+		}
+		ms := build()
+		if err := ms.FitPlane(scalar, trainIdx, trY); err != nil {
+			t.Fatalf("%s scalar fit: %v", name, err)
+		}
+		pd := md.PredictPlane(derived, testIdx)
+		ps := ms.PredictPlane(scalar, testIdx)
+		for i := range pd {
+			if diff := math.Abs(pd[i] - ps[i]); diff > 1e-6 {
+				t.Fatalf("%s prediction %d: derived %v scalar %v (diff %g)", name, i, pd[i], ps[i], diff)
+			}
+		}
+	}
+}
+
+// TestPlaneModelsMatchSelfContainedFit checks the plane path against the
+// ordinary Fit/Predict path when the plane's dataset-level standardization
+// coincides with the model's own (training on all plane rows).
+func TestPlaneModelsMatchSelfContainedFit(t *testing.T) {
+	r := rng.New(14)
+	x, y := planeTestData(r, 50, 3)
+	all := make([]int, len(x))
+	for i := range all {
+		all[i] = i
+	}
+	p := NewDistancePlane(x)
+
+	kr := NewKernelRidge(RBF{Length: 1.0}, 1e-2)
+	if err := kr.FitPlane(p, all, y); err != nil {
+		t.Fatal(err)
+	}
+	ref := NewKernelRidge(RBF{Length: 1.0}, 1e-2)
+	if err := ref.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	got := kr.PredictPlane(p, all)
+	want := ref.Predict(x)
+	for i := range got {
+		if diff := math.Abs(got[i] - want[i]); diff > 1e-8 {
+			t.Fatalf("prediction %d: plane %v self-contained %v", i, got[i], want[i])
+		}
+	}
+	// The generic Predict path must also work on a plane-fitted model.
+	gen := kr.Predict(x)
+	for i := range gen {
+		if diff := math.Abs(gen[i] - got[i]); diff > 1e-8 {
+			t.Fatalf("generic Predict diverges at %d: %v vs %v", i, gen[i], got[i])
+		}
+	}
+}
+
+// TestMedianDistancePresized guards the satellite fix: the subsampled pair
+// count never exceeds the presized capacity.
+func TestMedianDistancePresized(t *testing.T) {
+	r := rng.New(15)
+	for _, n := range []int{2, 5, 199, 200, 401} {
+		x, _ := planeTestData(r, n, 3)
+		if d := medianDistance(x); d <= 0 {
+			t.Fatalf("n=%d median distance %v", n, d)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"parcost/internal/mat"
 	"parcost/internal/ml"
 	"parcost/internal/stats"
 )
@@ -24,12 +25,13 @@ type SVR struct {
 	MaxIter int
 	Tol     float64
 
-	scaler *stats.StandardScaler
-	tScale *stats.TargetScaler
-	xTrain [][]float64
-	beta   []float64
-	bias   float64
-	kcache *kernelCache
+	scaler   *stats.StandardScaler
+	tScale   *stats.TargetScaler
+	xTrain   [][]float64
+	planeIdx []int // plane row indices of xTrain when fitted via FitPlane
+	beta     []float64
+	bias     float64
+	kcache   *kernelCache
 }
 
 // NewSVR returns an epsilon-SVR with the given kernel and hyper-parameters.
@@ -41,10 +43,12 @@ func NewSVR(k Kernel, c, epsilon float64) *SVR {
 func (s *SVR) Name() string { return "svr" }
 
 // kernelCache memoizes kernel rows on demand to avoid recomputing K during
-// the many sweeps of coordinate ascent.
+// the many sweeps of coordinate ascent. When backed by a precomputed gram
+// (the shared-plane path) rows come straight out of the matrix.
 type kernelCache struct {
 	k    Kernel
 	x    [][]float64
+	g    *mat.Dense // precomputed full gram; nil → evaluate rows on demand
 	rows map[int][]float64
 }
 
@@ -52,7 +56,12 @@ func newKernelCache(k Kernel, x [][]float64) *kernelCache {
 	return &kernelCache{k: k, x: x, rows: make(map[int][]float64)}
 }
 
+func gramKernelCache(g *mat.Dense) *kernelCache { return &kernelCache{g: g} }
+
 func (c *kernelCache) row(i int) []float64 {
+	if c.g != nil {
+		return c.g.Row(i)
+	}
 	if r, ok := c.rows[i]; ok {
 		return r
 	}
@@ -71,12 +80,53 @@ func (s *SVR) Fit(x [][]float64, y []float64) error {
 	}
 	s.scaler = stats.FitScaler(x)
 	s.xTrain = s.scaler.Transform(x)
+	s.planeIdx = nil // a plain fit invalidates any earlier plane binding
 	s.tScale = stats.FitTargetScaler(y)
-	ys := s.tScale.Transform(y)
-	n := len(ys)
-
-	s.beta = make([]float64, n)
 	s.kcache = newKernelCache(s.Kernel, s.xTrain)
+	s.train(s.tScale.Transform(y))
+	return nil
+}
+
+// FitPlane trains the dual against the full train×train sub-gram sliced
+// from a shared distance plane, so the coordinate-ascent sweeps never call
+// the scalar kernel. Training rows are plane rows trainIdx standardized by
+// the plane's dataset-level scaler.
+func (s *SVR) FitPlane(p *DistancePlane, trainIdx []int, y []float64) error {
+	s.scaler = p.Scaler()
+	s.xTrain = p.Rows(trainIdx)
+	s.planeIdx = trainIdx
+	s.tScale = stats.FitTargetScaler(y)
+	s.kcache = gramKernelCache(p.Slice(trainIdx, trainIdx).Gram(s.Kernel))
+	s.train(s.tScale.Transform(y))
+	return nil
+}
+
+// PredictPlane predicts for plane rows testIdx through the shared plane's
+// cached cross-gram, on the original target scale.
+func (s *SVR) PredictPlane(p *DistancePlane, testIdx []int) []float64 {
+	if s.beta == nil || s.planeIdx == nil {
+		panic("kernel: SVR.PredictPlane before FitPlane")
+	}
+	cross := p.Slice(testIdx, s.planeIdx).Gram(s.Kernel)
+	out := make([]float64, len(testIdx))
+	for i := range out {
+		val := s.bias
+		row := cross.Row(i)
+		for j, b := range s.beta {
+			if b != 0 {
+				val += b * row[j]
+			}
+		}
+		out[i] = s.tScale.InverseOne(val)
+	}
+	return out
+}
+
+// train runs the SMO-style coordinate ascent on standardized targets; the
+// kernel cache must already be in place.
+func (s *SVR) train(ys []float64) {
+	n := len(ys)
+	s.beta = make([]float64, n)
 
 	// Prediction error f(xᵢ) − yᵢ maintained incrementally.
 	pred := make([]float64, n) // f(xᵢ) without bias; bias folded in at end
@@ -116,7 +166,6 @@ func (s *SVR) Fit(x [][]float64, y []float64) error {
 		}
 		s.bias = r / float64(n)
 	}
-	return nil
 }
 
 // objectiveGrad returns ∂/∂βᵢ of the dual objective at sample i given the

@@ -3,7 +3,6 @@ package ml
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"parcost/internal/stats"
 )
@@ -47,32 +46,48 @@ func (m *KNN) Fit(x [][]float64, y []float64) error {
 	return nil
 }
 
+// nb is one neighbor candidate: squared distance plus training index. The
+// index breaks distance ties deterministically (smaller index wins), which a
+// full unstable sort never guaranteed.
+type nb struct {
+	d2  float64
+	idx int
+}
+
+// worse orders candidates by (d², index), the selection's priority.
+func (a nb) worse(b nb) bool { return a.d2 > b.d2 || (a.d2 == b.d2 && a.idx > b.idx) }
+
 // Predict returns the (optionally distance-weighted) mean target of the k
-// nearest training points for each query.
+// nearest training points for each query. Neighbors come from a bounded
+// k-selection — a size-k max-heap over the scan — so each query costs
+// O(n log k) instead of sorting all n training points, and the heap buffer
+// is shared across queries.
 func (m *KNN) Predict(x [][]float64) []float64 {
 	if m.xTrain == nil {
 		panic("ml: KNN.Predict before Fit")
 	}
 	out := make([]float64, len(x))
-	type nb struct {
-		d2  float64
-		idx int
-	}
+	heap := make([]nb, 0, m.K) // max-heap on (d², idx); root = worst kept
 	for qi, row := range x {
 		rs := m.scaler.TransformRow(row)
-		nbs := make([]nb, len(m.xTrain))
+		heap = heap[:0]
 		for j, xt := range m.xTrain {
 			var d2 float64
 			for k := range rs {
 				d := rs[k] - xt[k]
 				d2 += d * d
 			}
-			nbs[j] = nb{d2: d2, idx: j}
+			c := nb{d2: d2, idx: j}
+			if len(heap) < m.K {
+				heap = append(heap, c)
+				siftUp(heap, len(heap)-1)
+			} else if heap[0].worse(c) {
+				heap[0] = c
+				siftDown(heap, 0)
+			}
 		}
-		sort.Slice(nbs, func(a, b int) bool { return nbs[a].d2 < nbs[b].d2 })
 		var num, den float64
-		for i := 0; i < m.K; i++ {
-			n := nbs[i]
+		for _, n := range heap {
 			w := 1.0
 			if m.Weighted {
 				w = 1.0 / (math.Sqrt(n.d2) + 1e-9)
@@ -87,6 +102,37 @@ func (m *KNN) Predict(x [][]float64) []float64 {
 		}
 	}
 	return out
+}
+
+// siftUp restores the max-heap property after appending at i.
+func siftUp(h []nb, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].worse(h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// siftDown restores the max-heap property after replacing the root.
+func siftDown(h []nb, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(h) && h[l].worse(h[worst]) {
+			worst = l
+		}
+		if r < len(h) && h[r].worse(h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }
 
 // String summarizes the configuration.

@@ -17,38 +17,58 @@ import (
 	"parcost/internal/stats"
 )
 
-// expandPoly maps a feature row to its polynomial feature vector up to the
-// given degree, including cross terms, with a leading bias term. For degree
-// 1 it is just [1, x₁, …, x_d]; for degree 2 it adds all squares and
-// pairwise products. Degrees above 3 are supported but grow combinatorially.
-func expandPoly(row []float64, degree int) []float64 {
-	// Start with the bias and linear terms.
-	terms := []float64{1}
-	terms = append(terms, row...)
-	if degree < 2 {
-		return terms
-	}
-	// Generate multi-indices of total degree 2..degree over the features.
-	prev := make([][]int, len(row)) // index combinations of current degree
-	for i := range row {
+// polyCombos returns the monomial multi-indices (non-decreasing feature
+// index lists) of total degree 2..degree over d features. The table depends
+// only on (d, degree), so models build it once per fit and reuse it for
+// every row expansion instead of regenerating combinations row by row.
+func polyCombos(d, degree int) [][]int {
+	prev := make([][]int, d) // index combinations of current degree
+	for i := range prev {
 		prev[i] = []int{i}
 	}
+	var combos [][]int
 	for deg := 2; deg <= degree; deg++ {
 		var next [][]int
 		for _, combo := range prev {
 			last := combo[len(combo)-1]
-			for j := last; j < len(row); j++ {
+			for j := last; j < d; j++ {
 				nc := append(append([]int(nil), combo...), j)
-				prod := 1.0
-				for _, idx := range nc {
-					prod *= row[idx]
-				}
-				terms = append(terms, prod)
+				combos = append(combos, nc)
 				next = append(next, nc)
 			}
 		}
 		prev = next
 	}
+	return combos
+}
+
+// expandPolyInto writes a feature row's polynomial feature vector — a
+// leading bias term, the linear terms, then one product per combo — into
+// dst, which must have length 1+len(row)+len(combos).
+func expandPolyInto(dst, row []float64, combos [][]int) {
+	dst[0] = 1
+	copy(dst[1:], row)
+	base := 1 + len(row)
+	for t, combo := range combos {
+		prod := 1.0
+		for _, idx := range combo {
+			prod *= row[idx]
+		}
+		dst[base+t] = prod
+	}
+}
+
+// expandPoly maps a feature row to its polynomial feature vector up to the
+// given degree, including cross terms, with a leading bias term. For degree
+// 1 it is just [1, x₁, …, x_d]; for degree 2 it adds all squares and
+// pairwise products. Degrees above 3 are supported but grow combinatorially.
+func expandPoly(row []float64, degree int) []float64 {
+	var combos [][]int
+	if degree >= 2 {
+		combos = polyCombos(len(row), degree)
+	}
+	terms := make([]float64, 1+len(row)+len(combos))
+	expandPolyInto(terms, row, combos)
 	return terms
 }
 
@@ -62,6 +82,7 @@ type Ridge struct {
 	scaler *stats.StandardScaler
 	tScale *stats.TargetScaler
 	coef   []float64 // coefficients in expanded+scaled space
+	combos [][]int   // monomial index table for degree ≥ 2 expansions
 	dim    int
 	name   string
 }
@@ -99,9 +120,14 @@ func (r *Ridge) Fit(x [][]float64, y []float64) error {
 	r.tScale = stats.FitTargetScaler(y)
 	ys := r.tScale.Transform(y)
 
-	phi := mat.NewDense(len(xs), len(expandPoly(xs[0], r.Degree)))
+	if r.Degree >= 2 {
+		r.combos = polyCombos(len(xs[0]), r.Degree)
+	} else {
+		r.combos = nil
+	}
+	phi := mat.NewDense(len(xs), 1+len(xs[0])+len(r.combos))
 	for i, row := range xs {
-		copy(phi.Row(i), expandPoly(row, r.Degree))
+		expandPolyInto(phi.Row(i), row, r.combos)
 	}
 	r.dim = phi.ColsN
 
@@ -125,8 +151,9 @@ func (r *Ridge) Predict(x [][]float64) []float64 {
 		panic("linmodel: Ridge.Predict before Fit")
 	}
 	out := make([]float64, len(x))
+	phi := make([]float64, r.dim)
 	for i, row := range x {
-		phi := expandPoly(r.scaler.TransformRow(row), r.Degree)
+		expandPolyInto(phi, r.scaler.TransformRow(row), r.combos)
 		out[i] = r.tScale.InverseOne(mat.Dot(phi, r.coef))
 	}
 	return out

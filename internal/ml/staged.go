@@ -1,0 +1,19 @@
+package ml
+
+// StagedFitter is implemented by additive ensembles with the prefix
+// property: the first t members of a model trained with size s ≥ t are
+// exactly the model that training with size t would have produced. All
+// three paper ensembles qualify — gradient boosting and AdaBoost.R2 grow
+// members sequentially, and the random forest derives per-tree seeds by
+// index — so a hyper-parameter sweep over the ensemble-size axis can train
+// once at the largest size and read every smaller candidate's predictions
+// off the prefix, bit-for-bit identical to fitting each size separately.
+type StagedFitter interface {
+	Regressor
+	// FitStaged trains on (x, y) at the model's configured size, which must
+	// equal the last entry of stages, and calls emit once per stage in
+	// ascending order with predictions on eval from the prefix ensemble of
+	// that size. stages must be sorted ascending and non-empty; emit's pred
+	// slice is only valid for the duration of the call.
+	FitStaged(x [][]float64, y []float64, eval [][]float64, stages []int, emit func(stageIdx int, pred []float64)) error
+}

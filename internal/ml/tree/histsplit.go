@@ -11,9 +11,18 @@ package tree
 //     reuses the parent's buffer with the sibling subtracted in place;
 //   - in-place sample-index partitioning over one shared rows slice, instead
 //     of append-grown left/right index slices per node;
-//   - slab allocation of nodes and a free-list pool of histogram buffers.
+//   - slab allocation of nodes and a free-list pool of histogram buffers;
+//   - occupied-bin lists: every histogram tracks which bins it actually
+//     touched, so deep nodes with a handful of samples scan, subtract, and
+//     clear O(samples) bins instead of O(256) — empty bins can never win a
+//     split (the scan conditions reject one-sided candidates and strict
+//     gain comparison keeps the first bin of an equal-gain run), so the
+//     sparse scan picks the identical split the dense scan would.
 
-import "math"
+import (
+	"math"
+	"slices"
+)
 
 // histBin holds one bin's accumulated statistics.
 type histBin struct {
@@ -38,67 +47,158 @@ func (s histSums) sse() float64 {
 	return s.wy2 - s.wy*s.wy/s.w
 }
 
-// nodeArena slab-allocates nodes so a tree fit costs O(nodes/256) allocations
-// instead of one per node. Full slabs stay reachable through node pointers.
+// nodeArena slab-allocates nodes so a typical tree fit costs one node
+// allocation. Full slabs stay reachable through node pointers. The first
+// chunk is sized from the tree's node-count bound (set by reset), so deep
+// trees don't leave a third of every slab as garbage-collector ballast.
+// Reused arenas (see NodeArena) rewind their current slab instead, so the
+// next fit overwrites the previous fit's nodes allocation-free.
 type nodeArena struct {
 	chunk []node
+	next  int // capacity of the next chunk
 }
 
-const arenaChunk = 256
+const arenaMaxChunk = 4096
+
+// reset prepares the arena for a fresh fit of a tree grown over n samples
+// to maxDepth: an already-allocated slab rewinds in place (invalidating the
+// previous fit's nodes), and the next chunk capacity is capped at the tree's
+// node-count bound — a binary tree has ≤ 2·leaves−1 nodes, leaves bounded
+// by samples and by 2^depth.
+func (a *nodeArena) reset(n, maxDepth int) {
+	a.chunk = a.chunk[:0]
+	bound := 2*n - 1
+	if maxDepth > 0 && maxDepth < 31 {
+		if d := 1<<(maxDepth+1) - 1; d < bound {
+			bound = d
+		}
+	}
+	if bound < 1 {
+		bound = 1
+	}
+	if bound > arenaMaxChunk {
+		bound = arenaMaxChunk
+	}
+	if bound > cap(a.chunk) {
+		a.next = bound
+	} else {
+		a.next = cap(a.chunk)
+	}
+}
 
 func (a *nodeArena) alloc() *node {
 	if len(a.chunk) == cap(a.chunk) {
-		a.chunk = make([]node, 0, arenaChunk)
+		if a.next < 1 {
+			a.next = 64
+		}
+		a.chunk = make([]node, 0, a.next)
+		a.next *= 2 // bound was wrong only for uncapped trees; grow geometrically
+		if a.next > arenaMaxChunk {
+			a.next = arenaMaxChunk
+		}
 	}
 	a.chunk = append(a.chunk, node{})
 	return &a.chunk[len(a.chunk)-1]
 }
+
+// histBuf is one pooled histogram buffer plus, per feature, the list of bin
+// codes it has touched. Pooled buffers hold an all-zero invariant: putHist
+// clears exactly the touched bins, so getHist never pays an O(bins) clear
+// and sparse nodes never pay for bins they don't use.
+type histBuf struct {
+	bins []histBin
+	occ  [][]uint8 // [feature] touched bin codes, deduplicated, unsorted
+}
+
+// HistPool recycles histogram buffers. A tree fit creates one implicitly,
+// but ensembles that grow hundreds of trees over one BinnedMatrix should
+// share a pool across their member fits (via Tree.ShareHistPool) so the
+// per-tree buffer allocations disappear. Pooled buffers hold an all-zero
+// invariant maintained by putHist, which is what makes cross-tree reuse
+// free. A pool is NOT safe for concurrent use; concurrent fitters (the RF
+// worker pool) use one pool per worker.
+type HistPool struct {
+	bufs      []*histBuf
+	d, stride int // shape stamp; buffers from a different shape are dropped
+}
+
+// NewHistPool returns an empty histogram-buffer pool.
+func NewHistPool() *HistPool { return &HistPool{} }
+
+// histStride is the fixed per-feature histogram extent. Codes are uint8, so
+// a constant 256 makes hist[f*histStride : ...+histStride] provably cover
+// any code — the accumulate gather loop runs without bounds checks — at the
+// cost of at most 256−NumBins(f) pooled-but-unused entries per feature.
+const histStride = 256
 
 // histBuilder grows one tree over a BinnedMatrix.
 type histBuilder struct {
 	t      *Tree
 	bm     *BinnedMatrix
 	y, w   []float64 // indexed by BinnedMatrix row id; w nil = uniform
-	stride int       // histogram entries per feature (bm.maxCodes)
-	pool   [][]histBin
-	arena  nodeArena
+	stride int       // histogram entries per feature (histStride)
+	pool   *HistPool
+	arena  *nodeArena
 	useSub bool  // all features at every node → subtraction trick applies
 	feats  []int // feature universe when useSub
 }
 
-// getHist returns a histogram buffer with at least the given features zeroed.
-// When feats is nil the whole buffer is zeroed (useSub mode touches all).
-func (hb *histBuilder) getHist(feats []int) []histBin {
-	var h []histBin
-	if k := len(hb.pool); k > 0 {
-		h = hb.pool[k-1]
-		hb.pool = hb.pool[:k-1]
-	} else {
-		return make([]histBin, hb.bm.d*hb.stride) // fresh buffers are zero
+// getHist returns an all-zero histogram buffer from the pool.
+func (hb *histBuilder) getHist() *histBuf {
+	p := hb.pool
+	if p.d != hb.bm.d || p.stride != hb.stride {
+		// Shape change (new binned matrix): drop stale buffers.
+		p.bufs = p.bufs[:0]
+		p.d, p.stride = hb.bm.d, hb.stride
 	}
-	if feats == nil {
-		clear(h)
+	if k := len(p.bufs); k > 0 {
+		h := p.bufs[k-1]
+		p.bufs = p.bufs[:k-1]
 		return h
 	}
-	for _, f := range feats {
-		lo := f * hb.stride
-		clear(h[lo : lo+hb.bm.NumBins(f)])
+	h := &histBuf{
+		bins: make([]histBin, hb.bm.d*hb.stride),
+		occ:  make([][]uint8, hb.bm.d),
+	}
+	for f := range h.occ {
+		h.occ[f] = make([]uint8, 0, hb.bm.NumBins(f))
 	}
 	return h
 }
 
-func (hb *histBuilder) putHist(h []histBin) { hb.pool = append(hb.pool, h) }
+// putHist restores the all-zero invariant — clearing only the touched bins —
+// and returns the buffer to the pool.
+func (hb *histBuilder) putHist(h *histBuf) {
+	for f, of := range h.occ {
+		if len(of) == 0 {
+			continue
+		}
+		base := h.bins[f*hb.stride:]
+		for _, c := range of {
+			base[c] = histBin{}
+		}
+		h.occ[f] = of[:0]
+	}
+	hb.pool.bufs = append(hb.pool.bufs, h)
+}
 
-// accumulate adds the given rows into hist for each listed feature. The
-// column-major code layout makes the inner loop a sequential gather.
-func (hb *histBuilder) accumulate(hist []histBin, feats, rows []int) {
+// accumulate adds the given rows into hist for each listed feature,
+// recording each bin's first touch in the occupancy list. The column-major
+// code layout makes the inner loop a sequential gather.
+func (hb *histBuilder) accumulate(hist *histBuf, feats, rows []int) {
 	for _, f := range feats {
 		codes := hb.bm.codes[f]
-		h := hist[f*hb.stride:]
+		base := f * histStride
+		h := hist.bins[base : base+histStride : base+histStride]
+		occ := hist.occ[f]
 		if hb.w == nil {
 			for _, r := range rows {
 				yv := hb.y[r]
-				b := &h[codes[r]]
+				c := codes[r]
+				b := &h[c]
+				if b.n == 0 {
+					occ = append(occ, c)
+				}
 				b.n++
 				b.w++
 				b.wy += yv
@@ -107,27 +207,36 @@ func (hb *histBuilder) accumulate(hist []histBin, feats, rows []int) {
 		} else {
 			for _, r := range rows {
 				yv, wv := hb.y[r], hb.w[r]
-				b := &h[codes[r]]
+				c := codes[r]
+				b := &h[c]
+				if b.n == 0 {
+					occ = append(occ, c)
+				}
 				b.n++
 				b.w += wv
 				b.wy += wv * yv
 				b.wy2 += wv * yv * yv
 			}
 		}
+		hist.occ[f] = occ
 	}
 }
 
-// subtract computes larger-child statistics in place: hist -= sib.
-func (hb *histBuilder) subtract(hist, sib []histBin, feats []int) {
+// subtract computes larger-child statistics in place: hist -= sib. Only the
+// sibling's occupied bins can change, so the loop skips the rest; hist keeps
+// its own (parent) occupancy, a superset of the result's support that also
+// covers the ~1e-16 float residues subtraction leaves in emptied bins.
+func (hb *histBuilder) subtract(hist, sib *histBuf, feats []int) {
 	for _, f := range feats {
-		lo := f * hb.stride
-		hi := lo + hb.bm.NumBins(f)
-		h, s := hist[lo:hi], sib[lo:hi]
-		for i := range h {
-			h[i].n -= s[i].n
-			h[i].w -= s[i].w
-			h[i].wy -= s[i].wy
-			h[i].wy2 -= s[i].wy2
+		h := hist.bins[f*hb.stride:]
+		s := sib.bins[f*hb.stride:]
+		for _, c := range sib.occ[f] {
+			e := s[c]
+			b := &h[c]
+			b.n -= e.n
+			b.w -= e.w
+			b.wy -= e.wy
+			b.wy2 -= e.wy2
 		}
 	}
 }
@@ -157,7 +266,14 @@ func (hb *histBuilder) rowSums(rows []int) histSums {
 // weighted-SSE reduction. Like the exact splitter, it ignores MinSamplesLeaf
 // here — build leafs the node afterwards if the winning split violates it —
 // so both engines implement the same pre-pruning semantics.
-func (hb *histBuilder) bestSplit(hist []histBin, feats []int, sums histSums) (feat, bin int, gain float64, ok bool) {
+//
+// Features whose occupancy is sparse relative to their bin count scan only
+// the occupied bins in ascending code order. This selects the identical
+// split as the dense scan: empty bins leave the running prefix unchanged, so
+// their gain equals the previous occupied bin's gain and the strict '>'
+// comparison never prefers them; empty bins before the first or after the
+// last occupied bin fail the one-sided-count guards.
+func (hb *histBuilder) bestSplit(hist *histBuf, feats []int, sums histSums) (feat, bin int, gain float64, ok bool) {
 	parentSSE := sums.sse()
 	bestGain := 0.0
 	bestFeat, bestBin := -1, -1
@@ -166,8 +282,40 @@ func (hb *histBuilder) bestSplit(hist []histBin, feats []int, sums histSums) (fe
 		if nb < 2 {
 			continue
 		}
-		h := hist[f*hb.stride : f*hb.stride+nb]
+		h := hist.bins[f*hb.stride : f*hb.stride+nb]
 		var lc, lw, lwy, lwy2 float64
+		if occ := hist.occ[f]; len(occ)*2 < nb {
+			// Sparse path: keep the list sorted in place (it stays sorted for
+			// any later scan of this buffer) and walk only touched bins.
+			slices.Sort(occ)
+			for _, c := range occ {
+				b := int(c)
+				if b >= nb-1 {
+					break // the last bin is not a split boundary
+				}
+				e := h[b]
+				lc += e.n
+				lw += e.w
+				lwy += e.wy
+				lwy2 += e.wy2
+				if lc <= 0 || float64(sums.n)-lc <= 0 {
+					continue
+				}
+				rw := sums.w - lw
+				if lw <= 0 || rw <= 0 {
+					continue
+				}
+				leftSSE := lwy2 - lwy*lwy/lw
+				rwy := sums.wy - lwy
+				rwy2 := sums.wy2 - lwy2
+				rightSSE := rwy2 - rwy*rwy/rw
+				g := parentSSE - (leftSSE + rightSSE)
+				if g > bestGain {
+					bestGain, bestFeat, bestBin = g, f, b
+				}
+			}
+			continue
+		}
 		for b := 0; b < nb-1; b++ {
 			e := h[b]
 			lc += e.n
@@ -206,8 +354,8 @@ func (hb *histBuilder) bestSplit(hist []histBin, feats []int, sums histSums) (fe
 // it, using the per-bin observed value ranges. The raw quantile cut sits just
 // above the left value, so held-out samples falling inside the node's value
 // gap would otherwise route differently than under the exact engine.
-func (hb *histBuilder) nodeThreshold(hist []histBin, feat, bin int) float64 {
-	h := hist[feat*hb.stride:]
+func (hb *histBuilder) nodeThreshold(hist *histBuf, feat, bin int) float64 {
+	h := hist.bins[feat*hb.stride:]
 	bl, br := -1, -1
 	for b := bin; b >= 0; b-- {
 		if h[b].n > 0 {
@@ -229,9 +377,9 @@ func (hb *histBuilder) nodeThreshold(hist []histBin, feat, bin int) float64 {
 
 // leftSums sums the histogram prefix bins 0..bin of feat — the statistics of
 // the left child, with the right child following by subtraction from sums.
-func (hb *histBuilder) leftSums(hist []histBin, feat, bin int) histSums {
+func (hb *histBuilder) leftSums(hist *histBuf, feat, bin int) histSums {
 	var s histSums
-	h := hist[feat*hb.stride:]
+	h := hist.bins[feat*hb.stride:]
 	for b := 0; b <= bin; b++ {
 		s.n += int(h[b].n)
 		s.w += h[b].w
@@ -259,7 +407,7 @@ func partitionRows(rows []int, codes []uint8, bin uint8) int {
 // build grows a subtree over rows. In useSub mode hist holds this node's
 // already-accumulated histogram (owned by the caller); otherwise hist is nil
 // and the node accumulates one for its sampled features on demand.
-func (hb *histBuilder) build(rows []int, hist []histBin, sums histSums, depth int) *node {
+func (hb *histBuilder) build(rows []int, hist *histBuf, sums histSums, depth int) *node {
 	t := hb.t
 	if depth > t.depth {
 		t.depth = depth
@@ -283,14 +431,14 @@ func (hb *histBuilder) build(rows []int, hist []histBin, sums histSums, depth in
 	ownHist := hist == nil
 	if ownHist {
 		feats = t.featureSubset()
-		hist = hb.getHist(feats)
+		hist = hb.getHist()
 		hb.accumulate(hist, feats, rows)
 	}
 	feat, bin, gain, ok := hb.bestSplit(hist, feats, sums)
 	if !ok || gain < t.Params.MinImpurityDec {
-		if ownHist {
-			hb.putHist(hist)
-		}
+		// Whether owned or inherited from the parent, the buffer's journey
+		// ends here; return it so the pool stays complete across trees.
+		hb.putHist(hist)
 		hb.recordLeaf(rows, n.value)
 		return n
 	}
@@ -302,9 +450,7 @@ func (hb *histBuilder) build(rows []int, hist []histBin, sums histSums, depth in
 	if len(left) < t.Params.MinSamplesLeaf || len(right) < t.Params.MinSamplesLeaf {
 		// Same pre-pruning as the exact engine: a winning split that starves
 		// a child turns the node into a leaf.
-		if ownHist {
-			hb.putHist(hist)
-		}
+		hb.putHist(hist)
 		hb.recordLeaf(rows, n.value)
 		return n
 	}
@@ -335,22 +481,27 @@ func (hb *histBuilder) build(rows []int, hist []histBin, sums histSums, depth in
 		small, large = right, left
 		smallSums, largeSums = rSums, lSums
 	}
-	var smallHist, largeHist, sib []histBin
+	var smallHist, largeHist, sib *histBuf
 	if !hb.stops(large, depth+1) {
-		sib = hb.getHist(nil)
+		sib = hb.getHist()
 		hb.accumulate(sib, feats, small)
 		hb.subtract(hist, sib, feats)
 		largeHist = hist
 		if !hb.stops(small, depth+1) {
 			smallHist = sib
 		}
-	} else if !hb.stops(small, depth+1) {
-		sib = hb.getHist(nil)
-		hb.accumulate(sib, feats, small)
-		smallHist = sib
+	} else {
+		if !hb.stops(small, depth+1) {
+			sib = hb.getHist()
+			hb.accumulate(sib, feats, small)
+			smallHist = sib
+		}
+		// Neither child inherits the parent buffer; back to the pool.
+		hb.putHist(hist)
 	}
 	smallNode := hb.build(small, smallHist, smallSums, depth+1)
-	if sib != nil {
+	if sib != nil && smallHist == nil {
+		// sib served only the subtraction; no child subtree owns it.
 		hb.putHist(sib)
 	}
 	largeNode := hb.build(large, largeHist, largeSums, depth+1)

@@ -94,7 +94,39 @@ type Tree struct {
 	// (see CacheTrainPredictions / TrainPredictions).
 	cacheTrain bool
 	trainPred  []float64
+
+	// histPool, when set via ShareHistPool, recycles histogram buffers
+	// across fits (ensembles share one pool over all member trees).
+	histPool *HistPool
+
+	// nodeSlab, when set via ShareNodeArena, recycles node slab storage
+	// across fits of short-lived trees (staged cross-validation).
+	nodeSlab *NodeArena
 }
+
+// NodeArena is reusable node slab storage for callers that fit many
+// short-lived trees, such as staged cross-validation: each fit overwrites
+// the previous fit's nodes in place instead of allocating fresh slabs.
+// Sharing an arena therefore INVALIDATES every earlier tree fitted through
+// it the moment a new fit starts — only loops that fully consume a tree
+// before growing the next may use one. Not safe for concurrent use.
+type NodeArena struct {
+	a nodeArena
+}
+
+// NewNodeArena returns an empty reusable node arena.
+func NewNodeArena() *NodeArena { return &NodeArena{} }
+
+// ShareNodeArena makes subsequent histogram fits carve their nodes from the
+// given arena. See NodeArena for the aliasing contract.
+func (t *Tree) ShareNodeArena(na *NodeArena) { t.nodeSlab = na }
+
+// ShareHistPool makes subsequent histogram fits draw their scratch buffers
+// from the given pool instead of allocating fresh ones. Ensembles that grow
+// many trees over one BinnedMatrix pass each member the same pool, reducing
+// per-tree allocation to the node slabs. The pool must not be shared across
+// goroutines.
+func (t *Tree) ShareHistPool(p *HistPool) { t.histPool = p }
 
 // New returns an unfitted tree with the given parameters. The rng is used
 // only when MaxFeatures < dim (random split-feature subsampling); pass a
@@ -205,20 +237,31 @@ func (t *Tree) FitBinnedWeighted(bm *BinnedMatrix, y, w []float64, rows []int) e
 	} else if len(t.trainPred) != bm.Rows() {
 		t.trainPred = make([]float64, bm.Rows())
 	}
+	pool := t.histPool
+	if pool == nil {
+		pool = NewHistPool()
+	}
 	hb := &histBuilder{
 		t: t, bm: bm, y: y, w: w,
-		stride: bm.maxCodes,
+		stride: histStride,
+		pool:   pool,
 		useSub: t.Params.MaxFeatures <= 0 || t.Params.MaxFeatures >= t.dim,
 	}
+	if t.nodeSlab != nil {
+		hb.arena = &t.nodeSlab.a
+	} else {
+		hb.arena = new(nodeArena)
+	}
+	hb.arena.reset(len(rows), t.Params.MaxDepth)
 	sums := hb.rowSums(rows)
-	var hist []histBin
+	var hist *histBuf
 	if hb.useSub {
 		hb.feats = make([]int, t.dim)
 		for i := range hb.feats {
 			hb.feats[i] = i
 		}
 		if !hb.stops(rows, 0) {
-			hist = hb.getHist(nil)
+			hist = hb.getHist()
 			hb.accumulate(hist, hb.feats, rows)
 		}
 	}
@@ -236,6 +279,15 @@ func (t *Tree) CacheTrainPredictions(on bool) {
 	if !on {
 		t.trainPred = nil
 	}
+}
+
+// CacheTrainPredictionsInto is CacheTrainPredictions(true) with a
+// caller-owned buffer, which must have one entry per BinnedMatrix row.
+// Boosting loops hand every round the same buffer so the per-round cache
+// allocation disappears; the fit overwrites entries for its training rows.
+func (t *Tree) CacheTrainPredictionsInto(buf []float64) {
+	t.cacheTrain = true
+	t.trainPred = buf
 }
 
 // TrainPredictions returns the cached per-row leaf assignments from the most
@@ -394,14 +446,21 @@ func (t *Tree) bestSplit(x [][]float64, y, w []float64, idx []int) (int, float64
 
 // Predict returns one prediction per input row.
 func (t *Tree) Predict(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	t.PredictInto(x, out)
+	return out
+}
+
+// PredictInto writes one prediction per row of x into dst (len(dst) must be
+// len(x)). Ensemble loops that predict tree-by-tree pass one scratch buffer
+// so per-tree prediction costs no allocation.
+func (t *Tree) PredictInto(x [][]float64, dst []float64) {
 	if t.root == nil {
 		panic("tree: Predict before Fit")
 	}
-	out := make([]float64, len(x))
 	for i, row := range x {
-		out[i] = t.predictRow(row)
+		dst[i] = t.predictRow(row)
 	}
-	return out
 }
 
 func (t *Tree) predictRow(row []float64) float64 {

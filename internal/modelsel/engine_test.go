@@ -1,0 +1,174 @@
+package modelsel
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"parcost/internal/ml"
+	"parcost/internal/ml/ensemble"
+	"parcost/internal/ml/kernel"
+	"parcost/internal/ml/tree"
+	"parcost/internal/rng"
+)
+
+func gbFactory(p Params) (ml.Regressor, error) {
+	return ensemble.NewGradientBoosting(intv(p, "n_trees", 10), fv(p, "lr", 0.1),
+		tree.Params{MaxDepth: intv(p, "max_depth", 3)}, 7), nil
+}
+
+func krFactory(p Params) (ml.Regressor, error) {
+	return kernel.NewKernelRidge(kernel.RBF{Length: fv(p, "length", 1.0)}, fv(p, "alpha", 1e-2)), nil
+}
+
+func gbSpace() Space {
+	return Space{
+		{Name: "n_trees", Values: []float64{5, 10, 20}, Lo: 5, Hi: 20, Int: true, Staged: true},
+		{Name: "max_depth", Values: []float64{2, 3}, Lo: 2, Hi: 3, Int: true},
+	}
+}
+
+// tracesEqual requires bit-identical params and scores, entry for entry.
+func tracesEqual(t *testing.T, name string, a, b SearchResult) {
+	t.Helper()
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("%s: trace lengths %d vs %d", name, len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if !reflect.DeepEqual(a.Trace[i].Params, b.Trace[i].Params) {
+			t.Fatalf("%s: trace[%d] params %v vs %v", name, i, a.Trace[i].Params, b.Trace[i].Params)
+		}
+		if a.Trace[i].Scores != b.Trace[i].Scores {
+			t.Fatalf("%s: trace[%d] scores %+v vs %+v (not bit-identical)",
+				name, i, a.Trace[i].Scores, b.Trace[i].Scores)
+		}
+	}
+}
+
+// TestParallelCVMatchesSerial is the engine's determinism guarantee: the
+// bounded worker pool must return bit-identical traces to a serial run
+// under the same seed, for staged tree ensembles and plane-backed kernel
+// models alike.
+func TestParallelCVMatchesSerial(t *testing.T) {
+	r := rng.New(21)
+	x, y := quadratic(r, 150)
+	cases := []struct {
+		name    string
+		factory Factory
+		space   Space
+	}{
+		{"gb-staged", gbFactory, gbSpace()},
+		{"kr-plane", krFactory, Space{
+			{Name: "length", Values: []float64{0.5, 1, 2}, Lo: 0.5, Hi: 2, Log: true},
+			{Name: "alpha", Values: []float64{1e-3, 1e-1}, Lo: 1e-3, Hi: 1, Log: true},
+		}},
+	}
+	for _, tc := range cases {
+		par, err := GridSearch(tc.factory, tc.space, x, y, 4, 99, WithWorkers(4))
+		if err != nil {
+			t.Fatalf("%s parallel: %v", tc.name, err)
+		}
+		ser, err := GridSearch(tc.factory, tc.space, x, y, 4, 99, WithSerial())
+		if err != nil {
+			t.Fatalf("%s serial: %v", tc.name, err)
+		}
+		tracesEqual(t, tc.name, par, ser)
+
+		rnd1, err := RandomSearch(tc.factory, tc.space, x, y, 3, 8, 5, WithWorkers(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd2, err := RandomSearch(tc.factory, tc.space, x, y, 3, 8, 5, WithSerial())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracesEqual(t, tc.name+"/random", rnd1, rnd2)
+	}
+}
+
+// TestStagedMatchesUnstaged asserts staged-prefix grouping is a pure
+// optimization: traces must be bit-identical to fitting every ensemble-size
+// candidate from scratch on the same fold plan.
+func TestStagedMatchesUnstaged(t *testing.T) {
+	r := rng.New(22)
+	x, y := quadratic(r, 120)
+	staged, err := GridSearch(gbFactory, gbSpace(), x, y, 3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := GridSearch(gbFactory, gbSpace(), x, y, 3, 41, WithoutStaging())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, "gb", staged, plain)
+}
+
+// TestScalarGramMatchesDerived asserts the shared-plane derived grams
+// reproduce the scalar-gram reference scores to within accumulated float
+// tolerance across a whole kernel-model grid search.
+func TestScalarGramMatchesDerived(t *testing.T) {
+	r := rng.New(23)
+	x, y := quadratic(r, 140)
+	space := Space{
+		{Name: "length", Values: []float64{0.5, 1, 2}, Lo: 0.5, Hi: 2, Log: true},
+		{Name: "alpha", Values: []float64{1e-3, 1e-1}, Lo: 1e-3, Hi: 1, Log: true},
+	}
+	derived, err := GridSearch(krFactory, space, x, y, 4, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := GridSearch(krFactory, space, x, y, 4, 77, WithScalarGram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range derived.Trace {
+		d, s := derived.Trace[i], scalar.Trace[i]
+		if math.Abs(d.NegMAPE-s.NegMAPE) > 1e-8 {
+			t.Fatalf("trace[%d] (%s): derived %v scalar %v", i, d.Params, d.NegMAPE, s.NegMAPE)
+		}
+	}
+}
+
+// TestPoolFirstErrorWins asserts the parallel pool reports the error of the
+// lowest-indexed failing candidate regardless of scheduling, matching what
+// a serial run returns.
+func TestPoolFirstErrorWins(t *testing.T) {
+	r := rng.New(24)
+	x, y := quadratic(r, 60)
+	failing := func(p Params) (ml.Regressor, error) {
+		if p["alpha"] > 0.5 {
+			return nil, fmt.Errorf("boom alpha=%g", p["alpha"])
+		}
+		return ridgeFactory(p)
+	}
+	space := Space{{Name: "alpha", Values: []float64{0.1, 1, 2, 3}}}
+	_, perr := GridSearch(failing, space, x, y, 3, 1, WithWorkers(4))
+	if perr == nil {
+		t.Fatal("expected error")
+	}
+	_, serr := GridSearch(failing, space, x, y, 3, 1, WithSerial())
+	if serr == nil || perr.Error() != serr.Error() {
+		t.Fatalf("parallel error %q != serial error %q", perr, serr)
+	}
+}
+
+// TestBayesSearchUsesPlanDeterministically covers the reworked Bayes driver:
+// same seed, serial vs pooled init design, identical traces.
+func TestBayesSearchUsesPlanDeterministically(t *testing.T) {
+	r := rng.New(25)
+	x, y := quadratic(r, 100)
+	space := Space{{Name: "alpha", Lo: 1e-3, Hi: 1e2, Log: true}}
+	a, err := BayesSearch(ridgeFactory, space, x, y, 3, 4, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BayesSearch(ridgeFactory, space, x, y, 3, 4, 9, 3, WithSerial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, "bayes", a, b)
+	if a.NumEval != 9 {
+		t.Fatalf("NumEval = %d", a.NumEval)
+	}
+}

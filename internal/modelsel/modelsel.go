@@ -62,6 +62,11 @@ type Axis struct {
 	Lo, Hi float64   // continuous range (used by Random/Bayes)
 	Log    bool      // sample/space logarithmically
 	Int    bool      // round to integer
+	// Staged marks a prefix-shareable ensemble-size axis (e.g. n_trees):
+	// when the factory's models implement ml.StagedFitter, the evaluation
+	// engine scores every value of this axis from one fit per fold at the
+	// largest value, bit-identical to fitting each value separately.
+	Staged bool
 }
 
 // Space is an ordered list of axes.
@@ -130,28 +135,11 @@ type CVResult struct {
 }
 
 // CrossVal runs K-fold CV for a single params point and returns the mean
-// metrics across folds. It refits the factory's model on each fold.
+// metrics across folds, refitting the factory's model on each fold. Fold
+// splits are drawn from r up front; kernel models share one distance plane
+// across the folds.
 func CrossVal(factory Factory, params Params, x [][]float64, y []float64, k int, r *rng.Source) (stats.Scores, error) {
-	folds := stats.KFold(len(x), k, r)
-	var sum stats.Scores
-	for _, f := range folds {
-		trX, trY := ml.Subset(x, y, f.Train)
-		teX, teY := ml.Subset(x, y, f.Test)
-		model, err := factory(params)
-		if err != nil {
-			return stats.Scores{}, err
-		}
-		if err := model.Fit(trX, trY); err != nil {
-			return stats.Scores{}, err
-		}
-		pred := model.Predict(teX)
-		sc := stats.Evaluate(teY, pred)
-		sum.R2 += sc.R2
-		sum.MAE += sc.MAE
-		sum.MAPE += sc.MAPE
-	}
-	n := float64(len(folds))
-	return stats.Scores{R2: sum.R2 / n, MAE: sum.MAE / n, MAPE: sum.MAPE / n}, nil
+	return newCVPlan(x, y, k, r, false).evalOne(factory, params)
 }
 
 // SearchResult bundles a search's best point and its full evaluation trace.

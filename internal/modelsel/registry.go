@@ -93,7 +93,7 @@ func Registry(seed uint64) map[string]ModelSpec {
 					tree.Params{MaxDepth: intv(p, "max_depth", 12), MinSamplesLeaf: intv(p, "min_leaf", 1)}, seed), nil
 			},
 			Space: Space{
-				{Name: "n_trees", Values: []float64{50, 100, 200}, Lo: 30, Hi: 300, Int: true},
+				{Name: "n_trees", Values: []float64{50, 100, 200}, Lo: 30, Hi: 300, Int: true, Staged: true},
 				{Name: "max_depth", Values: []float64{8, 12, 16}, Lo: 5, Hi: 20, Int: true},
 				{Name: "min_leaf", Values: []float64{1, 2}, Lo: 1, Hi: 5, Int: true},
 			},
@@ -105,7 +105,7 @@ func Registry(seed uint64) map[string]ModelSpec {
 					tree.Params{MaxDepth: intv(p, "max_depth", 10), MinSamplesLeaf: intv(p, "min_leaf", 1)}, seed), nil
 			},
 			Space: Space{
-				{Name: "n_trees", Values: []float64{200, 400, 750}, Lo: 100, Hi: 800, Int: true},
+				{Name: "n_trees", Values: []float64{200, 400, 750}, Lo: 100, Hi: 800, Int: true, Staged: true},
 				{Name: "lr", Values: []float64{0.05, 0.1, 0.2}, Lo: 0.02, Hi: 0.3, Log: true},
 				{Name: "max_depth", Values: []float64{4, 7, 10}, Lo: 3, Hi: 12, Int: true},
 			},
@@ -117,7 +117,7 @@ func Registry(seed uint64) map[string]ModelSpec {
 					tree.Params{MaxDepth: intv(p, "max_depth", 4)}, seed), nil
 			},
 			Space: Space{
-				{Name: "n_trees", Values: []float64{50, 100, 200}, Lo: 30, Hi: 300, Int: true},
+				{Name: "n_trees", Values: []float64{50, 100, 200}, Lo: 30, Hi: 300, Int: true, Staged: true},
 				{Name: "max_depth", Values: []float64{3, 4, 6}, Lo: 2, Hi: 8, Int: true},
 			},
 		},

@@ -2,97 +2,60 @@ package modelsel
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"parcost/internal/ml/kernel"
 	"parcost/internal/rng"
 )
 
 // GridSearch evaluates every point in the Cartesian product of the space's
-// discrete Values with K-fold CV, in parallel, and returns the best by
-// −MAPE. This is the GridSearchCV equivalent.
-func GridSearch(factory Factory, space Space, x [][]float64, y []float64, k int, seed uint64) (SearchResult, error) {
+// discrete Values with K-fold CV on the shared evaluation engine — one fold
+// plan and one kernel distance plane for the whole sweep, candidates on a
+// bounded worker pool, staged ensemble-size grouping — and returns the best
+// by −MAPE. This is the GridSearchCV equivalent.
+func GridSearch(factory Factory, space Space, x [][]float64, y []float64, k int, seed uint64, opts ...Option) (SearchResult, error) {
+	o := applyOpts(opts)
 	points := space.gridPoints()
-	return evalPointsParallel("grid", factory, points, x, y, k, seed)
+	pl := newCVPlan(x, y, k, rng.New(seed), o.scalarGram)
+	return evalPoints("grid", factory, points, space, pl, o)
 }
 
 // RandomSearch draws nIter random points from the space's continuous ranges
-// and evaluates them with K-fold CV. This is the RandomizedSearchCV
-// equivalent.
-func RandomSearch(factory Factory, space Space, x [][]float64, y []float64, k, nIter int, seed uint64) (SearchResult, error) {
+// up front and evaluates them with K-fold CV on the shared engine. This is
+// the RandomizedSearchCV equivalent.
+func RandomSearch(factory Factory, space Space, x [][]float64, y []float64, k, nIter int, seed uint64, opts ...Option) (SearchResult, error) {
+	o := applyOpts(opts)
 	r := rng.New(seed)
 	points := make([]Params, nIter)
 	for i := range points {
 		points[i] = space.sample(r)
 	}
-	return evalPointsParallel("random", factory, points, x, y, k, seed)
-}
-
-// evalPointsParallel cross-validates a fixed set of points concurrently.
-// Each point gets its own RNG stream (derived from seed and index) so the
-// result is independent of scheduling.
-func evalPointsParallel(strategy string, factory Factory, points []Params, x [][]float64, y []float64, k int, seed uint64) (SearchResult, error) {
-	trace := make([]CVResult, len(points))
-	errs := make([]error, len(points))
-	base := rng.New(seed)
-	seeds := make([]uint64, len(points))
-	for i := range seeds {
-		seeds[i] = base.Uint64()
-	}
-
-	workers := runtime.GOMAXPROCS(0)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				sc, err := CrossVal(factory, points[i], x, y, k, rng.New(seeds[i]))
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				trace[i] = toResult(points[i], sc)
-			}
-		}()
-	}
-	for i := range points {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	for _, e := range errs {
-		if e != nil {
-			return SearchResult{}, e
-		}
-	}
-	return SearchResult{Strategy: strategy, Best: best(trace), Trace: trace, NumEval: len(trace)}, nil
+	pl := newCVPlan(x, y, k, r, o.scalarGram)
+	return evalPoints("random", factory, points, space, pl, o)
 }
 
 // BayesSearch is a Gaussian-process / expected-improvement search standing
-// in for scikit-optimize's BayesSearchCV. It seeds with a few random points,
-// then iteratively fits a GP surrogate over evaluated (params → −MAPE)
-// pairs and picks the next point maximizing expected improvement over a
-// random candidate pool.
-func BayesSearch(factory Factory, space Space, x [][]float64, y []float64, k, nInit, nIter int, seed uint64) (SearchResult, error) {
+// in for scikit-optimize's BayesSearchCV. The initial random design is
+// drawn up front and evaluated on the parallel engine; the EI iterations —
+// inherently sequential — then reuse the same fold plan and kernel plane
+// for every candidate they score.
+func BayesSearch(factory Factory, space Space, x [][]float64, y []float64, k, nInit, nIter int, seed uint64, opts ...Option) (SearchResult, error) {
+	o := applyOpts(opts)
 	if nInit < 2 {
 		nInit = 2
 	}
 	r := rng.New(seed)
-	var trace []CVResult
 
-	// Initial random design.
-	for i := 0; i < nInit; i++ {
-		p := space.sample(r)
-		sc, err := CrossVal(factory, p, x, y, k, r.Split())
-		if err != nil {
-			return SearchResult{}, err
-		}
-		trace = append(trace, toResult(p, sc))
+	// Initial random design, evaluated like a small random search.
+	points := make([]Params, nInit)
+	for i := range points {
+		points[i] = space.sample(r)
 	}
+	pl := newCVPlan(x, y, k, r, o.scalarGram)
+	res, err := evalPoints("bayes", factory, points, space, pl, o)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	trace := res.Trace
 
 	for it := nInit; it < nIter; it++ {
 		// Build the surrogate dataset from the trace.
@@ -106,7 +69,7 @@ func BayesSearch(factory Factory, space Space, x [][]float64, y []float64, k, nI
 		if err := gp.Fit(sx, sy); err != nil {
 			// Surrogate failed (e.g. degenerate); fall back to random.
 			p := space.sample(r)
-			sc, err := CrossVal(factory, p, x, y, k, r.Split())
+			sc, err := pl.evalOne(factory, p)
 			if err != nil {
 				return SearchResult{}, err
 			}
@@ -135,7 +98,7 @@ func BayesSearch(factory Factory, space Space, x [][]float64, y []float64, k, nI
 			}
 		}
 		p := candParams[bestIdx]
-		sc, err := CrossVal(factory, p, x, y, k, r.Split())
+		sc, err := pl.evalOne(factory, p)
 		if err != nil {
 			return SearchResult{}, err
 		}
