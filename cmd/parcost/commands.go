@@ -6,6 +6,7 @@ import (
 
 	"parcost/internal/dataset"
 	"parcost/internal/guide"
+	"parcost/internal/machine"
 	"parcost/internal/ml/tree"
 	"parcost/internal/rng"
 	"parcost/internal/stats"
@@ -15,19 +16,25 @@ func treeParams(depth int) tree.Params {
 	return tree.Params{MaxDepth: depth, MinSamplesSplit: 2, MinSamplesLeaf: 1}
 }
 
-// queryFlags parses the flags shared by stq/bq/predict.
+// queryFlags parses the flags shared by stq/bq/predict/eval.
 type queryFlags struct {
-	data, machine     string
-	o, v, nodes, tile int
-	trees, depth      int
-	seed              uint64
+	data, machine, model string
+	o, v, nodes, tile    int
+	trees, depth         int
+	seed                 uint64
 }
 
-func parseQueryFlags(args []string, withConfig bool) (*queryFlags, error) {
+// parseQueryFlags parses and validates the shared query flags. withConfig
+// adds -nodes/-tile (predict); needProblem requires a positive -o/-v
+// (everything but eval). Zero is the flag default, so "required and
+// positive" also rejects accidental `-o 0` queries that would otherwise
+// silently sweep a nonsense problem.
+func parseQueryFlags(args []string, withConfig, needProblem bool) (*queryFlags, error) {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	qf := &queryFlags{}
 	fs.StringVar(&qf.data, "data", "", "dataset CSV")
 	fs.StringVar(&qf.machine, "machine", "aurora", "machine")
+	fs.StringVar(&qf.model, "model", "", "trained advisor artifact (from `parcost train`); skips refitting")
 	fs.IntVar(&qf.o, "o", 0, "occupied orbitals")
 	fs.IntVar(&qf.v, "v", 0, "virtual orbitals")
 	if withConfig {
@@ -40,22 +47,66 @@ func parseQueryFlags(args []string, withConfig bool) (*queryFlags, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if qf.o <= 0 || qf.v <= 0 {
-		return nil, fmt.Errorf("-o and -v are required and must be positive")
+	if needProblem {
+		if qf.o <= 0 || qf.v <= 0 {
+			return nil, fmt.Errorf("-o and -v are required and must be positive (got o=%d v=%d)", qf.o, qf.v)
+		}
+	}
+	if withConfig {
+		if qf.nodes <= 0 || qf.tile <= 0 {
+			return nil, fmt.Errorf("-nodes and -tile are required and must be positive (got nodes=%d tile=%d)", qf.nodes, qf.tile)
+		}
+	}
+	if qf.model != "" {
+		// An artifact fixes the training data, machine, and hyper-parameters
+		// at train time; silently discarding an explicitly-set flag would
+		// hide that the answer comes from the artifact's configuration.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, name := range []string{"data", "machine", "trees", "depth", "seed"} {
+			if set[name] {
+				return nil, fmt.Errorf("-%s has no effect with -model: the artifact fixes it at train time", name)
+			}
+		}
+	} else if qf.trees <= 0 || qf.depth <= 0 {
+		return nil, fmt.Errorf("-trees and -depth must be positive (got trees=%d depth=%d)", qf.trees, qf.depth)
 	}
 	return qf, nil
 }
 
-func runQuery(args []string, obj guide.Objective) error {
-	qf, err := parseQueryFlags(args, false)
-	if err != nil {
-		return err
+// advisorForQuery returns a ready advisor and the machine spec: either
+// loaded from a trained artifact (-model) or fitted in-process from the
+// dataset (-data, or simulated). With -model, the artifact's recorded
+// machine overrides -machine so oracle pruning matches training provenance.
+func advisorForQuery(qf *queryFlags) (*guide.Advisor, machine.Spec, error) {
+	if qf.model != "" {
+		adv, machineName, err := guide.LoadAdvisor(qf.model)
+		if err != nil {
+			return nil, machine.Spec{}, err
+		}
+		spec, err := machine.ByName(machineName)
+		if err != nil {
+			return nil, machine.Spec{}, fmt.Errorf("artifact machine: %w", err)
+		}
+		return adv, spec, nil
 	}
 	d, spec, err := loadOrGenerate(qf.data, qf.machine, qf.seed)
 	if err != nil {
-		return err
+		return nil, machine.Spec{}, err
 	}
 	adv, err := guide.NewAdvisor(buildGB(qf.trees, qf.depth, qf.seed), d)
+	if err != nil {
+		return nil, machine.Spec{}, err
+	}
+	return adv, spec, nil
+}
+
+func runQuery(args []string, obj guide.Objective) error {
+	qf, err := parseQueryFlags(args, false, true)
+	if err != nil {
+		return err
+	}
+	adv, spec, err := advisorForQuery(qf)
 	if err != nil {
 		return err
 	}
@@ -83,30 +134,23 @@ func runQuery(args []string, obj guide.Objective) error {
 }
 
 func runPredict(args []string) error {
-	qf, err := parseQueryFlags(args, true)
+	qf, err := parseQueryFlags(args, true, true)
 	if err != nil {
 		return err
 	}
-	if qf.nodes <= 0 || qf.tile <= 0 {
-		return fmt.Errorf("-nodes and -tile are required for predict")
-	}
-	d, spec, err := loadOrGenerate(qf.data, qf.machine, qf.seed)
+	adv, spec, err := advisorForQuery(qf)
 	if err != nil {
-		return err
-	}
-	model := buildGB(qf.trees, qf.depth, qf.seed)
-	if err := model.Fit(d.Features(), d.Targets()); err != nil {
 		return err
 	}
 	cfg := dataset.Config{O: qf.o, V: qf.v, Nodes: qf.nodes, TileSize: qf.tile}
-	pred := model.Predict([][]float64{cfg.Features()})[0]
+	pred := adv.Model.Predict([][]float64{cfg.Features()})[0]
 	fmt.Printf("Predicted iteration time for %v on %s: %.2f s\n", cfg, spec.Name, pred)
 	fmt.Printf("Predicted node-hours: %.3f\n", float64(cfg.Nodes)*pred/3600)
 	return nil
 }
 
 func runEval(args []string) error {
-	qf, err := parseQueryFlags(argsWithDummyOV(args), false)
+	qf, err := parseQueryFlags(args, false, false)
 	if err != nil {
 		return err
 	}
@@ -123,10 +167,4 @@ func runEval(args []string) error {
 	fmt.Printf("Model evaluation on %s (%d train / %d test):\n", spec.Name, train.Len(), test.Len())
 	fmt.Printf("  R2=%.4f  MAE=%.3f  MAPE=%.4f\n", sc.R2, sc.MAE, sc.MAPE)
 	return nil
-}
-
-// argsWithDummyOV injects placeholder -o/-v so the shared parser (which
-// requires them) accepts the eval command, where they are unused.
-func argsWithDummyOV(args []string) []string {
-	return append([]string{"-o", "1", "-v", "1"}, args...)
 }

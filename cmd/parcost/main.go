@@ -7,6 +7,14 @@
 //	parcost predict -data aurora.csv -o 146 -v 1096 -nodes 300 -tile 80
 //	parcost eval   -data aurora.csv -machine aurora
 //
+// Training and query time can be split: `parcost train` fits once and
+// writes a versioned advisor artifact, which the query commands load with
+// -model and `parcost serve` exposes as a concurrent HTTP JSON service:
+//
+//	parcost train -data aurora.csv -machine aurora -out aurora.model.json
+//	parcost stq   -model aurora.model.json -o 146 -v 1096
+//	parcost serve -model aurora.model.json -addr :8080
+//
 // If -data is omitted, the dataset is generated on the fly by the simulator
 // for the chosen machine.
 package main
@@ -21,6 +29,11 @@ import (
 	"parcost/internal/machine"
 	"parcost/internal/ml"
 	"parcost/internal/ml/ensemble"
+
+	// Register every model family's artifact kind so any advisor artifact
+	// decodes, not just the GB models this CLI trains.
+	_ "parcost/internal/ml/kernel"
+	_ "parcost/internal/ml/linmodel"
 )
 
 func main() {
@@ -40,6 +53,10 @@ func main() {
 		err = runPredict(args)
 	case "eval":
 		err = runEval(args)
+	case "train":
+		err = runTrain(args)
+	case "serve":
+		err = runServe(args)
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -62,10 +79,13 @@ Commands:
   bq       find (nodes, tile) minimizing node-hours
   predict  predict the iteration time of a specific configuration
   eval     evaluate model accuracy on a held-out split
+  train    fit the model once and write an advisor artifact (-out)
+  serve    serve stq/bq/predict over HTTP from an artifact (-model -addr)
 
 Common flags:
   -data <csv>      dataset CSV (default: simulate for -machine)
   -machine <name>  aurora or frontier (default aurora)
+  -model <file>    advisor artifact; query without refitting (stq/bq/predict)
   -o, -v           problem size (occupied / virtual orbitals)
   -nodes, -tile    configuration (predict only)
   -trees, -depth   GB hyper-parameters (default 750, 10)

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+
+	"parcost/internal/dataset"
+	"parcost/internal/guide"
+	"parcost/internal/machine"
+)
+
+// runServe loads a trained advisor artifact and serves STQ/BQ/predict
+// queries over HTTP, backed by the concurrent guide.Service (bounded sweep
+// cache, coalesced concurrent queries).
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		model = fs.String("model", "", "trained advisor artifact (required; from `parcost train`)")
+		addr  = fs.String("addr", ":8080", "listen address")
+		cache = fs.Int("cache", guide.DefaultCacheSize, "sweep-cache entries (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		return fmt.Errorf("-model is required")
+	}
+	adv, machineName, err := guide.LoadAdvisor(*model)
+	if err != nil {
+		return err
+	}
+	spec, err := machine.ByName(machineName)
+	if err != nil {
+		return fmt.Errorf("artifact machine: %w", err)
+	}
+	svc, err := guide.NewService(adv,
+		guide.WithOracle(guide.NewSimOracle(spec)),
+		guide.WithCacheSize(*cache))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Serving %s advisor for %s on %s\n", adv.Model.Name(), spec.Name, *addr)
+	return http.ListenAndServe(*addr, newServeHandler(svc, adv.Model.Name(), spec.Name))
+}
+
+// Request/response schema of the serve endpoints. All bodies are JSON.
+type recommendRequest struct {
+	O         int    `json:"o"`
+	V         int    `json:"v"`
+	Objective string `json:"objective"` // "stq" or "bq"
+}
+
+type recommendResponse struct {
+	O           int     `json:"o"`
+	V           int     `json:"v"`
+	Objective   string  `json:"objective"`
+	Nodes       int     `json:"nodes"`
+	Tile        int     `json:"tile"`
+	PredSeconds float64 `json:"pred_seconds"`
+	PredValue   float64 `json:"pred_value"` // seconds (STQ) or node-hours (BQ)
+}
+
+type predictRequest struct {
+	O     int `json:"o"`
+	V     int `json:"v"`
+	Nodes int `json:"nodes"`
+	Tile  int `json:"tile"`
+}
+
+type predictResponse struct {
+	PredSeconds   float64 `json:"pred_seconds"`
+	PredNodeHours float64 `json:"pred_node_hours"`
+}
+
+type batchRequest struct {
+	Queries []recommendRequest `json:"queries"`
+}
+
+type batchEntry struct {
+	Result *recommendResponse `json:"result,omitempty"`
+	Error  string             `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchEntry `json:"results"`
+}
+
+type healthResponse struct {
+	Status  string `json:"status"`
+	Model   string `json:"model"`
+	Machine string `json:"machine"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// newServeHandler builds the HTTP API over a guide.Service. Split from
+// runServe so tests drive the exact handler the daemon mounts.
+func newServeHandler(svc *guide.Service, modelName, machineName string) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Model: modelName, Machine: machineName})
+	})
+
+	mux.HandleFunc("POST /v1/recommend", func(w http.ResponseWriter, r *http.Request) {
+		var req recommendRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed JSON body: " + err.Error()})
+			return
+		}
+		resp, err := recommendOne(svc, req)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed JSON body: " + err.Error()})
+			return
+		}
+		if len(req.Queries) == 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "batch requires at least one query"})
+			return
+		}
+		// Validate every query up front so a malformed entry rejects the
+		// batch before any sweeps run.
+		queries := make([]guide.Query, len(req.Queries))
+		for i, q := range req.Queries {
+			obj, err := parseObjective(q.Objective)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("query %d: %v", i, err)})
+				return
+			}
+			if q.O <= 0 || q.V <= 0 {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("query %d: o and v must be positive (got o=%d v=%d)", i, q.O, q.V)})
+				return
+			}
+			queries[i] = guide.Query{Problem: dataset.Problem{O: q.O, V: q.V}, Objective: obj}
+		}
+		results := svc.RecommendBatch(queries)
+		resp := batchResponse{Results: make([]batchEntry, len(results))}
+		for i, res := range results {
+			if res.Err != nil {
+				resp.Results[i] = batchEntry{Error: res.Err.Error()}
+				continue
+			}
+			rr := toRecommendResponse(req.Queries[i], res.Rec)
+			resp.Results[i] = batchEntry{Result: &rr}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		var req predictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed JSON body: " + err.Error()})
+			return
+		}
+		if req.O <= 0 || req.V <= 0 || req.Nodes <= 0 || req.Tile <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("o, v, nodes, and tile must all be positive (got o=%d v=%d nodes=%d tile=%d)", req.O, req.V, req.Nodes, req.Tile)})
+			return
+		}
+		cfg := dataset.Config{O: req.O, V: req.V, Nodes: req.Nodes, TileSize: req.Tile}
+		secs := svc.PredictTime(cfg)
+		writeJSON(w, http.StatusOK, predictResponse{
+			PredSeconds:   secs,
+			PredNodeHours: float64(cfg.Nodes) * secs / 3600,
+		})
+	})
+
+	return mux
+}
+
+// recommendOne validates and answers a single recommend request.
+func recommendOne(svc *guide.Service, req recommendRequest) (recommendResponse, error) {
+	obj, err := parseObjective(req.Objective)
+	if err != nil {
+		return recommendResponse{}, err
+	}
+	if req.O <= 0 || req.V <= 0 {
+		return recommendResponse{}, fmt.Errorf("o and v must be positive (got o=%d v=%d)", req.O, req.V)
+	}
+	rec, err := svc.Recommend(dataset.Problem{O: req.O, V: req.V}, obj)
+	if err != nil {
+		return recommendResponse{}, err
+	}
+	return toRecommendResponse(req, rec), nil
+}
+
+func toRecommendResponse(req recommendRequest, rec guide.Recommendation) recommendResponse {
+	return recommendResponse{
+		O: req.O, V: req.V, Objective: rec.Objective.String(),
+		Nodes: rec.Config.Nodes, Tile: rec.Config.TileSize,
+		PredSeconds: rec.PredTime, PredValue: rec.PredValue,
+	}
+}
+
+// parseObjective maps the wire objective name to a guide.Objective.
+func parseObjective(s string) (guide.Objective, error) {
+	switch s {
+	case "stq", "STQ":
+		return guide.ShortestTime, nil
+	case "bq", "BQ":
+		return guide.Budget, nil
+	default:
+		return 0, fmt.Errorf("objective must be \"stq\" or \"bq\" (got %q)", s)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,315 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parcost/internal/ccsd"
+	"parcost/internal/dataset"
+	"parcost/internal/guide"
+	"parcost/internal/machine"
+)
+
+// testService builds a small advisor + service pair over simulated data.
+func testService(t *testing.T) (*guide.Service, *guide.Advisor, guide.Oracle) {
+	t.Helper()
+	spec := machine.Aurora()
+	d := ccsd.Generate(spec, ccsd.GenConfig{
+		Problems: []dataset.Problem{{O: 99, V: 718}, {O: 146, V: 1096}, {O: 180, V: 1070}},
+		Grid: dataset.Grid{
+			Nodes:     []int{5, 15, 30, 50, 100, 200, 400},
+			TileSizes: []int{40, 60, 80, 100},
+		},
+		Seed: 1,
+	})
+	adv, err := guide.NewAdvisor(buildGB(60, 6, 1), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := guide.NewSimOracle(spec)
+	svc, err := guide.NewService(adv, guide.WithOracle(oracle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, adv, oracle
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestServeEndToEnd drives the HTTP API and asserts every answer matches
+// the in-process advisor exactly.
+func TestServeEndToEnd(t *testing.T) {
+	svc, adv, oracle := testService(t)
+	srv := httptest.NewServer(newServeHandler(svc, adv.Model.Name(), "aurora"))
+	defer srv.Close()
+
+	// healthz
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Machine != "aurora" {
+		t.Fatalf("health = %+v", health)
+	}
+
+	// recommend, both objectives, vs in-process advisor
+	for _, objName := range []string{"stq", "bq"} {
+		obj := guide.ShortestTime
+		if objName == "bq" {
+			obj = guide.Budget
+		}
+		p := dataset.Problem{O: 146, V: 1096}
+		want, err := adv.Recommend(p, obj, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, body := postJSON(t, srv.URL+"/v1/recommend", recommendRequest{O: p.O, V: p.V, Objective: objName})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("recommend %s: status %d body %s", objName, resp.StatusCode, body)
+		}
+		var rec recommendResponse
+		if err := json.Unmarshal(body, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Nodes != want.Config.Nodes || rec.Tile != want.Config.TileSize {
+			t.Fatalf("HTTP %s recommends nodes=%d tile=%d, in-process nodes=%d tile=%d",
+				objName, rec.Nodes, rec.Tile, want.Config.Nodes, want.Config.TileSize)
+		}
+		if rec.PredSeconds != want.PredTime || rec.PredValue != want.PredValue {
+			t.Fatalf("HTTP %s predictions %v/%v, in-process %v/%v",
+				objName, rec.PredSeconds, rec.PredValue, want.PredTime, want.PredValue)
+		}
+	}
+
+	// predict vs in-process model
+	cfg := dataset.Config{O: 99, V: 718, Nodes: 100, TileSize: 80}
+	wantSecs := adv.Model.Predict([][]float64{cfg.Features()})[0]
+	resp2, body := postJSON(t, srv.URL+"/v1/predict", predictRequest{O: cfg.O, V: cfg.V, Nodes: cfg.Nodes, Tile: cfg.TileSize})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d body %s", resp2.StatusCode, body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.PredSeconds != wantSecs {
+		t.Fatalf("HTTP predict %v, in-process %v", pr.PredSeconds, wantSecs)
+	}
+
+	// batch: order preserved, answers match the advisor
+	batch := batchRequest{Queries: []recommendRequest{
+		{O: 99, V: 718, Objective: "stq"},
+		{O: 146, V: 1096, Objective: "bq"},
+	}}
+	resp3, body := postJSON(t, srv.URL+"/v1/batch", batch)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d body %s", resp3.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 2 {
+		t.Fatalf("batch returned %d results", len(br.Results))
+	}
+	for i, q := range batch.Queries {
+		obj := guide.ShortestTime
+		if q.Objective == "bq" {
+			obj = guide.Budget
+		}
+		want, err := adv.Recommend(dataset.Problem{O: q.O, V: q.V}, obj, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := br.Results[i]
+		if got.Error != "" || got.Result == nil {
+			t.Fatalf("batch result %d: %+v", i, got)
+		}
+		if got.Result.Nodes != want.Config.Nodes || got.Result.Tile != want.Config.TileSize {
+			t.Fatalf("batch result %d diverges from in-process advisor", i)
+		}
+	}
+}
+
+func TestServeRejectsBadRequests(t *testing.T) {
+	svc, adv, _ := testService(t)
+	srv := httptest.NewServer(newServeHandler(svc, adv.Model.Name(), "aurora"))
+	defer srv.Close()
+
+	cases := []struct {
+		name string
+		path string
+		body any
+	}{
+		{"zero o/v", "/v1/recommend", recommendRequest{O: 0, V: 0, Objective: "stq"}},
+		{"negative o", "/v1/recommend", recommendRequest{O: -5, V: 100, Objective: "stq"}},
+		{"bad objective", "/v1/recommend", recommendRequest{O: 99, V: 718, Objective: "fastest"}},
+		{"zero nodes", "/v1/predict", predictRequest{O: 99, V: 718, Nodes: 0, Tile: 80}},
+		{"zero tile", "/v1/predict", predictRequest{O: 99, V: 718, Nodes: 100, Tile: 0}},
+		{"empty batch", "/v1/batch", batchRequest{}},
+		{"batch bad entry", "/v1/batch", batchRequest{Queries: []recommendRequest{{O: 0, V: 1, Objective: "stq"}}}},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, srv.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (body %s), want 400", tc.name, resp.StatusCode, body)
+			continue
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body %q not structured", tc.name, body)
+		}
+	}
+
+	// Malformed JSON body.
+	resp, err := http.Post(srv.URL+"/v1/recommend", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestTrainArtifactMatchesRefit is the CLI acceptance criterion: a model
+// trained by `parcost train` and loaded from its artifact recommends
+// identically to the refit-in-process path with the same flags.
+func TestTrainArtifactMatchesRefit(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "model.json")
+	args := []string{"-machine", "aurora", "-trees", "40", "-depth", "5", "-seed", "3", "-out", out}
+	if err := runTrain(args); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, machineName, err := guide.LoadAdvisor(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if machineName != "aurora" {
+		t.Fatalf("artifact machine %q", machineName)
+	}
+
+	// Refit in process exactly as `parcost stq -trees 40 -depth 5 -seed 3`
+	// would without -model.
+	d, spec, err := loadOrGenerate("", "aurora", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refit, err := guide.NewAdvisor(buildGB(40, 5, 3), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := guide.NewSimOracle(spec)
+	for _, obj := range []guide.Objective{guide.ShortestTime, guide.Budget} {
+		for _, p := range []dataset.Problem{{O: 146, V: 1096}, {O: 99, V: 718}} {
+			want, err := refit.Recommend(p, obj, oracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loaded.Recommend(p, obj, oracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("artifact-loaded %v/%v = %+v, refit = %+v", p, obj, got, want)
+			}
+		}
+	}
+}
+
+// TestQueryFlagValidation pins the CLI's rejection of nonsense problems:
+// zero/negative O, V, nodes, tile, trees, or depth must error out instead
+// of silently sweeping a meaningless configuration.
+func TestQueryFlagValidation(t *testing.T) {
+	cases := []struct {
+		name        string
+		args        []string
+		withConfig  bool
+		needProblem bool
+		wantErr     string
+	}{
+		{"missing o/v", []string{}, false, true, "-o and -v"},
+		{"zero o/v", []string{"-o", "0", "-v", "0"}, false, true, "-o and -v"},
+		{"negative o", []string{"-o", "-146", "-v", "1096"}, false, true, "-o and -v"},
+		{"zero v only", []string{"-o", "146", "-v", "0"}, false, true, "-o and -v"},
+		{"predict missing nodes/tile", []string{"-o", "146", "-v", "1096"}, true, true, "-nodes and -tile"},
+		{"predict zero nodes", []string{"-o", "146", "-v", "1096", "-nodes", "0", "-tile", "80"}, true, true, "-nodes and -tile"},
+		{"predict negative tile", []string{"-o", "146", "-v", "1096", "-nodes", "300", "-tile", "-80"}, true, true, "-nodes and -tile"},
+		{"zero trees", []string{"-o", "146", "-v", "1096", "-trees", "0"}, false, true, "-trees and -depth"},
+		{"negative depth", []string{"-o", "146", "-v", "1096", "-depth", "-1"}, false, true, "-trees and -depth"},
+		{"model with machine", []string{"-model", "m.json", "-machine", "frontier", "-o", "146", "-v", "1096"}, false, true, "no effect with -model"},
+		{"model with trees", []string{"-model", "m.json", "-trees", "100", "-o", "146", "-v", "1096"}, false, true, "no effect with -model"},
+		{"model with seed", []string{"-model", "m.json", "-seed", "9", "-o", "146", "-v", "1096"}, false, true, "no effect with -model"},
+	}
+	for _, tc := range cases {
+		_, err := parseQueryFlags(tc.args, tc.withConfig, tc.needProblem)
+		if err == nil {
+			t.Errorf("%s: expected error, got none", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+
+	// Valid invocations parse.
+	if _, err := parseQueryFlags([]string{"-o", "146", "-v", "1096"}, false, true); err != nil {
+		t.Errorf("valid stq flags rejected: %v", err)
+	}
+	if _, err := parseQueryFlags([]string{"-o", "146", "-v", "1096", "-nodes", "300", "-tile", "80"}, true, true); err != nil {
+		t.Errorf("valid predict flags rejected: %v", err)
+	}
+	// eval does not need a problem size.
+	if _, err := parseQueryFlags(nil, false, false); err != nil {
+		t.Errorf("eval flags rejected: %v", err)
+	}
+	// -model alone (without training flags) is the supported fast path.
+	if _, err := parseQueryFlags([]string{"-model", "m.json", "-o", "146", "-v", "1096"}, false, true); err != nil {
+		t.Errorf("valid -model flags rejected: %v", err)
+	}
+}
+
+func TestTrainFlagValidation(t *testing.T) {
+	if err := runTrain([]string{}); err == nil || !strings.Contains(err.Error(), "-out") {
+		t.Errorf("train without -out: %v", err)
+	}
+	if err := runTrain([]string{"-out", "x.json", "-trees", "0"}); err == nil || !strings.Contains(err.Error(), "-trees") {
+		t.Errorf("train with zero trees: %v", err)
+	}
+}
+
+func TestServeFlagValidation(t *testing.T) {
+	if err := runServe([]string{}); err == nil || !strings.Contains(err.Error(), "-model") {
+		t.Errorf("serve without -model: %v", err)
+	}
+	if err := runServe([]string{"-model", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("serve with missing artifact should error")
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"parcost/internal/guide"
+)
+
+// runTrain fits the paper's GB model on a dataset and writes the advisor
+// artifact (model + candidate grid + machine) that stq/bq/predict/serve
+// load, splitting training time from query time.
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	var (
+		data        = fs.String("data", "", "dataset CSV (default: simulate for -machine)")
+		machineName = fs.String("machine", "aurora", "machine")
+		out         = fs.String("out", "", "output artifact path (required)")
+		trees       = fs.Int("trees", 750, "GB estimators")
+		depth       = fs.Int("depth", 10, "GB max depth")
+		seed        = fs.Uint64("seed", 1, "seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	if *trees <= 0 || *depth <= 0 {
+		return fmt.Errorf("-trees and -depth must be positive (got trees=%d depth=%d)", *trees, *depth)
+	}
+	d, spec, err := loadOrGenerate(*data, *machineName, *seed)
+	if err != nil {
+		return err
+	}
+	adv, err := guide.NewAdvisor(buildGB(*trees, *depth, *seed), d)
+	if err != nil {
+		return err
+	}
+	if err := guide.SaveAdvisor(*out, adv, spec.Name); err != nil {
+		return err
+	}
+	fmt.Printf("Trained %s on %d %s records (grid %d nodes × %d tiles)\n",
+		adv.Model.Name(), d.Len(), spec.Name, len(adv.Grid.Nodes), len(adv.Grid.TileSizes))
+	fmt.Printf("Artifact written to %s\n", *out)
+	return nil
+}

@@ -1,0 +1,115 @@
+package guide
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"parcost/internal/dataset"
+	"parcost/internal/ml"
+)
+
+// Advisor artifacts bundle everything query time needs — the fitted model's
+// artifact, the candidate grid, and the machine the training data came from
+// — so `parcost train` can fit once and `parcost stq/bq/serve` answer
+// queries without the dataset or a refit.
+const (
+	AdvisorArtifactFormat  = "parcost-advisor"
+	AdvisorArtifactVersion = 1
+)
+
+// advisorArtifact is the on-disk advisor envelope. The checksum covers the
+// whole payload — machine, grid, AND nested model artifact — so corruption
+// anywhere in the file is rejected at load, not just inside the model
+// state (a flipped digit in the grid would otherwise silently change every
+// recommendation).
+type advisorArtifact struct {
+	Format   string          `json:"format"`
+	Version  int             `json:"version"`
+	Checksum string          `json:"checksum"` // sha256 hex of the payload bytes
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// advisorPayload is the checksummed content. Model holds a complete ml
+// model artifact (its own format/version/checksum envelope).
+type advisorPayload struct {
+	Machine string          `json:"machine"`
+	Grid    dataset.Grid    `json:"grid"`
+	Model   json.RawMessage `json:"model"`
+}
+
+// EncodeAdvisor captures a fitted advisor and its provenance machine name
+// into artifact bytes. The advisor's model must support snapshots.
+func EncodeAdvisor(adv *Advisor, machineName string) ([]byte, error) {
+	if adv == nil || adv.Model == nil {
+		return nil, fmt.Errorf("guide: EncodeAdvisor requires a fitted advisor")
+	}
+	model, err := ml.EncodeModel(adv.Model)
+	if err != nil {
+		return nil, fmt.Errorf("guide: encoding advisor model: %w", err)
+	}
+	payload, err := json.Marshal(advisorPayload{Machine: machineName, Grid: adv.Grid, Model: model})
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(payload)
+	return json.Marshal(advisorArtifact{
+		Format:   AdvisorArtifactFormat,
+		Version:  AdvisorArtifactVersion,
+		Checksum: hex.EncodeToString(sum[:]),
+		Payload:  payload,
+	})
+}
+
+// DecodeAdvisor validates an advisor artifact (format, version, payload
+// checksum) and rebuilds the advisor, returning the machine name recorded
+// at training time.
+func DecodeAdvisor(data []byte) (*Advisor, string, error) {
+	var art advisorArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, "", fmt.Errorf("guide: malformed advisor artifact: %w", err)
+	}
+	if art.Format != AdvisorArtifactFormat {
+		return nil, "", fmt.Errorf("guide: artifact format %q, want %q", art.Format, AdvisorArtifactFormat)
+	}
+	if art.Version != AdvisorArtifactVersion {
+		return nil, "", fmt.Errorf("guide: advisor artifact version %d not supported (reader handles %d)",
+			art.Version, AdvisorArtifactVersion)
+	}
+	sum := sha256.Sum256(art.Payload)
+	if got := hex.EncodeToString(sum[:]); got != art.Checksum {
+		return nil, "", fmt.Errorf("guide: advisor artifact checksum mismatch (corrupt artifact?)")
+	}
+	var payload advisorPayload
+	if err := json.Unmarshal(art.Payload, &payload); err != nil {
+		return nil, "", fmt.Errorf("guide: malformed advisor payload: %w", err)
+	}
+	if len(payload.Grid.Nodes) == 0 || len(payload.Grid.TileSizes) == 0 {
+		return nil, "", fmt.Errorf("guide: advisor artifact has an empty candidate grid")
+	}
+	model, err := ml.DecodeModel(payload.Model)
+	if err != nil {
+		return nil, "", fmt.Errorf("guide: decoding advisor model: %w", err)
+	}
+	return &Advisor{Model: model, Grid: payload.Grid}, payload.Machine, nil
+}
+
+// SaveAdvisor writes a fitted advisor's artifact to a file.
+func SaveAdvisor(path string, adv *Advisor, machineName string) error {
+	data, err := EncodeAdvisor(adv, machineName)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadAdvisor reads an advisor artifact from a file.
+func LoadAdvisor(path string) (*Advisor, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return DecodeAdvisor(data)
+}

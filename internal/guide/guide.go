@@ -90,6 +90,13 @@ type Recommendation struct {
 // Recommend answers a query for one problem size and objective by sweeping
 // the candidate grid and returning the configuration minimizing the
 // predicted objective. An optional Oracle prunes infeasible configurations.
+//
+// Tie-breaking is deterministic: the grid is swept in its stable order
+// (Grid.Configs enumerates sorted nodes × sorted tiles) and the FIRST
+// configuration attaining the minimum wins (strict `<` comparison). Two
+// processes holding the same fitted model — e.g. one that trained it and
+// one that loaded its artifact — therefore return identical
+// recommendations.
 func (a *Advisor) Recommend(p dataset.Problem, obj Objective, oracle Oracle) (Recommendation, error) {
 	cfgs := a.Grid.Configs(p)
 	rows := make([][]float64, 0, len(cfgs))
@@ -111,6 +118,8 @@ func (a *Advisor) Recommend(p dataset.Problem, obj Objective, oracle Oracle) (Re
 	bestVal := 0.0
 	for i, c := range kept {
 		v := obj.value(c, preds[i])
+		// Strictly-less keeps the first minimum: ties resolve to the
+		// earliest grid configuration, independent of process or platform.
 		if bestIdx < 0 || v < bestVal {
 			bestIdx, bestVal = i, v
 		}

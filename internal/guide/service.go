@@ -1,0 +1,228 @@
+package guide
+
+import (
+	"container/list"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"parcost/internal/dataset"
+)
+
+// Service wraps a fitted Advisor for concurrent serving. It is safe for use
+// from many goroutines at once:
+//
+//   - Recommend answers STQ/BQ queries through a bounded LRU cache keyed by
+//     (problem, objective), so repeated queries for the same problem don't
+//     re-sweep the candidate grid.
+//   - Concurrent first requests for the same key are coalesced: one
+//     goroutine sweeps, the rest wait for its result (no duplicated work,
+//     no thundering herd on a cold cache).
+//   - RecommendBatch fans a query list across a bounded worker pool.
+//
+// The underlying model's Predict must be goroutine-safe; every model family
+// in this library predicts from immutable fitted state with per-call
+// scratch, which the -race hammer tests in internal/ml verify.
+type Service struct {
+	adv    *Advisor
+	oracle Oracle        // optional feasibility pruning, applied to every query
+	max    int           // cache capacity (entries); 0 disables caching
+	sweeps chan struct{} // service-wide semaphore bounding concurrent grid sweeps
+
+	mu       sync.Mutex
+	entries  map[Query]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[Query]*inflightCall
+	hits     uint64
+	misses   uint64
+}
+
+// Query identifies one STQ/BQ question.
+type Query struct {
+	Problem   dataset.Problem
+	Objective Objective
+}
+
+// cacheEntry is one resident sweep result.
+type cacheEntry struct {
+	q   Query
+	rec Recommendation
+}
+
+// inflightCall coalesces concurrent misses on the same key.
+type inflightCall struct {
+	done chan struct{}
+	rec  Recommendation
+	err  error
+}
+
+// DefaultCacheSize bounds the per-problem sweep cache unless overridden.
+const DefaultCacheSize = 1024
+
+// ServiceOption configures a Service.
+type ServiceOption func(*Service)
+
+// WithOracle sets an oracle used to prune infeasible configurations on
+// every query, mirroring Advisor.Recommend's optional oracle argument.
+func WithOracle(o Oracle) ServiceOption {
+	return func(s *Service) { s.oracle = o }
+}
+
+// WithCacheSize bounds the sweep cache to n entries; n <= 0 disables
+// caching entirely (every query re-sweeps the grid).
+func WithCacheSize(n int) ServiceOption {
+	return func(s *Service) {
+		if n < 0 {
+			n = 0
+		}
+		s.max = n
+	}
+}
+
+// NewService wraps a fitted Advisor for concurrent serving.
+func NewService(adv *Advisor, opts ...ServiceOption) (*Service, error) {
+	if adv == nil || adv.Model == nil {
+		return nil, fmt.Errorf("guide: NewService requires a fitted advisor")
+	}
+	s := &Service{
+		adv:      adv,
+		max:      DefaultCacheSize,
+		sweeps:   make(chan struct{}, runtime.GOMAXPROCS(0)),
+		entries:  make(map[Query]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[Query]*inflightCall),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// Advisor returns the wrapped advisor (shared, read-only).
+func (s *Service) Advisor() *Advisor { return s.adv }
+
+// Recommend answers one STQ/BQ query, serving repeats from the cache.
+func (s *Service) Recommend(p dataset.Problem, obj Objective) (Recommendation, error) {
+	q := Query{Problem: p, Objective: obj}
+
+	s.mu.Lock()
+	if el, ok := s.entries[q]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		rec := el.Value.(*cacheEntry).rec
+		s.mu.Unlock()
+		return rec, nil
+	}
+	if c, ok := s.inflight[q]; ok {
+		// Another goroutine is already sweeping this key; share its result.
+		s.hits++
+		s.mu.Unlock()
+		<-c.done
+		return c.rec, c.err
+	}
+	c := &inflightCall{done: make(chan struct{})}
+	s.inflight[q] = c
+	s.misses++
+	s.mu.Unlock()
+
+	// The sweep itself runs under a service-wide semaphore, so total
+	// CPU-bound grid sweeps stay bounded no matter how many callers or
+	// batches are in flight (cache hits and coalesced waits never take a
+	// token). A panicking model must still release the waiters with an
+	// error and unregister the key — otherwise every later query for it
+	// would block forever — and then propagate to this caller.
+	var panicked any
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = r
+				c.err = fmt.Errorf("guide: sweep for %v/%v panicked: %v", p, obj, r)
+			}
+		}()
+		s.sweeps <- struct{}{}
+		defer func() { <-s.sweeps }()
+		c.rec, c.err = s.adv.Recommend(p, obj, s.oracle)
+	}()
+	close(c.done)
+
+	s.mu.Lock()
+	delete(s.inflight, q)
+	if c.err == nil && s.max > 0 {
+		s.insertLocked(q, c.rec)
+	}
+	s.mu.Unlock()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return c.rec, c.err
+}
+
+// insertLocked adds a sweep result, evicting the least-recently-used entry
+// when the cache is full. Callers hold s.mu.
+func (s *Service) insertLocked(q Query, rec Recommendation) {
+	if el, ok := s.entries[q]; ok { // lost a benign race with a same-key call
+		s.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).rec = rec
+		return
+	}
+	s.entries[q] = s.lru.PushFront(&cacheEntry{q: q, rec: rec})
+	for s.lru.Len() > s.max {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*cacheEntry).q)
+	}
+}
+
+// BatchResult pairs one batch query's answer with its error.
+type BatchResult struct {
+	Query Query
+	Rec   Recommendation
+	Err   error
+}
+
+// RecommendBatch answers a list of queries concurrently, returning results
+// in input order. Worker goroutines are cheap waiters; the underlying grid
+// sweeps are bounded by the service-wide semaphore shared with Recommend,
+// so concurrent batch calls cannot multiply CPU-bound sweeps past it.
+func (s *Service) RecommendBatch(queries []Query) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				q := queries[i]
+				rec, err := s.Recommend(q.Problem, q.Objective)
+				out[i] = BatchResult{Query: q, Rec: rec, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// PredictTime predicts the iteration seconds of one configuration.
+func (s *Service) PredictTime(c dataset.Config) float64 {
+	return s.adv.Model.Predict([][]float64{c.Features()})[0]
+}
+
+// CacheStats reports cache hits, misses, and resident entries. A hit counts
+// both cache reads and coalesced waits on an in-flight sweep.
+func (s *Service) CacheStats() (hits, misses uint64, size int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.lru.Len()
+}

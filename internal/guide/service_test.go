@@ -1,0 +1,369 @@
+package guide
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"parcost/internal/dataset"
+	"parcost/internal/machine"
+	"parcost/internal/ml/ensemble"
+	"parcost/internal/ml/tree"
+)
+
+// serviceAdvisor trains a small, fast advisor for service tests.
+func serviceAdvisor(t *testing.T) (*Advisor, *SimOracle) {
+	t.Helper()
+	spec := machine.Aurora()
+	d := trainDataset(spec)
+	gb := ensemble.NewGradientBoosting(60, 0.1, tree.Params{MaxDepth: 6}, 1)
+	adv, err := NewAdvisor(gb, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return adv, NewSimOracle(spec)
+}
+
+func TestServiceMatchesAdvisor(t *testing.T) {
+	adv, oracle := serviceAdvisor(t)
+	svc, err := NewService(adv, WithOracle(oracle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range []Objective{ShortestTime, Budget} {
+		for _, p := range []dataset.Problem{{O: 146, V: 1096}, {O: 99, V: 718}} {
+			want, err := adv.Recommend(p, obj, oracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := svc.Recommend(p, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("service %v/%v = %+v, advisor = %+v", p, obj, got, want)
+			}
+		}
+	}
+}
+
+func TestServiceCacheHitsAndEviction(t *testing.T) {
+	adv, oracle := serviceAdvisor(t)
+	svc, err := NewService(adv, WithOracle(oracle), WithCacheSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := dataset.Problem{O: 146, V: 1096}
+	p2 := dataset.Problem{O: 99, V: 718}
+	p3 := dataset.Problem{O: 116, V: 840}
+
+	first, err := svc.Recommend(p1, ShortestTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := svc.Recommend(p1, ShortestTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatal("cached recommendation differs from the original sweep")
+	}
+	hits, misses, size := svc.CacheStats()
+	if hits != 1 || misses != 1 || size != 1 {
+		t.Fatalf("after repeat query: hits=%d misses=%d size=%d, want 1/1/1", hits, misses, size)
+	}
+
+	// Two more distinct keys overflow the 2-entry cache.
+	if _, err := svc.Recommend(p2, ShortestTime); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Recommend(p3, ShortestTime); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, size := svc.CacheStats(); size != 2 {
+		t.Fatalf("cache size %d after 3 distinct keys with capacity 2", size)
+	}
+	// p1 was evicted (least recently used): querying it again is a miss.
+	if _, err := svc.Recommend(p1, ShortestTime); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses, _ := svc.CacheStats(); misses != 4 {
+		t.Fatalf("misses = %d, want 4 (three cold + one post-eviction)", misses)
+	}
+}
+
+func TestServiceCacheDisabled(t *testing.T) {
+	adv, oracle := serviceAdvisor(t)
+	svc, err := NewService(adv, WithOracle(oracle), WithCacheSize(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := dataset.Problem{O: 146, V: 1096}
+	a, err := svc.Recommend(p, Budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Recommend(p, Budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("uncached repeat sweeps disagree")
+	}
+	if _, _, size := svc.CacheStats(); size != 0 {
+		t.Fatalf("disabled cache holds %d entries", size)
+	}
+}
+
+// TestServiceConcurrentRecommend fans many goroutines over a mix of hot
+// (repeated) and cold keys; every answer must match the serial advisor.
+// CI runs this under -race.
+func TestServiceConcurrentRecommend(t *testing.T) {
+	adv, oracle := serviceAdvisor(t)
+	svc, err := NewService(adv, WithOracle(oracle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := []dataset.Problem{
+		{O: 146, V: 1096}, {O: 99, V: 718}, {O: 116, V: 840}, {O: 180, V: 1070},
+	}
+	want := map[Query]Recommendation{}
+	for _, p := range problems {
+		for _, obj := range []Objective{ShortestTime, Budget} {
+			rec, err := adv.Recommend(p, obj, oracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[Query{p, obj}] = rec
+		}
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failure string
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 20; it++ {
+				p := problems[(g+it)%len(problems)]
+				obj := Objective((g + it) % 2)
+				got, err := svc.Recommend(p, obj)
+				if err != nil {
+					mu.Lock()
+					failure = err.Error()
+					mu.Unlock()
+					return
+				}
+				if got != want[Query{p, obj}] {
+					mu.Lock()
+					failure = "concurrent recommendation diverged from serial advisor"
+					mu.Unlock()
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if failure != "" {
+		t.Fatal(failure)
+	}
+	hits, misses, _ := svc.CacheStats()
+	if misses > uint64(len(want)) {
+		t.Fatalf("%d misses for %d distinct keys: sweeps were not coalesced", misses, len(want))
+	}
+	if hits == 0 {
+		t.Fatal("no cache hits across 320 repeated queries")
+	}
+}
+
+func TestServiceRecommendBatch(t *testing.T) {
+	adv, oracle := serviceAdvisor(t)
+	svc, err := NewService(adv, WithOracle(oracle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{
+		{dataset.Problem{O: 146, V: 1096}, ShortestTime},
+		{dataset.Problem{O: 146, V: 1096}, Budget},
+		{dataset.Problem{O: 99, V: 718}, ShortestTime},
+	}
+	results := svc.RecommendBatch(queries)
+	if len(results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(results), len(queries))
+	}
+	for i, res := range results {
+		if res.Query != queries[i] {
+			t.Fatalf("result %d is for query %+v, want %+v (order must be preserved)", i, res.Query, queries[i])
+		}
+		if res.Err != nil {
+			t.Fatalf("result %d: %v", i, res.Err)
+		}
+		want, err := adv.Recommend(queries[i].Problem, queries[i].Objective, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rec != want {
+			t.Fatalf("batch result %d differs from serial advisor", i)
+		}
+	}
+}
+
+func TestServiceRequiresFittedAdvisor(t *testing.T) {
+	if _, err := NewService(nil); err == nil {
+		t.Fatal("nil advisor accepted")
+	}
+	if _, err := NewService(&Advisor{}); err == nil {
+		t.Fatal("advisor without model accepted")
+	}
+}
+
+// constModel predicts the same value for every configuration, forcing an
+// all-way tie in the STQ sweep.
+type constModel struct{ v float64 }
+
+func (c constModel) Fit(x [][]float64, y []float64) error { return nil }
+func (c constModel) Name() string                         { return "const" }
+func (c constModel) Predict(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = c.v
+	}
+	return out
+}
+
+// TestRecommendTieBreakFirstMin pins the tie-breaking contract: with every
+// predicted objective value equal, the FIRST configuration in the grid's
+// stable sweep order wins.
+func TestRecommendTieBreakFirstMin(t *testing.T) {
+	grid := dataset.Grid{Nodes: []int{10, 20, 30}, TileSizes: []int{40, 50}}
+	adv := &Advisor{Model: constModel{v: 7}, Grid: grid}
+	p := dataset.Problem{O: 50, V: 300}
+	rec, err := adv.Recommend(p, ShortestTime, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCfg := grid.Configs(p)[0]
+	if rec.Config != wantCfg {
+		t.Fatalf("tie broke to %v, want first grid config %v", rec.Config, wantCfg)
+	}
+	if rec.PredTime != 7 || rec.PredValue != 7 {
+		t.Fatalf("prediction values %v/%v, want 7/7", rec.PredTime, rec.PredValue)
+	}
+	// Repeated sweeps are deterministic.
+	for i := 0; i < 5; i++ {
+		again, err := adv.Recommend(p, ShortestTime, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != rec {
+			t.Fatal("repeated tied sweep returned a different recommendation")
+		}
+	}
+}
+
+// TestAdvisorArtifactRoundTrip is the acceptance criterion: a trained
+// advisor saved to an artifact and loaded back returns recommendations
+// identical to the in-process advisor, across problems and objectives.
+func TestAdvisorArtifactRoundTrip(t *testing.T) {
+	adv, oracle := serviceAdvisor(t)
+	path := filepath.Join(t.TempDir(), "advisor.json")
+	if err := SaveAdvisor(path, adv, "aurora"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, machineName, err := LoadAdvisor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if machineName != "aurora" {
+		t.Fatalf("machine = %q, want aurora", machineName)
+	}
+	if len(loaded.Grid.Nodes) != len(adv.Grid.Nodes) || len(loaded.Grid.TileSizes) != len(adv.Grid.TileSizes) {
+		t.Fatal("grid did not round-trip")
+	}
+	for _, obj := range []Objective{ShortestTime, Budget} {
+		for _, p := range []dataset.Problem{{O: 146, V: 1096}, {O: 99, V: 718}, {O: 180, V: 1070}} {
+			want, err := adv.Recommend(p, obj, oracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loaded.Recommend(p, obj, oracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("loaded advisor %v/%v = %+v, in-process = %+v", p, obj, got, want)
+			}
+		}
+	}
+}
+
+// panicModel blows up on every prediction.
+type panicModel struct{}
+
+func (panicModel) Fit(x [][]float64, y []float64) error { return nil }
+func (panicModel) Name() string                         { return "panic" }
+func (panicModel) Predict(x [][]float64) []float64      { panic("model exploded") }
+
+// TestServicePanicDoesNotWedgeKey: a panicking sweep must propagate to its
+// caller but release the in-flight entry, so later queries for the same
+// key re-attempt instead of blocking forever.
+func TestServicePanicDoesNotWedgeKey(t *testing.T) {
+	adv := &Advisor{Model: panicModel{}, Grid: dataset.Grid{Nodes: []int{10}, TileSizes: []int{40}}}
+	svc, err := NewService(adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := dataset.Problem{O: 5, V: 5}
+	attempt := func() (didPanic bool) {
+		defer func() { didPanic = recover() != nil }()
+		_, _ = svc.Recommend(p, ShortestTime)
+		return
+	}
+	if !attempt() {
+		t.Fatal("first query should panic")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- attempt() }()
+	select {
+	case again := <-done:
+		if !again {
+			t.Fatal("second query should panic too (fresh sweep)")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second query blocked on a wedged inflight entry")
+	}
+}
+
+func TestAdvisorArtifactRejections(t *testing.T) {
+	adv, _ := serviceAdvisor(t)
+	data, err := EncodeAdvisor(adv, "aurora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeAdvisor(data); err != nil {
+		t.Fatalf("control artifact failed: %v", err)
+	}
+	if _, _, err := DecodeAdvisor([]byte("not json")); err == nil {
+		t.Fatal("malformed advisor artifact accepted")
+	}
+	if _, _, err := DecodeAdvisor(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated advisor artifact accepted")
+	}
+	// Corruption anywhere in the payload — here the machine name, which
+	// sits outside the nested model envelope — must fail the checksum.
+	tampered := bytes.Replace(data, []byte("aurora"), []byte("borealis"), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("tamper target not found in artifact")
+	}
+	if _, _, err := DecodeAdvisor(tampered); err == nil {
+		t.Fatal("payload-tampered advisor artifact accepted")
+	}
+	if _, err := EncodeAdvisor(nil, "aurora"); err == nil {
+		t.Fatal("nil advisor encoded")
+	}
+	if _, err := EncodeAdvisor(&Advisor{Model: constModel{}}, "aurora"); err == nil {
+		t.Fatal("non-snapshot model encoded")
+	}
+}

@@ -1,0 +1,129 @@
+package ml_test
+
+// Concurrent-prediction safety: guide.Service fans queries out across
+// goroutines over one fitted model, so every family's Predict (and the
+// GP's PredictStd) must run from immutable fitted state with per-call
+// scratch only. These tests hammer concurrent predictions under the race
+// detector (CI runs `go test -race ./internal/...`) and additionally check
+// results stay bit-identical to a serial reference — a stale shared buffer
+// would corrupt outputs even where the race detector misses the window.
+
+import (
+	"sync"
+	"testing"
+
+	"parcost/internal/ml"
+	"parcost/internal/ml/kernel"
+)
+
+const (
+	hammerGoroutines = 8
+	hammerIters      = 25
+)
+
+// TestConcurrentPredictAllFamilies fits one model per family and hammers
+// Predict from many goroutines, comparing each result to the serial one.
+func TestConcurrentPredictAllFamilies(t *testing.T) {
+	x, y := synthXY(160, 21)
+	qx, _ := synthXY(48, 22)
+	for name, m := range snapshotModels() {
+		t.Run(name, func(t *testing.T) {
+			if err := m.Fit(x, y); err != nil {
+				t.Fatalf("fit: %v", err)
+			}
+			want := m.Predict(qx)
+			var wg sync.WaitGroup
+			errs := make(chan string, hammerGoroutines)
+			for g := 0; g < hammerGoroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for it := 0; it < hammerIters; it++ {
+						got := m.Predict(qx)
+						for i := range want {
+							if got[i] != want[i] {
+								select {
+								case errs <- "concurrent Predict diverged from serial result":
+								default:
+								}
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			if msg, ok := <-errs; ok {
+				t.Fatal(msg)
+			}
+		})
+	}
+}
+
+// TestConcurrentPredictStd hammers the GP's uncertainty path, which the
+// uncertainty-sampling active learner and Service fan-outs share.
+func TestConcurrentPredictStd(t *testing.T) {
+	x, y := synthXY(120, 23)
+	qx, _ := synthXY(32, 24)
+	gp := kernel.NewGaussianProcess(kernel.RBF{Length: 1.5}, 1e-4)
+	if err := gp.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	wantMean, wantStd := gp.PredictStd(qx)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failure string
+	for g := 0; g < hammerGoroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < hammerIters; it++ {
+				mean, std := gp.PredictStd(qx)
+				for i := range wantMean {
+					if mean[i] != wantMean[i] || std[i] != wantStd[i] {
+						mu.Lock()
+						failure = "concurrent PredictStd diverged from serial result"
+						mu.Unlock()
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failure != "" {
+		t.Fatal(failure)
+	}
+}
+
+// TestConcurrentPredictMixedQueries varies the query matrix per goroutine
+// so concurrent calls exercise different input shapes simultaneously.
+func TestConcurrentPredictMixedQueries(t *testing.T) {
+	x, y := synthXY(160, 25)
+	models := snapshotModels()
+	fitted := make([]ml.Regressor, 0, len(models))
+	for name, m := range models {
+		if err := m.Fit(x, y); err != nil {
+			t.Fatalf("%s fit: %v", name, err)
+		}
+		fitted = append(fitted, m)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < hammerGoroutines; g++ {
+		qx, _ := synthXY(8+4*g, uint64(30+g))
+		wg.Add(1)
+		go func(qx [][]float64) {
+			defer wg.Done()
+			for it := 0; it < hammerIters; it++ {
+				for _, m := range fitted {
+					out := m.Predict(qx)
+					if len(out) != len(qx) {
+						panic("prediction length mismatch")
+					}
+				}
+			}
+		}(qx)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,243 @@
+package kernel
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"parcost/internal/mat"
+	"parcost/internal/ml"
+	"parcost/internal/stats"
+)
+
+// Artifact kinds of the kernel model family.
+const (
+	KernelRidgeSnapshotKind     = "kernel.kr"
+	GaussianProcessSnapshotKind = "kernel.gp"
+	SVRSnapshotKind             = "kernel.svr"
+)
+
+func init() {
+	ml.RegisterSnapshot(KernelRidgeSnapshotKind, func() ml.Snapshotter { return &KernelRidge{} })
+	ml.RegisterSnapshot(GaussianProcessSnapshotKind, func() ml.Snapshotter { return &GaussianProcess{} })
+	ml.RegisterSnapshot(SVRSnapshotKind, func() ml.Snapshotter { return &SVR{} })
+}
+
+// kernelState serializes a Kernel value by name plus its parameters.
+type kernelState struct {
+	Name   string  `json:"name"`
+	Length float64 `json:"length,omitempty"`
+	Degree int     `json:"degree,omitempty"`
+	Gamma  float64 `json:"gamma,omitempty"`
+	Coef0  float64 `json:"coef0,omitempty"`
+}
+
+func kernelToState(k Kernel) (kernelState, error) {
+	switch kk := k.(type) {
+	case RBF:
+		return kernelState{Name: kk.Name(), Length: kk.Length}, nil
+	case Poly:
+		return kernelState{Name: kk.Name(), Degree: kk.Degree, Gamma: kk.Gamma, Coef0: kk.Coef0}, nil
+	default:
+		return kernelState{}, fmt.Errorf("kernel: kernel %q does not support snapshots", k.Name())
+	}
+}
+
+func kernelFromState(s kernelState) (Kernel, error) {
+	switch s.Name {
+	case "rbf":
+		return RBF{Length: s.Length}, nil
+	case "poly":
+		return Poly{Degree: s.Degree, Gamma: s.Gamma, Coef0: s.Coef0}, nil
+	default:
+		return nil, fmt.Errorf("kernel: unknown kernel %q in artifact", s.Name)
+	}
+}
+
+// checkTrainRows validates that every stored training row matches the
+// scaler's feature dimension, so a checksum-valid but inconsistent state
+// fails at restore instead of panicking inside Predict.
+func checkTrainRows(x [][]float64, scaler *stats.StandardScaler) error {
+	for i, row := range x {
+		if len(row) != len(scaler.Means) {
+			return fmt.Errorf("row %d has %d features, scaler has %d", i, len(row), len(scaler.Means))
+		}
+	}
+	return nil
+}
+
+// krState is the serialized fitted state of a KernelRidge model. The
+// standardized training rows are stored; artifacts fitted via FitPlane
+// restore onto the materialized rows (plane bindings do not persist).
+type krState struct {
+	Kernel kernelState           `json:"kernel"`
+	Alpha  float64               `json:"alpha"`
+	Scaler *stats.StandardScaler `json:"scaler"`
+	TScale *stats.TargetScaler   `json:"t_scale"`
+	XTrain [][]float64           `json:"x_train"`
+	Dual   []float64             `json:"dual"`
+}
+
+// SnapshotKind returns the artifact kind identifier.
+func (m *KernelRidge) SnapshotKind() string { return KernelRidgeSnapshotKind }
+
+// SnapshotState serializes the dual coefficients and training rows.
+func (m *KernelRidge) SnapshotState() ([]byte, error) {
+	if m.dual == nil {
+		return nil, fmt.Errorf("kernel: KernelRidge snapshot before Fit")
+	}
+	ks, err := kernelToState(m.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(krState{
+		Kernel: ks, Alpha: m.Alpha,
+		Scaler: m.scaler, TScale: m.tScale, XTrain: m.xTrain, Dual: m.dual,
+	})
+}
+
+// RestoreState rebuilds the fitted model.
+func (m *KernelRidge) RestoreState(data []byte) error {
+	var st krState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	k, err := kernelFromState(st.Kernel)
+	if err != nil {
+		return err
+	}
+	if st.Scaler == nil || st.TScale == nil || len(st.XTrain) == 0 || len(st.Dual) != len(st.XTrain) {
+		return fmt.Errorf("kernel: KernelRidge state missing or inconsistent fitted fields")
+	}
+	if err := checkTrainRows(st.XTrain, st.Scaler); err != nil {
+		return fmt.Errorf("kernel: KernelRidge state: %w", err)
+	}
+	m.Kernel, m.Alpha = k, st.Alpha
+	m.scaler, m.tScale = st.Scaler, st.TScale
+	m.xTrain, m.dual, m.planeIdx = st.XTrain, st.Dual, nil
+	return nil
+}
+
+// gpState is the serialized fitted state of a GaussianProcess. The Cholesky
+// factor is not stored: it is recomputed from the (exactly round-tripped)
+// standardized training rows through the same gram/factorize code path as
+// Fit, which reproduces it bit-identically while keeping the artifact
+// O(n·d) instead of O(n²).
+type gpState struct {
+	Kernel kernelState           `json:"kernel"`
+	Noise  float64               `json:"noise"`
+	Scaler *stats.StandardScaler `json:"scaler"`
+	TScale *stats.TargetScaler   `json:"t_scale"`
+	XTrain [][]float64           `json:"x_train"`
+	Alpha  []float64             `json:"alpha"`
+}
+
+// SnapshotKind returns the artifact kind identifier.
+func (g *GaussianProcess) SnapshotKind() string { return GaussianProcessSnapshotKind }
+
+// SnapshotState serializes the predictive weights and training rows. The
+// stored kernel is the resolved one (AutoLength already applied at fit).
+func (g *GaussianProcess) SnapshotState() ([]byte, error) {
+	if g.chol == nil {
+		return nil, fmt.Errorf("kernel: GaussianProcess snapshot before Fit")
+	}
+	ks, err := kernelToState(g.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(gpState{
+		Kernel: ks, Noise: g.Noise,
+		Scaler: g.scaler, TScale: g.tScale, XTrain: g.xTrain, Alpha: g.alpha,
+	})
+}
+
+// RestoreState rebuilds the fitted model, refactorizing (K + σ²I).
+func (g *GaussianProcess) RestoreState(data []byte) error {
+	var st gpState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	k, err := kernelFromState(st.Kernel)
+	if err != nil {
+		return err
+	}
+	if st.Scaler == nil || st.TScale == nil || len(st.XTrain) == 0 || len(st.Alpha) != len(st.XTrain) {
+		return fmt.Errorf("kernel: GaussianProcess state missing or inconsistent fitted fields")
+	}
+	if err := checkTrainRows(st.XTrain, st.Scaler); err != nil {
+		return fmt.Errorf("kernel: GaussianProcess state: %w", err)
+	}
+	kg := gram(k, st.XTrain)
+	kg.AddScaledIdentity(st.Noise)
+	ch, err := mat.RobustCholesky(kg)
+	if err != nil {
+		return fmt.Errorf("kernel: GP refactorization failed: %w", err)
+	}
+	g.Kernel, g.Noise = k, st.Noise
+	g.scaler, g.tScale = st.Scaler, st.TScale
+	g.xTrain, g.alpha, g.planeIdx = st.XTrain, st.Alpha, nil
+	g.chol = ch
+	g.autoLen = false // already resolved into the stored kernel
+	return nil
+}
+
+// svrState is the serialized fitted state of an SVR model.
+type svrState struct {
+	Kernel  kernelState           `json:"kernel"`
+	C       float64               `json:"c"`
+	Epsilon float64               `json:"epsilon"`
+	MaxIter int                   `json:"max_iter"`
+	Tol     float64               `json:"tol"`
+	Scaler  *stats.StandardScaler `json:"scaler"`
+	TScale  *stats.TargetScaler   `json:"t_scale"`
+	XTrain  [][]float64           `json:"x_train"`
+	Beta    []float64             `json:"beta"`
+	Bias    float64               `json:"bias"`
+}
+
+// SnapshotKind returns the artifact kind identifier.
+func (s *SVR) SnapshotKind() string { return SVRSnapshotKind }
+
+// SnapshotState serializes the dual coefficients, bias, and training rows.
+// The kernel-row cache is training-only scratch and is not stored.
+func (s *SVR) SnapshotState() ([]byte, error) {
+	if s.beta == nil {
+		return nil, fmt.Errorf("kernel: SVR snapshot before Fit")
+	}
+	ks, err := kernelToState(s.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(svrState{
+		Kernel: ks, C: s.C, Epsilon: s.Epsilon, MaxIter: s.MaxIter, Tol: s.Tol,
+		Scaler: s.scaler, TScale: s.tScale, XTrain: s.xTrain, Beta: s.beta, Bias: s.bias,
+	})
+}
+
+// RestoreState rebuilds the fitted model.
+func (s *SVR) RestoreState(data []byte) error {
+	var st svrState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	k, err := kernelFromState(st.Kernel)
+	if err != nil {
+		return err
+	}
+	if st.Scaler == nil || st.TScale == nil || len(st.XTrain) == 0 || len(st.Beta) != len(st.XTrain) {
+		return fmt.Errorf("kernel: SVR state missing or inconsistent fitted fields")
+	}
+	if err := checkTrainRows(st.XTrain, st.Scaler); err != nil {
+		return fmt.Errorf("kernel: SVR state: %w", err)
+	}
+	s.Kernel, s.C, s.Epsilon, s.MaxIter, s.Tol = k, st.C, st.Epsilon, st.MaxIter, st.Tol
+	s.scaler, s.tScale = st.Scaler, st.TScale
+	s.xTrain, s.beta, s.bias, s.planeIdx = st.XTrain, st.Beta, st.Bias, nil
+	s.kcache = nil
+	return nil
+}
+
+var (
+	_ ml.Snapshotter = (*KernelRidge)(nil)
+	_ ml.Snapshotter = (*GaussianProcess)(nil)
+	_ ml.Snapshotter = (*SVR)(nil)
+)

@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -140,4 +141,56 @@ func (m *KNN) String() string {
 	return fmt.Sprintf("KNN(k=%d weighted=%v)", m.K, m.Weighted)
 }
 
-var _ Regressor = (*KNN)(nil)
+// KNNSnapshotKind is the artifact kind of a fitted KNN model.
+const KNNSnapshotKind = "ml.knn"
+
+func init() {
+	RegisterSnapshot(KNNSnapshotKind, func() Snapshotter { return &KNN{} })
+}
+
+// knnState is the serialized fitted state of a KNN model.
+type knnState struct {
+	K        int                   `json:"k"`
+	Weighted bool                  `json:"weighted"`
+	Scaler   *stats.StandardScaler `json:"scaler"`
+	XTrain   [][]float64           `json:"x_train"`
+	YTrain   []float64             `json:"y_train"`
+}
+
+// SnapshotKind returns the artifact kind identifier.
+func (m *KNN) SnapshotKind() string { return KNNSnapshotKind }
+
+// SnapshotState serializes the fitted training set and scaler.
+func (m *KNN) SnapshotState() ([]byte, error) {
+	if m.xTrain == nil {
+		return nil, fmt.Errorf("ml: KNN snapshot before Fit")
+	}
+	return json.Marshal(knnState{K: m.K, Weighted: m.Weighted, Scaler: m.scaler, XTrain: m.xTrain, YTrain: m.yTrain})
+}
+
+// RestoreState rebuilds the fitted model from SnapshotState bytes.
+func (m *KNN) RestoreState(data []byte) error {
+	var st knnState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if st.Scaler == nil || len(st.XTrain) == 0 || len(st.XTrain) != len(st.YTrain) {
+		return fmt.Errorf("ml: KNN state missing or inconsistent training set")
+	}
+	for i, row := range st.XTrain {
+		if len(row) != len(st.Scaler.Means) {
+			return fmt.Errorf("ml: KNN state row %d has %d features, scaler has %d", i, len(row), len(st.Scaler.Means))
+		}
+	}
+	if st.K < 1 || st.K > len(st.XTrain) {
+		return fmt.Errorf("ml: KNN state k=%d out of range for %d samples", st.K, len(st.XTrain))
+	}
+	m.K, m.Weighted = st.K, st.Weighted
+	m.scaler, m.xTrain, m.yTrain = st.Scaler, st.XTrain, st.YTrain
+	return nil
+}
+
+var (
+	_ Regressor   = (*KNN)(nil)
+	_ Snapshotter = (*KNN)(nil)
+)

@@ -1,0 +1,126 @@
+package linmodel
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"parcost/internal/ml"
+	"parcost/internal/stats"
+)
+
+// Artifact kinds of the linear model family.
+const (
+	RidgeSnapshotKind         = "linmodel.ridge"
+	BayesianRidgeSnapshotKind = "linmodel.bayesridge"
+)
+
+func init() {
+	ml.RegisterSnapshot(RidgeSnapshotKind, func() ml.Snapshotter { return &Ridge{} })
+	ml.RegisterSnapshot(BayesianRidgeSnapshotKind, func() ml.Snapshotter { return &BayesianRidge{} })
+}
+
+// ridgeState is the serialized fitted state of a Ridge / polynomial model.
+// The monomial combo table is rebuilt from (dim, degree) on restore rather
+// than stored.
+type ridgeState struct {
+	Degree int                   `json:"degree"`
+	Alpha  float64               `json:"alpha"`
+	Name   string                `json:"name"`
+	Scaler *stats.StandardScaler `json:"scaler"`
+	TScale *stats.TargetScaler   `json:"t_scale"`
+	Coef   []float64             `json:"coef"`
+}
+
+// SnapshotKind returns the artifact kind identifier.
+func (r *Ridge) SnapshotKind() string { return RidgeSnapshotKind }
+
+// SnapshotState serializes the fitted coefficients and scalers.
+func (r *Ridge) SnapshotState() ([]byte, error) {
+	if r.coef == nil {
+		return nil, fmt.Errorf("linmodel: Ridge snapshot before Fit")
+	}
+	return json.Marshal(ridgeState{
+		Degree: r.Degree, Alpha: r.Alpha, Name: r.name,
+		Scaler: r.scaler, TScale: r.tScale, Coef: r.coef,
+	})
+}
+
+// RestoreState rebuilds the fitted model, including the combo table.
+func (r *Ridge) RestoreState(data []byte) error {
+	var st ridgeState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if st.Scaler == nil || st.TScale == nil || len(st.Coef) == 0 {
+		return fmt.Errorf("linmodel: Ridge state missing fitted fields")
+	}
+	d := len(st.Scaler.Means)
+	var combos [][]int
+	if st.Degree >= 2 {
+		combos = polyCombos(d, st.Degree)
+	}
+	if want := 1 + d + len(combos); len(st.Coef) != want {
+		return fmt.Errorf("linmodel: Ridge state has %d coefficients, want %d for degree %d over %d features",
+			len(st.Coef), want, st.Degree, d)
+	}
+	r.Degree, r.Alpha, r.name = st.Degree, st.Alpha, st.Name
+	r.scaler, r.tScale, r.coef = st.Scaler, st.TScale, st.Coef
+	r.combos = combos
+	r.dim = len(st.Coef)
+	if r.name == "" {
+		r.name = "ridge"
+	}
+	return nil
+}
+
+// bayesState is the serialized fitted state of a BayesianRidge model.
+type bayesState struct {
+	MaxIter int                   `json:"max_iter"`
+	Tol     float64               `json:"tol"`
+	Alpha   float64               `json:"alpha"`
+	Lambda  float64               `json:"lambda"`
+	Scaler  *stats.StandardScaler `json:"scaler"`
+	TScale  *stats.TargetScaler   `json:"t_scale"`
+	Coef    []float64             `json:"coef"`
+}
+
+// SnapshotKind returns the artifact kind identifier.
+func (b *BayesianRidge) SnapshotKind() string { return BayesianRidgeSnapshotKind }
+
+// SnapshotState serializes the posterior-mean coefficients, the estimated
+// precisions, and the scalers.
+func (b *BayesianRidge) SnapshotState() ([]byte, error) {
+	if !b.fitted {
+		return nil, fmt.Errorf("linmodel: BayesianRidge snapshot before Fit")
+	}
+	return json.Marshal(bayesState{
+		MaxIter: b.MaxIter, Tol: b.Tol, Alpha: b.Alpha, Lambda: b.Lambda,
+		Scaler: b.scaler, TScale: b.tScale, Coef: b.coef,
+	})
+}
+
+// RestoreState rebuilds the fitted model.
+func (b *BayesianRidge) RestoreState(data []byte) error {
+	var st bayesState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if st.Scaler == nil || st.TScale == nil || len(st.Coef) == 0 {
+		return fmt.Errorf("linmodel: BayesianRidge state missing fitted fields")
+	}
+	if len(st.Coef) != len(st.Scaler.Means)+1 {
+		return fmt.Errorf("linmodel: BayesianRidge state has %d coefficients for %d features",
+			len(st.Coef), len(st.Scaler.Means))
+	}
+	b.MaxIter, b.Tol = st.MaxIter, st.Tol
+	b.Alpha, b.Lambda = st.Alpha, st.Lambda
+	b.scaler, b.tScale, b.coef = st.Scaler, st.TScale, st.Coef
+	b.dim = len(st.Coef)
+	b.fitted = true
+	return nil
+}
+
+var (
+	_ ml.Snapshotter = (*Ridge)(nil)
+	_ ml.Snapshotter = (*BayesianRidge)(nil)
+)

@@ -1,0 +1,277 @@
+package ml_test
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"parcost/internal/ml"
+	"parcost/internal/ml/ensemble"
+	"parcost/internal/ml/kernel"
+	"parcost/internal/ml/linmodel"
+	"parcost/internal/ml/tree"
+	"parcost/internal/rng"
+)
+
+// synthXY generates a smooth 4-feature regression problem, echoing the
+// paper's ⟨O, V, nodes, tile⟩ layout.
+func synthXY(n int, seed uint64) ([][]float64, []float64) {
+	r := rng.New(seed)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		o := 40 + 300*r.Float64()
+		v := 200 + 1200*r.Float64()
+		nodes := 5 + 900*r.Float64()
+		tile := 40 + 140*r.Float64()
+		x[i] = []float64{o, v, nodes, tile}
+		y[i] = o*v/(nodes*40) + tile/10 + 3*math.Sin(o/50) + 0.05*r.Normal()
+	}
+	return x, y
+}
+
+// snapshotModels returns one freshly-constructed, unfitted model per
+// artifact kind in the library.
+func snapshotModels() map[string]ml.Regressor {
+	bases := []ml.Regressor{linmodel.NewRidge(1, 1e-3), ml.NewKNN(4, false)}
+	return map[string]ml.Regressor{
+		"ridge":      linmodel.NewRidge(1, 1e-3),
+		"poly2":      linmodel.NewPolynomial(2, 1e-3),
+		"bayesridge": linmodel.NewBayesianRidge(),
+		"knn":        ml.NewKNN(5, true),
+		"kr_rbf":     kernel.NewKernelRidge(kernel.RBF{Length: 1.5}, 1e-3),
+		"kr_poly":    kernel.NewKernelRidge(kernel.Poly{Degree: 2, Gamma: 0.5, Coef0: 1}, 1e-3),
+		"gp":         kernel.NewGaussianProcess(kernel.RBF{Length: 1.5}, 1e-4),
+		"svr":        kernel.NewSVR(kernel.RBF{Length: 1.5}, 10, 0.05),
+		"tree_exact": tree.New(tree.Params{MaxDepth: 8, MinSamplesSplit: 2, MinSamplesLeaf: 1, Splitter: tree.SplitterExact}, rng.New(3)),
+		"tree_hist":  tree.New(tree.Params{MaxDepth: 8, MinSamplesSplit: 2, MinSamplesLeaf: 1, Splitter: tree.SplitterHist}, rng.New(3)),
+		"gb":         ensemble.NewGradientBoosting(40, 0.1, tree.Params{MaxDepth: 4}, 7),
+		"rf":         ensemble.NewRandomForest(25, tree.Params{MaxDepth: 6}, 7),
+		"adaboost":   ensemble.NewAdaBoost(15, tree.Params{MaxDepth: 4}, 7),
+		"stacking":   ml.NewStacking(bases, linmodel.NewRidge(1, 1e-2), 3, 11),
+	}
+}
+
+// TestSnapshotRoundTripBitIdentical is the tentpole guarantee: for every
+// model family, save→load→Predict matches the in-memory fitted model bit
+// for bit.
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	x, y := synthXY(200, 1)
+	qx, _ := synthXY(64, 2)
+	for name, m := range snapshotModels() {
+		t.Run(name, func(t *testing.T) {
+			if err := m.Fit(x, y); err != nil {
+				t.Fatalf("fit: %v", err)
+			}
+			want := m.Predict(qx)
+
+			data, err := ml.EncodeModel(m)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			restored, err := ml.DecodeModel(data)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if restored.Name() != m.Name() {
+				t.Fatalf("restored name %q, want %q", restored.Name(), m.Name())
+			}
+			got := restored.Predict(qx)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("prediction %d differs after round-trip: %v != %v (Δ=%g)",
+						i, got[i], want[i], got[i]-want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRoundTripGPStd checks the GP's uncertainty path too: a
+// restored GP's PredictStd matches the fitted model exactly (the Cholesky
+// factor is recomputed from bit-exact inputs through the Fit code path).
+func TestSnapshotRoundTripGPStd(t *testing.T) {
+	x, y := synthXY(120, 3)
+	qx, _ := synthXY(32, 4)
+	gp := kernel.NewGaussianProcess(kernel.RBF{Length: 2}, 1e-4).AutoLength(true)
+	if err := gp.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	wantMean, wantStd := gp.PredictStd(qx)
+
+	data, err := ml.EncodeModel(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ml.DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rgp, ok := restored.(*kernel.GaussianProcess)
+	if !ok {
+		t.Fatalf("restored %T, want *kernel.GaussianProcess", restored)
+	}
+	gotMean, gotStd := rgp.PredictStd(qx)
+	for i := range wantMean {
+		if gotMean[i] != wantMean[i] || gotStd[i] != wantStd[i] {
+			t.Fatalf("GP row %d: mean %v/%v std %v/%v", i, gotMean[i], wantMean[i], gotStd[i], wantStd[i])
+		}
+	}
+}
+
+// TestSnapshotRoundTripImportances verifies feature importances survive the
+// round-trip for tree ensembles (gains are part of the artifact).
+func TestSnapshotRoundTripImportances(t *testing.T) {
+	x, y := synthXY(200, 5)
+	gb := ensemble.NewGradientBoosting(30, 0.1, tree.Params{MaxDepth: 4}, 7)
+	if err := gb.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	want := gb.FeatureImportances()
+	data, err := ml.EncodeModel(gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ml.DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.(*ensemble.GradientBoosting).FeatureImportances()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("importance %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// nonSnapshotModel is a Regressor outside the snapshot system.
+type nonSnapshotModel struct{}
+
+func (nonSnapshotModel) Fit(x [][]float64, y []float64) error { return nil }
+func (nonSnapshotModel) Predict(x [][]float64) []float64      { return make([]float64, len(x)) }
+func (nonSnapshotModel) Name() string                         { return "stub" }
+
+func TestEncodeModelRejections(t *testing.T) {
+	if _, err := ml.EncodeModel(nonSnapshotModel{}); err == nil {
+		t.Fatal("encoding a non-Snapshotter should error")
+	}
+	// Unfitted models of every family refuse to snapshot.
+	for name, m := range snapshotModels() {
+		if _, err := ml.EncodeModel(m); err == nil {
+			t.Fatalf("%s: encoding an unfitted model should error", name)
+		}
+	}
+}
+
+func TestDecodeModelRejectsCorruptArtifacts(t *testing.T) {
+	x, y := synthXY(80, 6)
+	m := ml.NewKNN(3, false)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	good, err := ml.EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ml.DecodeModel(good); err != nil {
+		t.Fatalf("control artifact failed to decode: %v", err)
+	}
+
+	mutate := func(fn func(a *ml.Artifact)) []byte {
+		var a ml.Artifact
+		if err := json.Unmarshal(good, &a); err != nil {
+			t.Fatal(err)
+		}
+		fn(&a)
+		out, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	cases := map[string][]byte{
+		"truncated JSON": good[:len(good)/2],
+		"not JSON":       []byte("definitely not an artifact"),
+		"wrong format": mutate(func(a *ml.Artifact) {
+			a.Format = "some-other-format"
+		}),
+		"future version": mutate(func(a *ml.Artifact) {
+			a.Version = ml.ArtifactVersion + 1
+		}),
+		"unknown kind": mutate(func(a *ml.Artifact) {
+			a.Kind = "ml.does-not-exist"
+		}),
+		"flipped state byte": mutate(func(a *ml.Artifact) {
+			s := []byte(a.State)
+			s[len(s)/2] ^= 0x01
+			a.State = s
+		}),
+		"garbage state with fixed checksum": mutate(func(a *ml.Artifact) {
+			a.State = json.RawMessage(`{"k":0}`)
+			a.Checksum = strings.Repeat("0", 64)
+		}),
+	}
+	for name, data := range cases {
+		if _, err := ml.DecodeModel(data); err == nil {
+			t.Errorf("%s: expected decode error, got none", name)
+		}
+	}
+}
+
+// TestDecodeModelRejectsMismatchedState: a checksum-valid envelope whose
+// state doesn't satisfy the model's invariants is rejected by RestoreState.
+func TestDecodeModelRejectsMismatchedState(t *testing.T) {
+	x, y := synthXY(80, 7)
+	m := ml.NewKNN(3, false)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	good, err := ml.EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a ml.Artifact
+	if err := json.Unmarshal(good, &a); err != nil {
+		t.Fatal(err)
+	}
+	// Swapping in a different (valid-JSON) state invalidates the checksum.
+	a.State = json.RawMessage(`{}`)
+	fixed, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ml.DecodeModel(fixed); err == nil {
+		t.Fatal("mismatched checksum should be rejected")
+	}
+	// Even with a matching checksum, a state violating the model's own
+	// invariants is rejected by RestoreState.
+	if err := ml.NewKNN(0, false).RestoreState([]byte(`{}`)); err == nil {
+		t.Fatal("empty KNN state should be rejected")
+	}
+	if err := (&ml.Stacking{}).RestoreState([]byte(`{}`)); err == nil {
+		t.Fatal("empty stacking state should be rejected")
+	}
+}
+
+// TestSnapshotKindsRegistered pins the registry contents: every family the
+// tentpole names must be present.
+func TestSnapshotKindsRegistered(t *testing.T) {
+	want := []string{
+		"ensemble.ab", "ensemble.gb", "ensemble.rf",
+		"kernel.gp", "kernel.kr", "kernel.svr",
+		"linmodel.bayesridge", "linmodel.ridge",
+		"ml.knn", "ml.stacking", "tree.cart",
+	}
+	got := ml.SnapshotKinds()
+	gotSet := map[string]bool{}
+	for _, k := range got {
+		gotSet[k] = true
+	}
+	for _, k := range want {
+		if !gotSet[k] {
+			t.Errorf("kind %q not registered (have %v)", k, got)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"parcost/internal/rng"
@@ -117,4 +118,76 @@ func cloneFit(r Regressor, x [][]float64, y []float64) (Regressor, error) {
 	return r, nil
 }
 
-var _ Regressor = (*Stacking)(nil)
+// StackingSnapshotKind is the artifact kind of a fitted stacking ensemble.
+const StackingSnapshotKind = "ml.stacking"
+
+func init() {
+	RegisterSnapshot(StackingSnapshotKind, func() Snapshotter { return &Stacking{} })
+}
+
+// stackingState nests one full model artifact per fitted base plus the meta
+// model, so heterogeneous bases restore through the snapshot registry.
+type stackingState struct {
+	Folds int               `json:"folds"`
+	Seed  uint64            `json:"seed"`
+	Bases []json.RawMessage `json:"bases"`
+	Meta  json.RawMessage   `json:"meta"`
+}
+
+// SnapshotKind returns the artifact kind identifier.
+func (s *Stacking) SnapshotKind() string { return StackingSnapshotKind }
+
+// SnapshotState serializes the fitted bases and meta model. Every base and
+// the meta model must themselves support snapshots.
+func (s *Stacking) SnapshotState() ([]byte, error) {
+	if s.fittedBases == nil {
+		return nil, fmt.Errorf("ml: stacking snapshot before Fit")
+	}
+	st := stackingState{Folds: s.Folds, Seed: s.Seed, Bases: make([]json.RawMessage, len(s.fittedBases))}
+	for i, base := range s.fittedBases {
+		data, err := EncodeModel(base)
+		if err != nil {
+			return nil, fmt.Errorf("stacking base %d: %w", i, err)
+		}
+		st.Bases[i] = data
+	}
+	meta, err := EncodeModel(s.Meta)
+	if err != nil {
+		return nil, fmt.Errorf("stacking meta: %w", err)
+	}
+	st.Meta = meta
+	return json.Marshal(st)
+}
+
+// RestoreState rebuilds the fitted ensemble; the base models' packages must
+// be linked so their kinds are registered.
+func (s *Stacking) RestoreState(data []byte) error {
+	var st stackingState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(st.Bases) == 0 || st.Meta == nil {
+		return fmt.Errorf("ml: stacking state missing bases or meta model")
+	}
+	bases := make([]Regressor, len(st.Bases))
+	for i, raw := range st.Bases {
+		m, err := DecodeModel(raw)
+		if err != nil {
+			return fmt.Errorf("stacking base %d: %w", i, err)
+		}
+		bases[i] = m
+	}
+	meta, err := DecodeModel(st.Meta)
+	if err != nil {
+		return fmt.Errorf("stacking meta: %w", err)
+	}
+	s.Folds, s.Seed = st.Folds, st.Seed
+	s.fittedBases, s.nBase = bases, len(bases)
+	s.Bases, s.Meta = bases, meta
+	return nil
+}
+
+var (
+	_ Regressor   = (*Stacking)(nil)
+	_ Snapshotter = (*Stacking)(nil)
+)

@@ -48,6 +48,9 @@ func TestR2Negative(t *testing.T) {
 	}
 }
 
+// TestR2ConstantTarget pins the ssTot == 0 degenerate branch (scikit-learn
+// semantics): a constant target scores 1.0 only when the predictions are
+// exact, 0.0 otherwise — never a division by zero.
 func TestR2ConstantTarget(t *testing.T) {
 	y := []float64{5, 5, 5}
 	if r := R2(y, []float64{5, 5, 5}); r != 1 {
@@ -55,6 +58,21 @@ func TestR2ConstantTarget(t *testing.T) {
 	}
 	if r := R2(y, []float64{4, 5, 6}); r != 0 {
 		t.Fatalf("inexact constant R2 = %v", r)
+	}
+	// One prediction off by machine epsilon is still "not exact": the branch
+	// keys on ssRes == 0, not on approximate equality.
+	if r := R2(y, []float64{5, 5, 5 + 1e-12}); r != 0 {
+		t.Fatalf("near-exact constant R2 = %v, want 0", r)
+	}
+	// Degenerate sizes: empty and single-sample targets both hit ssTot == 0.
+	if r := R2(nil, nil); r != 0 {
+		t.Fatalf("empty R2 = %v, want 0", r)
+	}
+	if r := R2([]float64{3}, []float64{3}); r != 1 {
+		t.Fatalf("single exact R2 = %v, want 1", r)
+	}
+	if r := R2([]float64{3}, []float64{4}); r != 0 {
+		t.Fatalf("single inexact R2 = %v, want 0", r)
 	}
 }
 
