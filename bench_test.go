@@ -12,12 +12,14 @@
 package parcost_test
 
 import (
+	"math"
 	"testing"
 
 	"parcost/internal/ccsd"
 	"parcost/internal/dataset"
 	"parcost/internal/experiments"
 	"parcost/internal/machine"
+	"parcost/internal/mat"
 	"parcost/internal/ml/ensemble"
 	"parcost/internal/ml/tree"
 	"parcost/internal/modelsel"
@@ -319,6 +321,94 @@ func BenchmarkAblation_KernelGram(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Ablation: SPD solve engines along a diagonal-shift grid ---
+//
+// Cross-validated kernel sweeps factorize the SAME per-fold gram shifted
+// only on the diagonal for every alpha/noise candidate. This bench runs that
+// exact workload — one gram, a log-spaced shift grid, one solve per shift —
+// three ways: a scalar Cholesky per shift (the historical path), a blocked
+// parallel Cholesky per shift, and one EigSym factorization whose ShiftSolve
+// answers every shift in O(n²) (the spectral shift-reuse path the modelsel
+// engine routes shift-axis candidate groups through).
+
+func BenchmarkAblation_SPDSolve(b *testing.B) {
+	r := rng.New(6)
+	shifts := make([]float64, 8)
+	for i := range shifts {
+		shifts[i] = math.Pow(10, -4+float64(i)*(5.0/7.0)) // 1e-4 … 10
+	}
+	for _, n := range []int{167, 334} { // fold-train sizes of the paper sweeps (MaxTrain 250/500, 3 folds)
+		gram := randGram(r, n)
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = r.Normal()
+		}
+		b.Run("chol/n"+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, s := range shifts {
+					k := gram.Clone()
+					k.AddScaledIdentity(s)
+					ch, err := mat.NewCholeskyScalar(k)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ch.SolveVec(rhs)
+				}
+			}
+		})
+		b.Run("blocked/n"+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, s := range shifts {
+					k := gram.Clone()
+					k.AddScaledIdentity(s)
+					ch, err := mat.NewCholeskyBlocked(k)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ch.SolveVec(rhs)
+				}
+			}
+		})
+		b.Run("eigshift/n"+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				es, err := mat.NewEigSym(gram)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range shifts {
+					if _, err := es.ShiftSolve(s, rhs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// randGram builds an RBF-like SPD gram matrix of unit diagonal, the matrix
+// shape every kernel CV solve factorizes.
+func randGram(r *rng.Source, n int) *mat.Dense {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = []float64{r.Uniform(-2, 2), r.Uniform(-2, 2), r.Uniform(-2, 2)}
+	}
+	g := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		g.Set(i, i, 1)
+		for j := i + 1; j < n; j++ {
+			var d2 float64
+			for k := range rows[i] {
+				d := rows[i][k] - rows[j][k]
+				d2 += d * d
+			}
+			v := math.Exp(-d2 / 2)
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	return g
 }
 
 // --- Ablation: feature scaling effect on a kernel model ---

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"time"
 
 	"parcost/internal/dataset"
 	"parcost/internal/guide"
@@ -91,6 +92,15 @@ type healthResponse struct {
 	Status  string `json:"status"`
 	Model   string `json:"model"`
 	Machine string `json:"machine"`
+
+	// Service observability: sweep-cache behavior and per-sweep wall time.
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	CacheSize   int     `json:"cache_size"`
+	Sweeps      uint64  `json:"sweeps"`
+	SweepMinMs  float64 `json:"sweep_min_ms"`
+	SweepMeanMs float64 `json:"sweep_mean_ms"`
+	SweepMaxMs  float64 `json:"sweep_max_ms"`
 }
 
 type errorResponse struct {
@@ -103,7 +113,15 @@ func newServeHandler(svc *guide.Service, modelName, machineName string) http.Han
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Model: modelName, Machine: machineName})
+		st := svc.CacheStats()
+		writeJSON(w, http.StatusOK, healthResponse{
+			Status: "ok", Model: modelName, Machine: machineName,
+			CacheHits: st.Hits, CacheMisses: st.Misses, CacheSize: st.Size,
+			Sweeps:      st.SweepCount,
+			SweepMinMs:  float64(st.SweepMin) / float64(time.Millisecond),
+			SweepMeanMs: float64(st.SweepMean) / float64(time.Millisecond),
+			SweepMaxMs:  float64(st.SweepMax) / float64(time.Millisecond),
+		})
 	})
 
 	mux.HandleFunc("POST /v1/recommend", func(w http.ResponseWriter, r *http.Request) {

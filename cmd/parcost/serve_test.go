@@ -107,6 +107,23 @@ func TestServeEndToEnd(t *testing.T) {
 		}
 	}
 
+	// healthz again: the two sweeps above must show up in the observability
+	// fields with a consistent min ≤ mean ≤ max.
+	resp, err = http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Sweeps != 2 || health.CacheMisses != 2 {
+		t.Fatalf("healthz after 2 sweeps: %+v", health)
+	}
+	if !(health.SweepMinMs > 0 && health.SweepMinMs <= health.SweepMeanMs && health.SweepMeanMs <= health.SweepMaxMs) {
+		t.Fatalf("healthz sweep timings inconsistent: %+v", health)
+	}
+
 	// predict vs in-process model
 	cfg := dataset.Config{O: 99, V: 718, Nodes: 100, TileSize: 80}
 	wantSecs := adv.Model.Predict([][]float64{cfg.Features()})[0]

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"parcost/internal/dataset"
 )
@@ -35,6 +36,13 @@ type Service struct {
 	inflight map[Query]*inflightCall
 	hits     uint64
 	misses   uint64
+
+	// Per-sweep wall-time accounting (miss path only; hits and coalesced
+	// waits are not sweeps). Guarded by mu.
+	sweepCount uint64
+	sweepTotal time.Duration
+	sweepMin   time.Duration
+	sweepMax   time.Duration
 }
 
 // Query identifies one STQ/BQ question.
@@ -132,6 +140,7 @@ func (s *Service) Recommend(p dataset.Problem, obj Objective) (Recommendation, e
 	// error and unregister the key — otherwise every later query for it
 	// would block forever — and then propagate to this caller.
 	var panicked any
+	var sweepT time.Duration
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -141,12 +150,26 @@ func (s *Service) Recommend(p dataset.Problem, obj Objective) (Recommendation, e
 		}()
 		s.sweeps <- struct{}{}
 		defer func() { <-s.sweeps }()
+		start := time.Now()
 		c.rec, c.err = s.adv.Recommend(p, obj, s.oracle)
+		sweepT = time.Since(start)
 	}()
 	close(c.done)
 
 	s.mu.Lock()
 	delete(s.inflight, q)
+	if panicked == nil {
+		// Record the sweep's wall time (semaphore wait excluded, so the
+		// numbers reflect sweep cost, not queueing under load).
+		s.sweepCount++
+		s.sweepTotal += sweepT
+		if s.sweepCount == 1 || sweepT < s.sweepMin {
+			s.sweepMin = sweepT
+		}
+		if sweepT > s.sweepMax {
+			s.sweepMax = sweepT
+		}
+	}
 	if c.err == nil && s.max > 0 {
 		s.insertLocked(q, c.rec)
 	}
@@ -219,10 +242,33 @@ func (s *Service) PredictTime(c dataset.Config) float64 {
 	return s.adv.Model.Predict([][]float64{c.Features()})[0]
 }
 
-// CacheStats reports cache hits, misses, and resident entries. A hit counts
-// both cache reads and coalesced waits on an in-flight sweep.
-func (s *Service) CacheStats() (hits, misses uint64, size int) {
+// Stats is a point-in-time snapshot of the service's cache behavior and
+// sweep latency: how often queries hit the cache, and how long the grid
+// sweeps behind the misses took (wall time of the sweep itself, excluding
+// semaphore queueing). SweepMin/SweepMean/SweepMax are zero until the first
+// sweep completes.
+type Stats struct {
+	Hits   uint64 // cache reads plus coalesced waits on in-flight sweeps
+	Misses uint64
+	Size   int // resident cache entries
+
+	SweepCount uint64 // completed grid sweeps (including ones that errored)
+	SweepMin   time.Duration
+	SweepMean  time.Duration
+	SweepMax   time.Duration
+}
+
+// CacheStats reports cache hits, misses, resident entries, and per-sweep
+// wall-time min/mean/max.
+func (s *Service) CacheStats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.hits, s.misses, s.lru.Len()
+	st := Stats{
+		Hits: s.hits, Misses: s.misses, Size: s.lru.Len(),
+		SweepCount: s.sweepCount, SweepMin: s.sweepMin, SweepMax: s.sweepMax,
+	}
+	if s.sweepCount > 0 {
+		st.SweepMean = s.sweepTotal / time.Duration(s.sweepCount)
+	}
+	return st
 }

@@ -70,9 +70,12 @@ func TestServiceCacheHitsAndEviction(t *testing.T) {
 	if first != again {
 		t.Fatal("cached recommendation differs from the original sweep")
 	}
-	hits, misses, size := svc.CacheStats()
-	if hits != 1 || misses != 1 || size != 1 {
-		t.Fatalf("after repeat query: hits=%d misses=%d size=%d, want 1/1/1", hits, misses, size)
+	st := svc.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("after repeat query: hits=%d misses=%d size=%d, want 1/1/1", st.Hits, st.Misses, st.Size)
+	}
+	if st.SweepCount != 1 || st.SweepMin <= 0 || st.SweepMean <= 0 || st.SweepMax < st.SweepMin {
+		t.Fatalf("sweep stats not recorded: %+v", st)
 	}
 
 	// Two more distinct keys overflow the 2-entry cache.
@@ -82,15 +85,19 @@ func TestServiceCacheHitsAndEviction(t *testing.T) {
 	if _, err := svc.Recommend(p3, ShortestTime); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, size := svc.CacheStats(); size != 2 {
-		t.Fatalf("cache size %d after 3 distinct keys with capacity 2", size)
+	if st := svc.CacheStats(); st.Size != 2 {
+		t.Fatalf("cache size %d after 3 distinct keys with capacity 2", st.Size)
 	}
 	// p1 was evicted (least recently used): querying it again is a miss.
 	if _, err := svc.Recommend(p1, ShortestTime); err != nil {
 		t.Fatal(err)
 	}
-	if _, misses, _ := svc.CacheStats(); misses != 4 {
-		t.Fatalf("misses = %d, want 4 (three cold + one post-eviction)", misses)
+	st = svc.CacheStats()
+	if st.Misses != 4 {
+		t.Fatalf("misses = %d, want 4 (three cold + one post-eviction)", st.Misses)
+	}
+	if st.SweepCount != 4 || st.SweepMin > st.SweepMean || st.SweepMean > st.SweepMax {
+		t.Fatalf("sweep stats inconsistent after 4 sweeps: %+v", st)
 	}
 }
 
@@ -112,8 +119,8 @@ func TestServiceCacheDisabled(t *testing.T) {
 	if a != b {
 		t.Fatal("uncached repeat sweeps disagree")
 	}
-	if _, _, size := svc.CacheStats(); size != 0 {
-		t.Fatalf("disabled cache holds %d entries", size)
+	if st := svc.CacheStats(); st.Size != 0 {
+		t.Fatalf("disabled cache holds %d entries", st.Size)
 	}
 }
 
@@ -169,12 +176,15 @@ func TestServiceConcurrentRecommend(t *testing.T) {
 	if failure != "" {
 		t.Fatal(failure)
 	}
-	hits, misses, _ := svc.CacheStats()
-	if misses > uint64(len(want)) {
-		t.Fatalf("%d misses for %d distinct keys: sweeps were not coalesced", misses, len(want))
+	st := svc.CacheStats()
+	if st.Misses > uint64(len(want)) {
+		t.Fatalf("%d misses for %d distinct keys: sweeps were not coalesced", st.Misses, len(want))
 	}
-	if hits == 0 {
+	if st.Hits == 0 {
 		t.Fatal("no cache hits across 320 repeated queries")
+	}
+	if st.SweepCount != st.Misses {
+		t.Fatalf("sweep count %d != misses %d", st.SweepCount, st.Misses)
 	}
 }
 

@@ -1,0 +1,411 @@
+package mat
+
+// Cholesky factorization of symmetric positive definite matrices.
+//
+// The factor is held in PACKED row-major lower-triangle storage — n(n+1)/2
+// entries instead of n² — halving the resident memory of every fitted kernel
+// model and loaded GP artifact that keeps its factor alive. Factorization
+// itself runs on a full n×n scratch buffer in one of two modes:
+//
+//   - scalar: the reference right-looking column-by-column loop;
+//   - blocked: panel factorization plus a goroutine-parallel GEMM-style
+//     trailing update (the same ikj kernel shape and row fan-out as Mul).
+//
+// The blocked mode subtracts every inner-product term in the same ascending
+// order as the scalar loop, one rounded multiply-subtract at a time, so the
+// two modes produce BIT-IDENTICAL factors at any GOMAXPROCS — the blocked
+// path is a faster schedule of the same arithmetic, not a different
+// algorithm. NewCholesky picks blocked for matrices large enough to pay for
+// the panel machinery and scalar below that.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Cholesky holds the lower-triangular factor L of an SPD matrix A = L Lᵀ in
+// packed row-major lower-triangle storage: element (i, j), j ≤ i, lives at
+// index i(i+1)/2 + j.
+type Cholesky struct {
+	n int
+	l []float64 // packed row-major lower triangle, n(n+1)/2 entries
+}
+
+// cholBlockedMin is the matrix size at which NewCholesky switches from the
+// scalar loop to the blocked factorization; below it the panel bookkeeping
+// costs more than it saves.
+const cholBlockedMin = 128
+
+// useBlocked reports whether the auto dispatch should take the blocked path:
+// the panel machinery pays off through its parallel trailing update, so a
+// single-CPU process stays on the scalar loop (the factors are bit-identical
+// either way — this is purely a scheduling choice).
+func useBlocked(n int) bool {
+	return n >= cholBlockedMin && runtime.GOMAXPROCS(0) > 1
+}
+
+// cholPanel is the blocked factorization's panel width.
+const cholPanel = 48
+
+// NewCholesky factorizes the SPD matrix a, choosing the blocked parallel
+// path for large matrices and the scalar reference path otherwise (both
+// produce bit-identical factors). It returns an error if a is not square or
+// not positive definite (within floating-point tolerance). The input is not
+// modified.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	return newCholesky(a, useBlocked(a.RowsN), nil)
+}
+
+// NewCholeskyScalar factorizes with the scalar reference loop regardless of
+// size. Parity tests compare the blocked path against it.
+func NewCholeskyScalar(a *Dense) (*Cholesky, error) {
+	return newCholesky(a, false, nil)
+}
+
+// NewCholeskyBlocked factorizes with the blocked parallel path regardless of
+// size.
+func NewCholeskyBlocked(a *Dense) (*Cholesky, error) {
+	return newCholesky(a, true, nil)
+}
+
+// newCholesky copies a into an n×n scratch (reusing scratch when it is
+// non-nil and correctly sized), factors it in place, and packs the lower
+// triangle into the resident factor.
+func newCholesky(a *Dense, blocked bool, scratch []float64) (*Cholesky, error) {
+	if a.RowsN != a.ColsN {
+		return nil, fmt.Errorf("mat: Cholesky of non-square %dx%d matrix", a.RowsN, a.ColsN)
+	}
+	n := a.RowsN
+	w := scratch
+	if len(w) != n*n {
+		w = make([]float64, n*n)
+	}
+	copy(w, a.Data)
+	var err error
+	if blocked {
+		err = cholFactorBlocked(w, n)
+	} else {
+		err = cholFactorPanel(w, n, 0, n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	l := make([]float64, n*(n+1)/2)
+	for i, off := 0, 0; i < n; i++ {
+		copy(l[off:off+i+1], w[i*n:i*n+i+1])
+		off += i + 1
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// cholFactorPanel factors columns [k0, k1) of the n×n matrix w in place with
+// the right-looking scalar loop, assuming the contributions of all columns
+// below k0 have already been subtracted from w[:, k0:] (for k0 = 0 this is
+// the full scalar factorization). Within the panel every inner product
+// accumulates in ascending column order, one multiply-subtract at a time —
+// the op ordering the blocked trailing update preserves.
+func cholFactorPanel(w []float64, n, k0, k1 int) error {
+	for k := k0; k < k1; k++ {
+		d := w[k*n+k]
+		wk := w[k*n+k0 : k*n+k]
+		for _, v := range wk {
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return fmt.Errorf("mat: matrix not positive definite at pivot %d (d=%g)", k, d)
+		}
+		dk := math.Sqrt(d)
+		w[k*n+k] = dk
+		for i := k + 1; i < n; i++ {
+			s := w[i*n+k]
+			wi := w[i*n+k0 : i*n+k]
+			for p, v := range wk {
+				s -= wi[p] * v
+			}
+			w[i*n+k] = s / dk
+		}
+	}
+	return nil
+}
+
+// cholFactorBlocked factors w in place: panel factor, then a parallel
+// trailing update that subtracts the panel's outer product from the
+// remaining lower triangle. Per matrix entry the subtraction order is
+// identical to the scalar loop's, so the result is bit-identical to
+// cholFactorPanel(w, n, 0, n) at any worker count.
+func cholFactorBlocked(w []float64, n int) error {
+	// bt holds the transposed panel: bt[p][j] = w[(k1+j)*n + k0+p], so the
+	// trailing update streams both operands contiguously.
+	bt := make([]float64, cholPanel*n)
+	for k0 := 0; k0 < n; k0 += cholPanel {
+		k1 := k0 + cholPanel
+		if k1 > n {
+			k1 = n
+		}
+		if err := cholFactorPanel(w, n, k0, k1); err != nil {
+			return err
+		}
+		if k1 >= n {
+			break
+		}
+		nb, m := k1-k0, n-k1
+		for p := 0; p < nb; p++ {
+			row := bt[p*m : (p+1)*m]
+			for j := 0; j < m; j++ {
+				row[j] = w[(k1+j)*n+k0+p]
+			}
+		}
+		cholTrailingParallel(w, bt, n, k0, k1)
+	}
+	return nil
+}
+
+// cholTrailingParallel fans the trailing update's rows [k1, n) out to
+// goroutines. Row i updates i−k1+1 entries, so equal ROW chunks would hand
+// the last worker ~2× the average work; boundaries at k1 + m·√(k/W) instead
+// give each worker an equal share of the triangle's area. Every entry is
+// still written by exactly one goroutine, so the split cannot change
+// results. The update touches the m(m+1)/2 lower-triangle entries of the
+// trailing block, nb multiply-subtracts each; below the parallel threshold
+// it runs inline.
+func cholTrailingParallel(w, bt []float64, n, k0, k1 int) {
+	nb, m := k1-k0, n-k1
+	workers := runtime.GOMAXPROCS(0)
+	if nb*(m*(m+1)/2) < parallelThreshold || workers < 2 {
+		cholTrailingRows(w, bt, n, k0, k1, k1, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	prev := k1
+	for k := 1; k <= workers; k++ {
+		hi := k1 + int(math.Round(float64(m)*math.Sqrt(float64(k)/float64(workers))))
+		if k == workers {
+			hi = n
+		}
+		if hi <= prev {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			cholTrailingRows(w, bt, n, k0, k1, lo, hi)
+		}(prev, hi)
+		prev = hi
+	}
+	wg.Wait()
+}
+
+// cholTrailingRows subtracts the current panel's contribution from rows
+// [lo, hi) of the trailing lower triangle: w[i][j] -= Σ_p w[i][p]·w[j][p]
+// for j in [k1, i], with p ascending over the panel — the mulRange ikj loop
+// shape, one rounded multiply-subtract per term like the scalar loop.
+func cholTrailingRows(w, bt []float64, n, k0, k1, lo, hi int) {
+	nb, m := k1-k0, n-k1
+	for i := lo; i < hi; i++ {
+		ci := w[i*n+k1 : i*n+i+1]
+		for p := 0; p < nb; p++ {
+			v := w[i*n+k0+p]
+			btp := bt[p*m : p*m+len(ci)]
+			for j, bv := range btp {
+				ci[j] -= v * bv
+			}
+		}
+	}
+}
+
+// Size returns the factorized dimension.
+func (c *Cholesky) Size() int { return c.n }
+
+// L returns the lower-triangular factor unpacked into a full n×n matrix
+// (a copy; the strict upper triangle is zero).
+func (c *Cholesky) L() *Dense {
+	out := NewDense(c.n, c.n)
+	for i, off := 0, 0; i < c.n; i++ {
+		copy(out.Data[i*c.n:i*c.n+i+1], c.l[off:off+i+1])
+		off += i + 1
+	}
+	return out
+}
+
+// SolveVec solves A x = b for x, overwriting nothing.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	if len(b) != c.n {
+		panic("mat: Cholesky SolveVec length mismatch")
+	}
+	x := append([]float64(nil), b...)
+	c.solveInPlace(x)
+	return x
+}
+
+// solveInPlace solves A x = b where b is overwritten with x.
+func (c *Cholesky) solveInPlace(x []float64) {
+	n, l := c.n, c.l
+	// Forward substitution L y = b; packed row i is contiguous.
+	for i, base := 0, 0; i < n; i++ {
+		s := x[i]
+		row := l[base : base+i]
+		for p, v := range row {
+			s -= v * x[p]
+		}
+		x[i] = s / l[base+i]
+		base += i + 1
+	}
+	// Back substitution Lᵀ x = y; column i of L walks rows below the
+	// diagonal, index (p, i) = p(p+1)/2 + i stepping by p+1 per row.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		off := (i+1)*(i+2)/2 + i
+		for p := i + 1; p < n; p++ {
+			s -= l[off] * x[p]
+			off += p + 1
+		}
+		x[i] = s / l[i*(i+1)/2+i]
+	}
+}
+
+// SolveMat solves A X = B for all right-hand-side columns at once. The
+// substitutions sweep matrix rows and update every RHS column in one
+// contiguous inner loop (B's row-major layout makes the RHS dimension the
+// fast axis), instead of gathering and scattering one column at a time; for
+// large systems the RHS columns are split across goroutines (the same
+// fan-out Mul and the blocked factorization use). Each column's arithmetic
+// is ordered exactly as SolveVec's, so results are bit-identical to the
+// column-by-column solve at any worker count.
+func (c *Cholesky) SolveMat(b *Dense) *Dense {
+	if b.RowsN != c.n {
+		panic("mat: Cholesky SolveMat dimension mismatch")
+	}
+	out := b.Clone()
+	parallelRows(0, b.ColsN, c.n*c.n*b.ColsN, func(c0, c1 int) {
+		c.solveMatCols(out, c0, c1)
+	})
+	return out
+}
+
+// solveMatCols runs both substitutions over RHS columns [c0, c1) of x, which
+// holds B on entry and X on return.
+func (c *Cholesky) solveMatCols(x *Dense, c0, c1 int) {
+	n, l, m := c.n, c.l, x.ColsN
+	for i, base := 0, 0; i < n; i++ {
+		xi := x.Data[i*m+c0 : i*m+c1]
+		row := l[base : base+i]
+		for p, v := range row {
+			xp := x.Data[p*m+c0 : p*m+c1]
+			for j, pv := range xp {
+				xi[j] -= v * pv
+			}
+		}
+		d := l[base+i]
+		for j := range xi {
+			xi[j] /= d
+		}
+		base += i + 1
+	}
+	for i := n - 1; i >= 0; i-- {
+		xi := x.Data[i*m+c0 : i*m+c1]
+		off := (i+1)*(i+2)/2 + i
+		for p := i + 1; p < n; p++ {
+			v := l[off]
+			off += p + 1
+			xp := x.Data[p*m+c0 : p*m+c1]
+			for j, pv := range xp {
+				xi[j] -= v * pv
+			}
+		}
+		d := l[i*(i+1)/2+i]
+		for j := range xi {
+			xi[j] /= d
+		}
+	}
+}
+
+// LogDet returns log|A| = 2 Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i, off := 0, 0; i < c.n; i++ {
+		s += math.Log(c.l[off+i])
+		off += i + 1
+	}
+	return 2 * s
+}
+
+// LSolveVec solves L y = b (forward substitution only). Gaussian process
+// predictive variance needs this half-solve.
+func (c *Cholesky) LSolveVec(b []float64) []float64 {
+	y := append([]float64(nil), b...)
+	c.LSolveVecInto(y, y)
+	return y
+}
+
+// LSolveVecInto solves L y = b into dst without allocating. dst and b must
+// both have length n; they may alias. Hot prediction loops (GP posterior
+// variance) use this to reuse one scratch buffer across rows.
+func (c *Cholesky) LSolveVecInto(dst, b []float64) {
+	if len(b) != c.n || len(dst) != c.n {
+		panic("mat: LSolveVecInto length mismatch")
+	}
+	if &dst[0] != &b[0] {
+		copy(dst, b)
+	}
+	n, l := c.n, c.l
+	for i, base := 0, 0; i < n; i++ {
+		s := dst[i]
+		row := l[base : base+i]
+		for p, v := range row {
+			s -= v * dst[p]
+		}
+		dst[i] = s / l[base+i]
+		base += i + 1
+	}
+}
+
+// SolveSPD solves A x = b for SPD A, adding escalating jitter to the
+// diagonal if the factorization fails. Kernel matrices are routinely
+// borderline-singular, so this is the standard robust entry point used by
+// the regressors. It returns an error only if even large jitter fails.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	ch, err := RobustCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return ch.SolveVec(b), nil
+}
+
+// RobustCholesky factorizes a with escalating diagonal jitter on failure.
+// One scratch copy of a carries both the accumulating jitter and the
+// factorization workspace across every retry, so the attempts allocate no
+// further n² buffers; a itself is untouched.
+func RobustCholesky(a *Dense) (*Cholesky, error) {
+	blocked := useBlocked(a.RowsN)
+	scratch := make([]float64, a.RowsN*a.ColsN)
+	ch, err := newCholesky(a, blocked, scratch)
+	if err == nil {
+		return ch, nil
+	}
+	// Scale jitter to the mean diagonal magnitude.
+	var diag float64
+	for i := 0; i < a.RowsN; i++ {
+		diag += math.Abs(a.At(i, i))
+	}
+	diag /= float64(a.RowsN)
+	if diag == 0 {
+		diag = 1
+	}
+	work := a.Clone()
+	jitter := diag * 1e-12
+	total := 0.0
+	for attempt := 0; attempt < 12; attempt++ {
+		work.AddScaledIdentity(jitter)
+		total += jitter
+		if ch, err = newCholesky(work, blocked, scratch); err == nil {
+			return ch, nil
+		}
+		jitter *= 10
+	}
+	return nil, fmt.Errorf("mat: RobustCholesky failed even with total jitter %g: %w", total, err)
+}

@@ -1,0 +1,183 @@
+package mat
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"parcost/internal/rng"
+)
+
+// TestCholeskyBlockedBitIdentical asserts the blocked parallel factorization
+// is a faster schedule of the scalar loop's exact arithmetic: the packed
+// factors must match BIT FOR BIT, at every GOMAXPROCS from 1 to 8, on sizes
+// spanning sub-panel, exact-panel-multiple, and ragged-panel shapes.
+func TestCholeskyBlockedBitIdentical(t *testing.T) {
+	r := rng.New(11)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	// 360 is big enough that the first panels' trailing updates cross the
+	// parallel threshold, so the goroutine split itself is under test.
+	for _, n := range []int{1, 7, cholPanel, cholPanel + 1, 3*cholPanel - 5, 200, 360} {
+		a := randSPD(r, n)
+		want, err := NewCholeskyScalar(a)
+		if err != nil {
+			t.Fatalf("n=%d scalar: %v", n, err)
+		}
+		for procs := 1; procs <= 8; procs++ {
+			runtime.GOMAXPROCS(procs)
+			got, err := NewCholeskyBlocked(a)
+			if err != nil {
+				t.Fatalf("n=%d procs=%d blocked: %v", n, procs, err)
+			}
+			for i := range want.l {
+				if got.l[i] != want.l[i] {
+					t.Fatalf("n=%d procs=%d: blocked factor differs from scalar at packed index %d: %v vs %v",
+						n, procs, i, got.l[i], want.l[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCholeskyAutoDispatch checks that the public constructor produces the
+// same factor on both sides of the blocked cutover.
+func TestCholeskyAutoDispatch(t *testing.T) {
+	r := rng.New(12)
+	for _, n := range []int{cholBlockedMin - 1, cholBlockedMin} {
+		a := randSPD(r, n)
+		auto, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewCholeskyScalar(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.l {
+			if auto.l[i] != ref.l[i] {
+				t.Fatalf("n=%d: auto factor differs from scalar at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestCholeskyBlockedNotPD verifies the blocked path reports non-PD input
+// like the scalar path does.
+func TestCholeskyBlockedNotPD(t *testing.T) {
+	n := cholBlockedMin + 10
+	a := NewDense(n, n)
+	a.AddScaledIdentity(1)
+	a.Set(n-3, n-3, -1) // one negative diagonal entry breaks PD
+	if _, err := NewCholeskyBlocked(a); err == nil {
+		t.Fatal("blocked Cholesky accepted a non-PD matrix")
+	}
+}
+
+// TestSolveMatMatchesSolveVec asserts the blocked multi-RHS solve is
+// bit-identical to per-column SolveVec, including on the goroutine path.
+func TestSolveMatMatchesSolveVec(t *testing.T) {
+	r := rng.New(13)
+	for _, tc := range []struct{ n, m int }{{5, 1}, {12, 7}, {60, 40}, {130, 90}} {
+		a := randSPD(r, tc.n)
+		b := randMatrix(r, tc.n, tc.m)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := ch.SolveMat(b)
+		col := make([]float64, tc.n)
+		for j := 0; j < tc.m; j++ {
+			for i := 0; i < tc.n; i++ {
+				col[i] = b.At(i, j)
+			}
+			xc := ch.SolveVec(col)
+			for i := 0; i < tc.n; i++ {
+				if x.At(i, j) != xc[i] {
+					t.Fatalf("n=%d m=%d: SolveMat differs from SolveVec at (%d,%d): %v vs %v",
+						tc.n, tc.m, i, j, x.At(i, j), xc[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRobustCholeskyErrorReportsJitter checks the satellite contract: when
+// every jitter attempt fails, the error names the total jitter tried.
+func TestRobustCholeskyErrorReportsJitter(t *testing.T) {
+	// A matrix with a hugely negative diagonal entry defeats any jitter the
+	// escalation schedule can reach (it tops out near 1e-1 × mean diagonal).
+	a := FromRows([][]float64{{1, 0}, {0, -1e30}})
+	_, err := RobustCholesky(a)
+	if err == nil {
+		t.Fatal("RobustCholesky unexpectedly succeeded")
+	}
+	if !strings.Contains(err.Error(), "total jitter") {
+		t.Fatalf("error does not report the attempted jitter total: %v", err)
+	}
+}
+
+// TestRobustCholeskyLargeBlocked exercises the jitter path through the
+// blocked factorization (n above the cutover) on a rank-deficient matrix.
+func TestRobustCholeskyLargeBlocked(t *testing.T) {
+	n := cholBlockedMin + 5
+	one := make([]float64, n)
+	for i := range one {
+		one[i] = 1
+	}
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		copy(a.Row(i), one) // rank-1 PSD: ones(n, n)
+	}
+	ch, err := RobustCholesky(a)
+	if err != nil {
+		t.Fatalf("RobustCholesky failed: %v", err)
+	}
+	if ch.Size() != n {
+		t.Fatal("wrong size")
+	}
+}
+
+// TestSolveMatLarge sanity-checks the parallel column path against a known
+// solution.
+func TestSolveMatLarge(t *testing.T) {
+	r := rng.New(14)
+	n, m := 90, 50
+	a := randSPD(r, n)
+	xTrue := randMatrix(r, n, m)
+	b := Mul(a, xTrue)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ch.SolveMat(b)
+	for i := range x.Data {
+		if !almostEq(x.Data[i], xTrue.Data[i], 1e-7) {
+			t.Fatalf("SolveMat mismatch at %d: %v vs %v", i, x.Data[i], xTrue.Data[i])
+		}
+	}
+}
+
+func BenchmarkCholeskyBlocked200(b *testing.B) {
+	r := rng.New(1)
+	a := randSPD(r, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCholeskyBlocked(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveMat(b *testing.B) {
+	r := rng.New(2)
+	a := randSPD(r, 150)
+	rhs := randMatrix(r, 150, 100)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.SolveMat(rhs)
+	}
+}

@@ -1,0 +1,364 @@
+package mat
+
+// EigSym is the spectral shift-reuse primitive for symmetric (positive
+// definite) matrices. Hyper-parameter sweeps over ridge alpha or GP noise
+// factorize the SAME kernel gram shifted only on the diagonal: (K + sI) for a
+// grid of shifts s. A per-shift Cholesky costs O(n³) each; EigSym pays one
+// O(n³) Householder tridiagonalization K = Q T Qᵀ up front, after which every
+// shifted system
+//
+//	(K + sI) x = Q (T + sI) Qᵀ x = b
+//
+// is solved in O(n²): apply the stored Householder reflectors to b, solve the
+// symmetric tridiagonal (T + sI) by LDLᵀ in O(n), and transform back. The
+// eigenvalues of T (implicit-shift QL, O(n²)) make log|K + sI| = Σ log(λᵢ+s)
+// an O(n) read and expose the shifted condition number, so callers can fall
+// back to the jittered Cholesky reference path when a shift is too close to
+// −λmin for the unpivoted tridiagonal solve to be trustworthy.
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// EigSym holds the tridiagonal reduction K = Q T Qᵀ of a symmetric matrix —
+// Householder reflectors (implicit Q) plus the tridiagonal T — and the
+// eigenvalues of T. It is immutable after construction and safe for
+// concurrent ShiftSolve/ShiftLogDet calls.
+type EigSym struct {
+	n    int
+	v    []float64 // n×n row-major; column k below the diagonal holds reflector k
+	tau  []float64 // reflector scalars (0 = identity reflector)
+	d    []float64 // tridiagonal diagonal, len n
+	e    []float64 // tridiagonal sub-diagonal, len n-1 (empty for n ≤ 1)
+	eig  []float64 // eigenvalues, ascending
+	emax float64   // max |eigenvalue|, for conditioning checks
+}
+
+// NewEigSym tridiagonalizes the symmetric matrix a (only its lower triangle
+// is read; the input is not modified) and computes its eigenvalues. It
+// returns an error if a is not square or the QL iteration fails to converge
+// (which does not happen for finite symmetric input in practice).
+func NewEigSym(a *Dense) (*EigSym, error) {
+	if a.RowsN != a.ColsN {
+		return nil, fmt.Errorf("mat: EigSym of non-square %dx%d matrix", a.RowsN, a.ColsN)
+	}
+	n := a.RowsN
+	es := &EigSym{
+		n:   n,
+		v:   append([]float64(nil), a.Data...),
+		tau: make([]float64, n),
+		d:   make([]float64, n),
+	}
+	if n > 1 {
+		es.e = make([]float64, n-1)
+	}
+	es.tridiagonalize()
+	eig := append([]float64(nil), es.d...)
+	if err := tridiagEigenvalues(eig, append([]float64(nil), es.e...)); err != nil {
+		return nil, err
+	}
+	slices.Sort(eig)
+	es.eig = eig
+	for _, l := range eig {
+		if al := math.Abs(l); al > es.emax {
+			es.emax = al
+		}
+	}
+	return es, nil
+}
+
+// tridiagonalize reduces es.v to tridiagonal form with Householder
+// reflectors H_k = I − τ_k v_k v_kᵀ acting on components k+1..n−1, storing
+// v_k in column k below the sub-diagonal position and τ_k in es.tau. Only
+// the lower triangle of es.v is referenced.
+func (es *EigSym) tridiagonalize() {
+	n, w := es.n, es.v
+	pbuf := make([]float64, n) // p/q scratch shared by every reflection step
+	vbuf := make([]float64, n) // contiguous copy of the current reflector
+	for k := 0; k < n-2; k++ {
+		// Column k below the diagonal: x = w[k+1..n-1][k].
+		scale := 0.0
+		for i := k + 1; i < n; i++ {
+			scale += math.Abs(w[i*n+k])
+		}
+		if scale == 0 {
+			es.tau[k] = 0
+			es.e[k] = 0
+			continue
+		}
+		// Scale for stability, then build v = x − s·e1 (v kept in place).
+		norm2 := 0.0
+		for i := k + 1; i < n; i++ {
+			w[i*n+k] /= scale
+			norm2 += w[i*n+k] * w[i*n+k]
+		}
+		alpha := w[(k+1)*n+k]
+		s := math.Sqrt(norm2)
+		if alpha > 0 {
+			s = -s
+		}
+		es.e[k] = scale * s
+		v0 := alpha - s
+		w[(k+1)*n+k] = v0
+		// τ = 2/‖v‖²; ‖v‖² = norm2 − α² + v0² = 2s(s−α) = −2·s·v0.
+		tau := -1.0 / (s * v0)
+		es.tau[k] = tau
+
+		// Symmetric rank-2 update of the trailing block B = w[k+1:, k+1:]:
+		// p = τ B v;  q = p − (τ/2)(pᵀv) v;  B ← B − v qᵀ − q vᵀ.
+		// The reflector is gathered into a contiguous buffer so the
+		// symmetric mat-vec and the rank-2 update stream rows of B.
+		m := n - (k + 1)
+		p, v := pbuf[:m], vbuf[:m]
+		for i := 0; i < m; i++ {
+			v[i] = w[(k+1+i)*n+k]
+			p[i] = 0
+		}
+		for i := 0; i < m; i++ {
+			row := w[(k+1+i)*n+k+1 : (k+1+i)*n+k+1+i]
+			vi := v[i]
+			sum := w[(k+1+i)*n+k+1+i] * vi
+			for j, bv := range row {
+				sum += bv * v[j]
+				p[j] += bv * vi
+			}
+			p[i] += sum
+		}
+		pv := 0.0
+		for i := 0; i < m; i++ {
+			p[i] *= tau
+			pv += p[i] * v[i]
+		}
+		half := 0.5 * tau * pv
+		for i := 0; i < m; i++ {
+			p[i] -= half * v[i]
+		}
+		for i := 0; i < m; i++ {
+			vi, qi := v[i], p[i]
+			row := w[(k+1+i)*n+k+1 : (k+1+i)*n+k+1+i+1]
+			for j := range row {
+				row[j] -= vi*p[j] + qi*v[j]
+			}
+		}
+	}
+	if n > 1 {
+		es.e[n-2] = es.v[(n-1)*n+n-2]
+	}
+	for i := 0; i < n; i++ {
+		es.d[i] = es.v[i*n+i]
+	}
+}
+
+// applyQT overwrites x with Qᵀx (Q = H_0 H_1 ⋯ H_{n-3}).
+func (es *EigSym) applyQT(x []float64) {
+	for k := 0; k < es.n-2; k++ {
+		es.applyReflector(k, x)
+	}
+}
+
+// applyQ overwrites x with Qx.
+func (es *EigSym) applyQ(x []float64) {
+	for k := es.n - 3; k >= 0; k-- {
+		es.applyReflector(k, x)
+	}
+}
+
+// applyReflector applies H_k = I − τ_k v_k v_kᵀ to x in place.
+func (es *EigSym) applyReflector(k int, x []float64) {
+	tau := es.tau[k]
+	if tau == 0 {
+		return
+	}
+	n, w := es.n, es.v
+	dot := 0.0
+	for i := k + 1; i < n; i++ {
+		dot += w[i*n+k] * x[i]
+	}
+	dot *= tau
+	for i := k + 1; i < n; i++ {
+		x[i] -= dot * w[i*n+k]
+	}
+}
+
+// Size returns the factorized dimension.
+func (es *EigSym) Size() int { return es.n }
+
+// Eigenvalues returns the eigenvalues in ascending order (not a copy; treat
+// as read-only).
+func (es *EigSym) Eigenvalues() []float64 { return es.eig }
+
+// shiftRcondMin is the minimum acceptable reciprocal condition number of
+// (A + sI) for ShiftOK: below it the unpivoted tridiagonal solve can lose
+// too much precision and callers should take the Cholesky reference path.
+const shiftRcondMin = 1e-13
+
+// ShiftOK reports whether (A + sI) is positive definite and well-enough
+// conditioned for ShiftSolve to be trustworthy.
+func (es *EigSym) ShiftOK(shift float64) bool {
+	if es.n == 0 {
+		return false
+	}
+	lo := es.eig[0] + shift
+	return lo > 0 && lo > shiftRcondMin*(es.emax+math.Abs(shift))
+}
+
+// ShiftSolver is a prepared (A + shift·I) solver: the LDLᵀ factorization of
+// the shifted tridiagonal, computed once per shift and reused across solves.
+// Batch consumers (GP posterior variance over many prediction rows) prepare
+// one and call SolveInto per right-hand side with zero allocation; one-shot
+// callers use EigSym.ShiftSolve directly. Immutable after construction and
+// safe for concurrent SolveInto calls.
+type ShiftSolver struct {
+	es  *EigSym
+	piv []float64 // LDLᵀ pivots of T + shift·I
+	sub []float64 // elimination multipliers l_i = e[i-1]/piv[i-1]
+}
+
+// PrepareShift factorizes the shifted tridiagonal (T + shift·I) in O(n). It
+// returns an error if the shifted matrix is not positive definite (an LDLᵀ
+// pivot fails), in which case callers should fall back to a (jittered)
+// Cholesky.
+func (es *EigSym) PrepareShift(shift float64) (*ShiftSolver, error) {
+	n := es.n
+	s := &ShiftSolver{es: es, piv: make([]float64, n), sub: make([]float64, n)}
+	if n == 0 {
+		return s, nil
+	}
+	dp := es.d[0] + shift
+	if dp <= 0 || math.IsNaN(dp) {
+		return nil, fmt.Errorf("mat: EigSym shift %g is not positive definite at pivot 0 (d=%g)", shift, dp)
+	}
+	s.piv[0] = dp
+	for i := 1; i < n; i++ {
+		li := es.e[i-1] / s.piv[i-1]
+		dp = es.d[i] + shift - li*es.e[i-1]
+		if dp <= 0 || math.IsNaN(dp) {
+			return nil, fmt.Errorf("mat: EigSym shift %g is not positive definite at pivot %d (d=%g)", shift, i, dp)
+		}
+		s.sub[i] = li
+		s.piv[i] = dp
+	}
+	return s, nil
+}
+
+// SolveInto overwrites x with (A + shift·I)⁻¹ x in O(n²), allocating
+// nothing: reflectors in, tridiagonal LDLᵀ substitution, reflectors out.
+func (s *ShiftSolver) SolveInto(x []float64) {
+	es := s.es
+	if len(x) != es.n {
+		panic("mat: ShiftSolver SolveInto length mismatch")
+	}
+	n := es.n
+	if n == 0 {
+		return
+	}
+	es.applyQT(x)
+	for i := 1; i < n; i++ {
+		x[i] -= s.sub[i] * x[i-1]
+	}
+	for i := 0; i < n; i++ {
+		x[i] /= s.piv[i]
+	}
+	for i := n - 2; i >= 0; i-- {
+		x[i] -= s.sub[i+1] * x[i+1] // sub[i+1] = e[i]/piv[i], precomputed
+	}
+	es.applyQ(x)
+}
+
+// ShiftSolve solves (A + shift·I) x = b in O(n²) using the stored
+// tridiagonal reduction. It returns an error if the shifted matrix is not
+// positive definite (an LDLᵀ pivot fails), in which case callers should fall
+// back to a (jittered) Cholesky. Solving many right-hand sides at one shift?
+// PrepareShift once and reuse its SolveInto.
+func (es *EigSym) ShiftSolve(shift float64, b []float64) ([]float64, error) {
+	if len(b) != es.n {
+		panic("mat: EigSym ShiftSolve length mismatch")
+	}
+	s, err := es.PrepareShift(shift)
+	if err != nil {
+		return nil, err
+	}
+	x := append([]float64(nil), b...)
+	s.SolveInto(x)
+	return x, nil
+}
+
+// ShiftLogDet returns log|A + shift·I| = Σ log(λᵢ + shift) in O(n), and NaN
+// if the shifted matrix is not positive definite.
+func (es *EigSym) ShiftLogDet(shift float64) float64 {
+	s := 0.0
+	for _, l := range es.eig {
+		ls := l + shift
+		if ls <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(ls)
+	}
+	return s
+}
+
+// tridiagEigenvalues computes the eigenvalues of the symmetric tridiagonal
+// matrix (diag d, sub-diagonal e) in place into d, using the implicit-shift
+// QL algorithm (EISPACK tql1). e is destroyed.
+func tridiagEigenvalues(d, e []float64) error {
+	n := len(d)
+	if n <= 1 {
+		return nil
+	}
+	e = append(e, 0) // sentinel slot e[n-1]
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find a negligible sub-diagonal element to split at. The
+			// float-add form (EISPACK's) deems e[m] negligible exactly when
+			// it no longer perturbs dd in float64 — a relative test at
+			// machine epsilon that guarantees termination (a fixed absolute
+			// threshold below eps could stall above it forever).
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if dd+math.Abs(e[m]) == dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter >= 50 {
+				return fmt.Errorf("mat: EigSym QL iteration failed to converge at eigenvalue %d", l)
+			}
+			// Implicit shift from the 2×2 corner.
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					// Recover from underflow: skip the rest of the sweep.
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				if i == l {
+					d[l] -= p
+					e[l] = g
+					e[m] = 0
+				}
+			}
+		}
+	}
+	return nil
+}

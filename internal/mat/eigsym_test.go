@@ -1,0 +1,174 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"parcost/internal/rng"
+)
+
+// shiftGrid is the kind of alpha/noise grid the model-selection sweeps walk.
+var shiftGrid = []float64{1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// TestEigSymShiftSolveMatchesCholesky is the tentpole parity test: for random
+// SPD matrices and every shift on the grid, the O(n²) spectral shift solve
+// must agree with a fresh Cholesky solve of (A + sI) to tight tolerance.
+func TestEigSymShiftSolveMatchesCholesky(t *testing.T) {
+	r := rng.New(21)
+	for _, n := range []int{1, 2, 3, 8, 40, 120} {
+		a := randSPD(r, n)
+		es, err := NewEigSym(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.Normal()
+		}
+		for _, shift := range shiftGrid {
+			if !es.ShiftOK(shift) {
+				t.Fatalf("n=%d shift=%g: unexpectedly ill-conditioned", n, shift)
+			}
+			got, err := es.ShiftSolve(shift, b)
+			if err != nil {
+				t.Fatalf("n=%d shift=%g: %v", n, shift, err)
+			}
+			shifted := a.Clone()
+			shifted.AddScaledIdentity(shift)
+			ch, err := NewCholesky(shifted)
+			if err != nil {
+				t.Fatalf("n=%d shift=%g cholesky: %v", n, shift, err)
+			}
+			want := ch.SolveVec(b)
+			for i := range want {
+				if !almostEq(got[i], want[i], 1e-8) {
+					t.Fatalf("n=%d shift=%g: solve mismatch at %d: %v vs %v", n, shift, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEigSymShiftLogDetMatchesCholesky cross-checks the O(n) spectral
+// log-determinant against Cholesky's 2·Σ log L_ii on the shifted matrix.
+func TestEigSymShiftLogDetMatchesCholesky(t *testing.T) {
+	r := rng.New(22)
+	for _, n := range []int{1, 5, 30, 90} {
+		a := randSPD(r, n)
+		es, err := NewEigSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shift := range shiftGrid {
+			shifted := a.Clone()
+			shifted.AddScaledIdentity(shift)
+			ch, err := NewCholesky(shifted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want := es.ShiftLogDet(shift), ch.LogDet()
+			if !almostEq(got, want, 1e-9) {
+				t.Fatalf("n=%d shift=%g: ShiftLogDet %v vs Cholesky LogDet %v", n, shift, got, want)
+			}
+		}
+	}
+}
+
+// TestEigSymEigenvalues checks the spectrum on a matrix with a known one,
+// plus basic trace/ordering invariants on random input.
+func TestEigSymEigenvalues(t *testing.T) {
+	// diag(4, 9, 25) rotated is overkill; use a 2×2 with known eigenvalues:
+	// [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+	es, err := NewEigSym(FromRows([][]float64{{2, 1}, {1, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := es.Eigenvalues()
+	if !almostEq(ev[0], 1, 1e-12) || !almostEq(ev[1], 3, 1e-12) {
+		t.Fatalf("eigenvalues = %v, want [1 3]", ev)
+	}
+
+	r := rng.New(23)
+	n := 50
+	a := randSPD(r, n)
+	es, err = NewEigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev = es.Eigenvalues()
+	var evSum, trace float64
+	for i := 0; i < n; i++ {
+		trace += a.At(i, i)
+		evSum += ev[i]
+		if i > 0 && ev[i] < ev[i-1] {
+			t.Fatal("eigenvalues not ascending")
+		}
+		if ev[i] <= 0 {
+			t.Fatalf("SPD matrix produced non-positive eigenvalue %v", ev[i])
+		}
+	}
+	if !almostEq(evSum, trace, 1e-9) {
+		t.Fatalf("eigenvalue sum %v != trace %v", evSum, trace)
+	}
+}
+
+// TestEigSymShiftNotPD verifies the shifted solve reports loss of positive
+// definiteness instead of returning garbage, and that ShiftOK predicts it.
+func TestEigSymShiftNotPD(t *testing.T) {
+	r := rng.New(24)
+	a := randSPD(r, 12)
+	es, err := NewEigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift past −λmin: the matrix turns indefinite.
+	bad := -(es.Eigenvalues()[0] + 1)
+	if es.ShiftOK(bad) {
+		t.Fatal("ShiftOK accepted an indefinite shift")
+	}
+	b := make([]float64, 12)
+	b[0] = 1
+	if _, err := es.ShiftSolve(bad, b); err == nil {
+		t.Fatal("ShiftSolve accepted an indefinite shift")
+	}
+	if !math.IsNaN(es.ShiftLogDet(bad)) {
+		t.Fatal("ShiftLogDet of indefinite shift should be NaN")
+	}
+}
+
+// TestEigSymNonSquare verifies input validation.
+func TestEigSymNonSquare(t *testing.T) {
+	if _, err := NewEigSym(NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func BenchmarkEigSym160(b *testing.B) {
+	r := rng.New(3)
+	a := randSPD(r, 160)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEigSym(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigShiftSolve160(b *testing.B) {
+	r := rng.New(4)
+	a := randSPD(r, 160)
+	es, err := NewEigSym(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, 160)
+	for i := range rhs {
+		rhs[i] = r.Normal()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := es.ShiftSolve(0.01, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

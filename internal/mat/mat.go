@@ -2,11 +2,16 @@
 // kernel-based regressors (kernel ridge, Gaussian processes, Bayesian ridge,
 // polynomial least squares).
 //
-// The implementation is deliberately small: row-major dense matrices,
-// cache-blocked and goroutine-parallel matrix multiply, and a Cholesky
-// factorization for symmetric positive definite solves. These four
-// operations dominate every fit in the ML stack; nothing else from a full
-// BLAS/LAPACK is required.
+// The implementation is deliberately small: row-major dense matrices, a
+// cache-blocked and goroutine-parallel matrix multiply, a Cholesky
+// factorization for symmetric positive definite solves (packed lower-triangle
+// storage; scalar reference and bit-identical blocked-parallel modes; blocked
+// multi-RHS solves), and EigSym, a symmetric eigendecomposition (Householder
+// tridiagonalization + implicit-shift QL) whose ShiftSolve/ShiftLogDet answer
+// (A + sI)x = b systems for any shift s in O(n²)/O(n) off one O(n³)
+// factorization — the spectral-reuse primitive behind hyper-parameter sweeps
+// along ridge-alpha/GP-noise axes. These operations dominate every fit in the
+// ML stack; nothing else from a full BLAS/LAPACK is required.
 package mat
 
 import (
@@ -108,33 +113,45 @@ func Mul(a, b *Dense) *Dense {
 	}
 	out := NewDense(a.RowsN, b.ColsN)
 	flops := a.RowsN * a.ColsN * b.ColsN
-	if flops < parallelThreshold {
-		mulRange(a, b, out, 0, a.RowsN)
-		return out
+	parallelRows(0, a.RowsN, flops, func(lo, hi int) {
+		mulRange(a, b, out, lo, hi)
+	})
+	return out
+}
+
+// parallelRows runs f over contiguous sub-ranges of [lo, hi), fanning out to
+// GOMAXPROCS goroutines when the estimated flop count justifies the
+// scheduling overhead. Mul and the multi-RHS Cholesky solve share this
+// fan-out (the blocked factorization's trailing update uses a
+// triangle-balanced variant); since every output element is written by
+// exactly one range, the split cannot change results.
+func parallelRows(lo, hi, flops int, f func(lo, hi int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
 	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > a.RowsN {
-		workers = a.RowsN
+	if flops < parallelThreshold || workers < 2 || n == 1 {
+		f(lo, hi)
+		return
 	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
-	chunk := (a.RowsN + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > a.RowsN {
-			hi = a.RowsN
-		}
-		if lo >= hi {
-			break
+	for s := lo; s < hi; s += chunk {
+		e := s + chunk
+		if e > hi {
+			e = hi
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(s, e int) {
 			defer wg.Done()
-			mulRange(a, b, out, lo, hi)
-		}(lo, hi)
+			f(s, e)
+		}(s, e)
 	}
 	wg.Wait()
-	return out
 }
 
 // mulRange computes rows [lo, hi) of out = a*b with ikj ordering, which
@@ -244,195 +261,3 @@ func Norm2(x []float64) float64 {
 	return math.Sqrt(s)
 }
 
-// Cholesky holds the lower-triangular factor L of an SPD matrix A = L Lᵀ.
-type Cholesky struct {
-	n int
-	l []float64 // row-major lower triangle (full n*n storage for simplicity)
-}
-
-// NewCholesky factorizes the SPD matrix a. It returns an error if a is not
-// square or not positive definite (within floating-point tolerance). The
-// input is not modified.
-func NewCholesky(a *Dense) (*Cholesky, error) {
-	if a.RowsN != a.ColsN {
-		return nil, fmt.Errorf("mat: Cholesky of non-square %dx%d matrix", a.RowsN, a.ColsN)
-	}
-	n := a.RowsN
-	l := make([]float64, n*n)
-	copy(l, a.Data)
-	// Right-looking Cholesky; only the lower triangle of l is referenced.
-	for k := 0; k < n; k++ {
-		d := l[k*n+k]
-		for p := 0; p < k; p++ {
-			d -= l[k*n+p] * l[k*n+p]
-		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil, fmt.Errorf("mat: matrix not positive definite at pivot %d (d=%g)", k, d)
-		}
-		dk := math.Sqrt(d)
-		l[k*n+k] = dk
-		for i := k + 1; i < n; i++ {
-			s := l[i*n+k]
-			li := l[i*n : i*n+k]
-			lk := l[k*n : k*n+k]
-			for p, v := range lk {
-				s -= li[p] * v
-			}
-			l[i*n+k] = s / dk
-		}
-	}
-	// Zero the strict upper triangle so L is clean.
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			l[i*n+j] = 0
-		}
-	}
-	return &Cholesky{n: n, l: l}, nil
-}
-
-// Size returns the factorized dimension.
-func (c *Cholesky) Size() int { return c.n }
-
-// SolveVec solves A x = b for x, overwriting nothing.
-func (c *Cholesky) SolveVec(b []float64) []float64 {
-	if len(b) != c.n {
-		panic("mat: Cholesky SolveVec length mismatch")
-	}
-	x := append([]float64(nil), b...)
-	c.solveInPlace(x)
-	return x
-}
-
-// solveInPlace solves A x = b where b is overwritten with x.
-func (c *Cholesky) solveInPlace(x []float64) {
-	n, l := c.n, c.l
-	// Forward substitution L y = b.
-	for i := 0; i < n; i++ {
-		s := x[i]
-		row := l[i*n : i*n+i]
-		for p, v := range row {
-			s -= v * x[p]
-		}
-		x[i] = s / l[i*n+i]
-	}
-	// Back substitution Lᵀ x = y.
-	for i := n - 1; i >= 0; i-- {
-		s := x[i]
-		for p := i + 1; p < n; p++ {
-			s -= l[p*n+i] * x[p]
-		}
-		x[i] = s / l[i*n+i]
-	}
-}
-
-// SolveMat solves A X = B column-by-column. One RHS buffer is reused for
-// every column, gathered and scattered with direct data indexing rather than
-// per-element At/Set calls.
-func (c *Cholesky) SolveMat(b *Dense) *Dense {
-	if b.RowsN != c.n {
-		panic("mat: Cholesky SolveMat dimension mismatch")
-	}
-	out := NewDense(b.RowsN, b.ColsN)
-	cols := b.ColsN
-	col := make([]float64, c.n)
-	for j := 0; j < cols; j++ {
-		for i, p := 0, j; i < c.n; i, p = i+1, p+cols {
-			col[i] = b.Data[p]
-		}
-		c.solveInPlace(col)
-		for i, p := 0, j; i < c.n; i, p = i+1, p+cols {
-			out.Data[p] = col[i]
-		}
-	}
-	return out
-}
-
-// LogDet returns log|A| = 2 Σ log L_ii.
-func (c *Cholesky) LogDet() float64 {
-	var s float64
-	for i := 0; i < c.n; i++ {
-		s += math.Log(c.l[i*c.n+i])
-	}
-	return 2 * s
-}
-
-// LSolveVec solves L y = b (forward substitution only). Gaussian process
-// predictive variance needs this half-solve.
-func (c *Cholesky) LSolveVec(b []float64) []float64 {
-	if len(b) != c.n {
-		panic("mat: LSolveVec length mismatch")
-	}
-	y := append([]float64(nil), b...)
-	n, l := c.n, c.l
-	for i := 0; i < n; i++ {
-		s := y[i]
-		row := l[i*n : i*n+i]
-		for p, v := range row {
-			s -= v * y[p]
-		}
-		y[i] = s / l[i*n+i]
-	}
-	return y
-}
-
-// LSolveVecInto solves L y = b into dst without allocating. dst and b must
-// both have length n; they may alias. Hot prediction loops (GP posterior
-// variance) use this to reuse one scratch buffer across rows.
-func (c *Cholesky) LSolveVecInto(dst, b []float64) {
-	if len(b) != c.n || len(dst) != c.n {
-		panic("mat: LSolveVecInto length mismatch")
-	}
-	if &dst[0] != &b[0] {
-		copy(dst, b)
-	}
-	n, l := c.n, c.l
-	for i := 0; i < n; i++ {
-		s := dst[i]
-		row := l[i*n : i*n+i]
-		for p, v := range row {
-			s -= v * dst[p]
-		}
-		dst[i] = s / l[i*n+i]
-	}
-}
-
-// SolveSPD solves A x = b for SPD A, adding escalating jitter to the
-// diagonal if the factorization fails. Kernel matrices are routinely
-// borderline-singular, so this is the standard robust entry point used by
-// the regressors. It returns an error only if even large jitter fails.
-func SolveSPD(a *Dense, b []float64) ([]float64, error) {
-	ch, err := RobustCholesky(a)
-	if err != nil {
-		return nil, err
-	}
-	return ch.SolveVec(b), nil
-}
-
-// RobustCholesky factorizes a with escalating diagonal jitter on failure.
-// The input matrix is modified only by the jitter retries on an internal
-// copy; a itself is untouched.
-func RobustCholesky(a *Dense) (*Cholesky, error) {
-	ch, err := NewCholesky(a)
-	if err == nil {
-		return ch, nil
-	}
-	// Scale jitter to the mean diagonal magnitude.
-	var diag float64
-	for i := 0; i < a.RowsN; i++ {
-		diag += math.Abs(a.At(i, i))
-	}
-	diag /= float64(a.RowsN)
-	if diag == 0 {
-		diag = 1
-	}
-	work := a.Clone()
-	jitter := diag * 1e-12
-	for attempt := 0; attempt < 12; attempt++ {
-		work.AddScaledIdentity(jitter)
-		if ch, err = NewCholesky(work); err == nil {
-			return ch, nil
-		}
-		jitter *= 10
-	}
-	return nil, fmt.Errorf("mat: RobustCholesky failed even with jitter: %w", err)
-}

@@ -208,9 +208,11 @@ func TestCholeskyReconstruct(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rebuild L from internal storage and verify L Lᵀ = A.
-	l := NewDense(n, n)
-	copy(l.Data, ch.l)
+	// Rebuild L from the packed factor and verify L Lᵀ = A.
+	l := ch.L()
+	if len(ch.l) != n*(n+1)/2 {
+		t.Fatalf("packed factor has %d entries, want %d", len(ch.l), n*(n+1)/2)
+	}
 	rec := Mul(l, l.T())
 	for i := range a.Data {
 		if !almostEq(rec.Data[i], a.Data[i], 1e-9) {
@@ -275,9 +277,7 @@ func TestLSolveVec(t *testing.T) {
 	}
 	y := ch.LSolveVec(b)
 	// Verify L y = b.
-	l := NewDense(n, n)
-	copy(l.Data, ch.l)
-	ly := MulVec(l, y)
+	ly := MulVec(ch.L(), y)
 	for i := range b {
 		if !almostEq(ly[i], b[i], 1e-9) {
 			t.Fatalf("LSolveVec residual at %d", i)

@@ -114,14 +114,37 @@ func (m *KernelRidge) Fit(x [][]float64, y []float64) error {
 // the plane's dataset-level scaler, and the gram costs one elementwise map
 // over cached distances instead of a pairwise kernel pass.
 func (m *KernelRidge) FitPlane(p *DistancePlane, trainIdx []int, y []float64) error {
+	ys := m.bindPlane(p, trainIdx, y)
+	// The plane's gram is shared and read-only; the ridge solve shifts the
+	// diagonal, so work on a copy.
+	return m.solve(p.Slice(trainIdx, trainIdx).Gram(m.Kernel).Clone(), ys)
+}
+
+// FitPlaneSpectral solves (K + αI)a = y through the plane's shared
+// eigensystem: one O(n³) factorization per (kernel point, fold) serves every
+// alpha on the shift axis with an O(n²) solve — no per-candidate gram clone,
+// no per-candidate Cholesky. Ill-conditioned shifts fall back to the FitPlane
+// reference path (Cholesky with jitter), whose selections the parity tests
+// pin against this one.
+func (m *KernelRidge) FitPlaneSpectral(p *DistancePlane, trainIdx []int, y []float64) error {
+	ys := m.bindPlane(p, trainIdx, y)
+	if es, err := p.Slice(trainIdx, trainIdx).EigSystem(m.Kernel); err == nil && es.ShiftOK(m.Alpha) {
+		if dual, err := es.ShiftSolve(m.Alpha, ys); err == nil {
+			m.dual = dual
+			return nil
+		}
+	}
+	return m.solve(p.Slice(trainIdx, trainIdx).Gram(m.Kernel).Clone(), ys)
+}
+
+// bindPlane points the model's fitted state at the shared plane's rows and
+// scaler and returns the standardized targets.
+func (m *KernelRidge) bindPlane(p *DistancePlane, trainIdx []int, y []float64) []float64 {
 	m.scaler = p.Scaler()
 	m.xTrain = p.Rows(trainIdx)
 	m.planeIdx = trainIdx
 	m.tScale = stats.FitTargetScaler(y)
-	ys := m.tScale.Transform(y)
-	// The plane's gram is shared and read-only; the ridge solve shifts the
-	// diagonal, so work on a copy.
-	return m.solve(p.Slice(trainIdx, trainIdx).Gram(m.Kernel).Clone(), ys)
+	return m.tScale.Transform(y)
 }
 
 func (m *KernelRidge) solve(g *mat.Dense, ys []float64) error {
@@ -176,9 +199,11 @@ type GaussianProcess struct {
 	scaler   *stats.StandardScaler
 	tScale   *stats.TargetScaler
 	xTrain   [][]float64
-	planeIdx []int // plane row indices of xTrain when fitted via FitPlane
-	chol     *mat.Cholesky
-	alpha    []float64 // (K+σ²I)⁻¹ y
+	planeIdx []int            // plane row indices of xTrain when fitted via FitPlane
+	chol     *mat.Cholesky    // Cholesky of K+σ²I (nil after a spectral fit)
+	eig      *mat.EigSym      // shared spectral factorization of K (spectral fits only)
+	eigSolve *mat.ShiftSolver // prepared (K+σ²I) solver off eig (spectral fits only)
+	alpha    []float64        // (K+σ²I)⁻¹ y
 	autoLen  bool
 }
 
@@ -257,15 +282,40 @@ func (g *GaussianProcess) Fit(x [][]float64, y []float64) error {
 // plane. The training rows are plane rows trainIdx, standardized by the
 // plane's dataset-level scaler; the gram is derived from cached distances.
 func (g *GaussianProcess) FitPlane(p *DistancePlane, trainIdx []int, y []float64) error {
+	ys := g.bindPlane(p, trainIdx, y)
+	// The plane's gram is shared and read-only; the noise shift below needs
+	// a copy.
+	return g.factorize(p.Slice(trainIdx, trainIdx).Gram(g.Kernel).Clone(), ys)
+}
+
+// FitPlaneSpectral fits through the plane's shared eigensystem of K: the
+// predictive weights come from an O(n²) shifted solve (the noise variance is
+// the diagonal shift), and log|K+σ²I| is an O(n) read off the spectrum (see
+// LogDet). Every noise candidate of the same (kernel point, fold) shares one
+// O(n³) factorization. Ill-conditioned shifts fall back to the Cholesky
+// reference path.
+func (g *GaussianProcess) FitPlaneSpectral(p *DistancePlane, trainIdx []int, y []float64) error {
+	ys := g.bindPlane(p, trainIdx, y)
+	if es, err := p.Slice(trainIdx, trainIdx).EigSystem(g.Kernel); err == nil && es.ShiftOK(g.Noise) {
+		if sv, err := es.PrepareShift(g.Noise); err == nil {
+			sv.SolveInto(ys) // ys is this fit's own transformed copy
+			g.eig, g.eigSolve, g.chol = es, sv, nil
+			g.alpha = ys
+			return nil
+		}
+	}
+	return g.factorize(p.Slice(trainIdx, trainIdx).Gram(g.Kernel).Clone(), ys)
+}
+
+// bindPlane points the model's fitted state at the shared plane's rows and
+// scaler, resolves AutoLength, and returns the standardized targets.
+func (g *GaussianProcess) bindPlane(p *DistancePlane, trainIdx []int, y []float64) []float64 {
 	g.scaler = p.Scaler()
 	g.xTrain = p.Rows(trainIdx)
 	g.planeIdx = trainIdx
 	g.tScale = stats.FitTargetScaler(y)
-	ys := g.tScale.Transform(y)
 	g.applyAutoLength()
-	// The plane's gram is shared and read-only; the noise shift below needs
-	// a copy.
-	return g.factorize(p.Slice(trainIdx, trainIdx).Gram(g.Kernel).Clone(), ys)
+	return g.tScale.Transform(y)
 }
 
 // applyAutoLength resolves the median-heuristic length scale against the
@@ -289,14 +339,29 @@ func (g *GaussianProcess) factorize(k *mat.Dense, ys []float64) error {
 		return fmt.Errorf("kernel: GP factorization failed: %w", err)
 	}
 	g.chol = ch
+	g.eig, g.eigSolve = nil, nil
 	g.alpha = ch.SolveVec(ys)
 	return nil
+}
+
+// LogDet returns log|K + σ²I| of the fitted training gram — the
+// complexity term of the GP log marginal likelihood. After a spectral fit it
+// is an O(n) read off the shared spectrum; after a Cholesky fit it is the
+// factor's 2·Σ log L_ii.
+func (g *GaussianProcess) LogDet() float64 {
+	switch {
+	case g.eig != nil:
+		return g.eig.ShiftLogDet(g.Noise)
+	case g.chol != nil:
+		return g.chol.LogDet()
+	}
+	panic("kernel: GaussianProcess.LogDet before Fit")
 }
 
 // PredictPlane returns posterior-mean predictions for plane rows testIdx
 // through the shared plane's cached cross-gram.
 func (g *GaussianProcess) PredictPlane(p *DistancePlane, testIdx []int) []float64 {
-	if g.chol == nil || g.planeIdx == nil {
+	if g.alpha == nil || g.planeIdx == nil {
 		panic("kernel: GaussianProcess.PredictPlane before FitPlane")
 	}
 	cross := p.Slice(testIdx, g.planeIdx).Gram(g.Kernel)
@@ -315,14 +380,15 @@ func (g *GaussianProcess) Predict(x [][]float64) []float64 {
 
 // PredictStd returns the posterior mean and standard deviation for each
 // input, on the original target scale. The variance is
-// k** − k*ᵀ(K+σ²I)⁻¹k*, computed stably via the Cholesky factor.
+// k** − k*ᵀ(K+σ²I)⁻¹k*, computed stably via the Cholesky factor when one is
+// held, or via the shared spectral factorization after a spectral fit.
 func (g *GaussianProcess) PredictStd(x [][]float64) (mean, std []float64) {
-	if g.chol == nil {
+	if g.chol == nil && g.eig == nil {
 		panic("kernel: GaussianProcess.PredictStd before Fit")
 	}
 	mean = make([]float64, len(x))
 	std = make([]float64, len(x))
-	// One k* and one forward-solve buffer serve every prediction row.
+	// One k* and one solve buffer serve every prediction row.
 	kStar := make([]float64, len(g.xTrain))
 	v := make([]float64, len(g.xTrain))
 	for i, row := range x {
@@ -334,10 +400,19 @@ func (g *GaussianProcess) PredictStd(x [][]float64) (mean, std []float64) {
 		muStd := mat.Dot(kStar, g.alpha)
 		mean[i] = g.tScale.InverseOne(muStd)
 
-		// Posterior variance: kxx - v·v where v = L⁻¹ k*.
 		kxx := g.Kernel.Eval(rs, rs)
-		g.chol.LSolveVecInto(v, kStar)
-		varStd := kxx - mat.Dot(v, v)
+		var varStd float64
+		if g.chol != nil {
+			// Posterior variance: kxx − v·v where v = L⁻¹ k*.
+			g.chol.LSolveVecInto(v, kStar)
+			varStd = kxx - mat.Dot(v, v)
+		} else {
+			// Spectral route: kxx − k*ᵀ(K+σ²I)⁻¹k*, through the solver
+			// prepared once at fit time (no per-row allocation).
+			copy(v, kStar)
+			g.eigSolve.SolveInto(v)
+			varStd = kxx - mat.Dot(kStar, v)
+		}
 		if varStd < 0 {
 			varStd = 0
 		}
@@ -348,9 +423,11 @@ func (g *GaussianProcess) PredictStd(x [][]float64) (mean, std []float64) {
 }
 
 var (
-	_ ml.Regressor    = (*KernelRidge)(nil)
-	_ ml.StdPredictor = (*GaussianProcess)(nil)
-	_ PlaneModel      = (*KernelRidge)(nil)
-	_ PlaneModel      = (*GaussianProcess)(nil)
-	_ PlaneModel      = (*SVR)(nil)
+	_ ml.Regressor       = (*KernelRidge)(nil)
+	_ ml.StdPredictor    = (*GaussianProcess)(nil)
+	_ PlaneModel         = (*KernelRidge)(nil)
+	_ PlaneModel         = (*GaussianProcess)(nil)
+	_ PlaneModel         = (*SVR)(nil)
+	_ SpectralPlaneModel = (*KernelRidge)(nil)
+	_ SpectralPlaneModel = (*GaussianProcess)(nil)
 )

@@ -43,15 +43,21 @@ type DistancePlane struct {
 	d2     *mat.Dense  // d2[i][j] = ‖xᵢ−xⱼ‖²
 	mode   GramMode
 
-	// Derived grams are memoized per (kernel point, index-slice identity):
-	// grid sweeps revisit the same length-scale across the other axes
-	// (alpha, noise, C, epsilon), so each distinct gram is derived once per
-	// search. The cache is byte-bounded: continuous-axis searches
-	// (random/Bayes) never revisit a kernel point, so without a bound they
-	// would retain every candidate's n² matrix for the life of the search
-	// with zero hits. Guarded for the parallel CV workers.
+	// Derived grams — and the spectral factorizations built on them — are
+	// memoized per (kernel point, index-slice identity): grid sweeps revisit
+	// the same length-scale across the other axes (alpha, noise, C, epsilon),
+	// so each distinct gram is derived once per search and each distinct
+	// symmetric sub-gram is eigendecomposed at most once, no matter how many
+	// shift-axis candidates solve against it. The gram cache is byte-bounded:
+	// continuous-axis searches (random/Bayes) never revisit a kernel point,
+	// so without a bound they would retain every candidate's n² matrix for
+	// the life of the search with zero hits. Eigensystems are retained
+	// unconditionally — only deterministic up-front routing (the engine's
+	// all-or-nothing shift-group admission) asks for them; see EigSystem.
+	// Guarded for the parallel CV workers.
 	mu        sync.Mutex
 	grams     map[gramKey]*mat.Dense
+	eigs      map[gramKey]*mat.EigSym
 	gramBytes int
 }
 
@@ -240,6 +246,56 @@ func (s PlaneSlice) computeGram(k Kernel) *mat.Dense {
 	return out
 }
 
+// EigSystemBytes returns the resident size of one memoized eigensystem over
+// n rows: n² reflectors plus O(n) tridiagonal/eigenvalue state. Callers that
+// route work through EigSystem (the model-selection engine) use it to decide
+// UP FRONT — deterministically, before any parallel evaluation — whether a
+// search's eigensystems fit their memory budget; see EigSystem.
+func EigSystemBytes(n int) int { return (n*n + 4*n) * 8 }
+
+// EigSystem returns the memoized spectral factorization (mat.EigSym) of the
+// slice's kernel matrix, computing and caching it on first use. Every
+// shift-axis candidate (ridge alpha, GP noise) of the same (kernel point,
+// fold) then solves its (K + sI) system in O(n²) off this one O(n³)
+// factorization. Only symmetric slices (identical row and column index
+// slices) have a spectral factorization; asymmetric slices panic. Safe for
+// concurrent use; like Gram, concurrent first calls may both compute, and
+// the deterministic factorization makes either result identical.
+//
+// Retention is unconditional and NOT counted against the gram byte budget:
+// an admission decision made under a shared byte counter would depend on
+// which parallel worker got there first, and a spectral-vs-Cholesky routing
+// flip changes results in the last bits — nondeterminism the CV engine must
+// not have. Whoever routes candidates here bounds the memory instead: the
+// model-selection engine admits a search's shift groups all-or-nothing
+// against its own budget, sized with EigSystemBytes, in single-threaded code
+// before the worker pool starts.
+func (s PlaneSlice) EigSystem(k Kernel) (*mat.EigSym, error) {
+	if len(s.rows) == 0 || len(s.rows) != len(s.cols) || &s.rows[0] != &s.cols[0] {
+		panic("kernel: EigSystem of an asymmetric plane slice")
+	}
+	key := gramKey{kernel: k, rows: &s.rows[0], cols: &s.cols[0], nr: len(s.rows), nc: len(s.cols)}
+	s.p.mu.Lock()
+	es, ok := s.p.eigs[key]
+	s.p.mu.Unlock()
+	if ok {
+		return es, nil
+	}
+	es, err := mat.NewEigSym(s.Gram(k))
+	if err != nil {
+		return nil, err
+	}
+	s.p.mu.Lock()
+	if s.p.eigs == nil {
+		s.p.eigs = make(map[gramKey]*mat.EigSym)
+	}
+	if _, dup := s.p.eigs[key]; !dup {
+		s.p.eigs[key] = es
+	}
+	s.p.mu.Unlock()
+	return es, nil
+}
+
 // PlaneModel is implemented by kernel regressors that can train and predict
 // through a shared DistancePlane instead of rebuilding their gram matrix
 // from scratch. trainIdx/testIdx address plane rows; y is the fold-train
@@ -250,4 +306,17 @@ type PlaneModel interface {
 	ml.Regressor
 	FitPlane(p *DistancePlane, trainIdx []int, y []float64) error
 	PredictPlane(p *DistancePlane, testIdx []int) []float64
+}
+
+// SpectralPlaneModel is implemented by plane models whose fit reduces to an
+// SPD solve of (K + shift·I) for a scalar diagonal shift (ridge alpha, GP
+// noise). FitPlaneSpectral trains through the plane's shared eigensystem —
+// O(n²) per candidate once some candidate of the same (kernel point, fold)
+// has paid the O(n³) factorization — falling back internally to the
+// Cholesky reference path when the shifted system is too ill-conditioned for
+// the spectral solve (the parity-asserted fallback). The model-selection
+// engine routes shift-axis candidate groups through this fit.
+type SpectralPlaneModel interface {
+	PlaneModel
+	FitPlaneSpectral(p *DistancePlane, trainIdx []int, y []float64) error
 }

@@ -136,8 +136,10 @@ func (g *GaussianProcess) SnapshotKind() string { return GaussianProcessSnapshot
 
 // SnapshotState serializes the predictive weights and training rows. The
 // stored kernel is the resolved one (AutoLength already applied at fit).
+// Spectral-fitted models snapshot identically: the weights are the state,
+// and restore refactorizes via Cholesky either way.
 func (g *GaussianProcess) SnapshotState() ([]byte, error) {
-	if g.chol == nil {
+	if g.alpha == nil {
 		return nil, fmt.Errorf("kernel: GaussianProcess snapshot before Fit")
 	}
 	ks, err := kernelToState(g.Kernel)
@@ -175,7 +177,7 @@ func (g *GaussianProcess) RestoreState(data []byte) error {
 	g.Kernel, g.Noise = k, st.Noise
 	g.scaler, g.tScale = st.Scaler, st.TScale
 	g.xTrain, g.alpha, g.planeIdx = st.XTrain, st.Alpha, nil
-	g.chol = ch
+	g.chol, g.eig, g.eigSolve = ch, nil, nil
 	g.autoLen = false // already resolved into the stored kernel
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"parcost/internal/ml"
+	"parcost/internal/ml/kernel"
 )
 
 // Option adjusts how a search evaluates its candidates.
@@ -23,6 +24,7 @@ type engineOpts struct {
 	serial     bool
 	scalarGram bool
 	noStaging  bool
+	noSpectral bool
 }
 
 // WithSerial evaluates candidates one at a time on the calling goroutine —
@@ -43,6 +45,12 @@ func WithScalarGram() Option { return func(o *engineOpts) { o.scalarGram = true 
 // staging parity test compares against.
 func WithoutStaging() Option { return func(o *engineOpts) { o.noStaging = true } }
 
+// WithoutSpectral disables shift-axis grouping, so every kernel candidate
+// factorizes its own (K + shift·I) with the Cholesky reference path — the
+// mode the spectral parity tests compare against. WithScalarGram implies it
+// (the spectral path is built on derived grams).
+func WithoutSpectral() Option { return func(o *engineOpts) { o.noSpectral = true } }
+
 func applyOpts(opts []Option) engineOpts {
 	var o engineOpts
 	for _, fn := range opts {
@@ -51,14 +59,17 @@ func applyOpts(opts []Option) engineOpts {
 	return o
 }
 
-// workItem is one unit of pool work: a single candidate, or a staged group
-// of candidates that differ only in their ensemble-size axis and are scored
-// from one fit per fold at the largest size.
+// workItem is one unit of pool work: a single candidate, a staged group of
+// candidates that differ only in their ensemble-size axis and are scored
+// from one fit per fold at the largest size, or a spectral shift group of
+// kernel candidates that differ only in their diagonal-shift axis and solve
+// against one shared eigensystem per fold.
 type workItem struct {
-	single    int     // trace index (stages == nil)
+	single    int     // trace index (stages == nil && shiftIdx == nil)
 	stages    []int   // ascending unique prefix sizes (staged groups)
 	idx       [][]int // [stage] trace indices scored at that stage
 	maxParams Params  // group params with the staged axis at the last stage
+	shiftIdx  []int   // trace indices of a spectral shift group, in trace order
 }
 
 // stagedAxis returns the name of the space's prefix-shareable ensemble-size
@@ -72,14 +83,109 @@ func (s Space) stagedAxis() string {
 	return ""
 }
 
-// buildWorkItems groups the candidate points for evaluation. Grouping
-// happens only when the space marks a staged axis and the factory's models
-// implement ml.StagedFitter; otherwise every point is its own item. Item
-// order follows each item's first appearance in points, so error priority
-// and scheduling are deterministic.
-func buildWorkItems(points []Params, space Space, factory Factory, noStaging bool) []workItem {
+// shiftAxis returns the name of the space's diagonal-shift axis, or "" if
+// none is marked.
+func (s Space) shiftAxis() string {
+	for _, ax := range s {
+		if ax.Shift {
+			return ax.Name
+		}
+	}
+	return ""
+}
+
+// spectralMinShifts is the smallest shift group routed through the spectral
+// path. One eigendecomposition costs ≈4 Choleskys of the same gram (measured
+// against the scalar factorization this engine otherwise runs per
+// candidate), so groups below the break-even share nothing and stay on the
+// reference path.
+const spectralMinShifts = 4
+
+// spectralEigBudget bounds the eigensystem bytes one search may pin on its
+// distance plane: every shift group retains one eigensystem per fold for the
+// life of the search. Admission is all-or-nothing and decided here, in
+// single-threaded code before the worker pool starts — an in-flight budget
+// check inside the parallel workers would make the spectral-vs-Cholesky
+// routing (and so the last bits of the traces) depend on goroutine schedule.
+const spectralEigBudget = 64 << 20
+
+// admitSpectral keeps the shift groups if the search's eigensystems fit the
+// budget, and otherwise deterministically explodes every group back into
+// per-candidate reference items.
+func admitSpectral(items []workItem, pl *cvPlan) []workItem {
+	groups := 0
+	for _, it := range items {
+		if it.shiftIdx != nil {
+			groups++
+		}
+	}
+	if groups == 0 {
+		return items
+	}
+	perGroup := 0
+	for _, f := range pl.folds {
+		perGroup += kernel.EigSystemBytes(len(f.Train))
+	}
+	if groups*perGroup <= spectralEigBudget {
+		return items
+	}
+	out := make([]workItem, 0, len(items))
+	for _, it := range items {
+		if it.shiftIdx == nil {
+			out = append(out, it)
+			continue
+		}
+		for _, ti := range it.shiftIdx {
+			out = append(out, workItem{single: ti})
+		}
+	}
+	return out
+}
+
+// buildShiftItems groups candidates that differ only on the shift axis (same
+// kernel point, same everything else). Groups big enough to amortize the
+// factorization become spectral items; the rest stay single candidates.
+// Item order follows each item's first appearance in points.
+func buildShiftItems(points []Params, axis string) []workItem {
+	var items []workItem
+	groups := make(map[string]int) // base-params key → items index
+	for i, p := range points {
+		base := p.Clone()
+		delete(base, axis)
+		key := base.String()
+		gi, ok := groups[key]
+		if !ok {
+			gi = len(items)
+			groups[key] = gi
+			items = append(items, workItem{single: -1})
+		}
+		items[gi].shiftIdx = append(items[gi].shiftIdx, i)
+	}
+	// Groups too small to pay for an eigendecomposition explode back into
+	// ordinary per-candidate items, keeping first-appearance order.
+	out := make([]workItem, 0, len(items))
+	for _, it := range items {
+		if len(it.shiftIdx) >= spectralMinShifts {
+			out = append(out, it)
+			continue
+		}
+		for _, ti := range it.shiftIdx {
+			out = append(out, workItem{single: ti})
+		}
+	}
+	return out
+}
+
+// buildWorkItems groups the candidate points for evaluation. Staged groups
+// form when the space marks a staged axis and the factory's models implement
+// ml.StagedFitter; spectral shift groups form when it marks a shift axis and
+// the models implement kernel.SpectralPlaneModel (and neither reference mode
+// disables them). Otherwise every point is its own item. Item order follows
+// each item's first appearance in points, so error priority and scheduling
+// are deterministic.
+func buildWorkItems(points []Params, space Space, factory Factory, o engineOpts) []workItem {
 	axis := space.stagedAxis()
-	staged := axis != "" && !noStaging && len(points) > 1
+	staged := axis != "" && !o.noStaging && len(points) > 1
 	if staged {
 		// Probe a throwaway model: constructors are cheap and any real
 		// factory error will surface identically during evaluation.
@@ -90,6 +196,13 @@ func buildWorkItems(points []Params, space Space, factory Factory, noStaging boo
 		}
 	}
 	if !staged {
+		if sa := space.shiftAxis(); sa != "" && !o.noSpectral && !o.scalarGram && len(points) > 1 {
+			if m, err := factory(points[0]); err == nil {
+				if _, ok := m.(kernel.SpectralPlaneModel); ok {
+					return buildShiftItems(points, sa)
+				}
+			}
+		}
 		items := make([]workItem, len(points))
 		for i := range points {
 			items[i] = workItem{single: i, stages: nil}
@@ -154,8 +267,20 @@ func buildWorkItems(points []Params, space Space, factory Factory, noStaging boo
 // pool and assembles the trace in candidate order.
 func evalPoints(strategy string, factory Factory, points []Params, space Space, pl *cvPlan, o engineOpts) (SearchResult, error) {
 	trace := make([]CVResult, len(points))
-	items := buildWorkItems(points, space, factory, o.noStaging)
+	items := admitSpectral(buildWorkItems(points, space, factory, o), pl)
 	eval := func(it workItem) error {
+		if it.shiftIdx != nil {
+			// Spectral shift group: candidates share one eigensystem per
+			// (kernel point, fold), memoized on the plan's distance plane.
+			for _, ti := range it.shiftIdx {
+				sc, err := pl.evalOneSpectral(factory, points[ti])
+				if err != nil {
+					return err
+				}
+				trace[ti] = toResult(points[ti], sc)
+			}
+			return nil
+		}
 		if it.stages == nil {
 			p := points[it.single]
 			sc, err := pl.evalOne(factory, p)

@@ -67,6 +67,13 @@ type Axis struct {
 	// engine scores every value of this axis from one fit per fold at the
 	// largest value, bit-identical to fitting each value separately.
 	Staged bool
+	// Shift marks a diagonal-shift axis of an SPD solve (kernel-ridge alpha,
+	// GP noise): candidates that differ only on this axis factorize the SAME
+	// per-fold gram shifted on the diagonal. When the factory's models
+	// implement kernel.SpectralPlaneModel and enough candidates share a
+	// kernel point, the engine groups them so one spectral factorization per
+	// (kernel point, fold) serves every shift with an O(n²) solve.
+	Shift bool
 }
 
 // Space is an ordered list of axes.

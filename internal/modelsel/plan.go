@@ -55,6 +55,17 @@ func (pl *cvPlan) distancePlane() *kernel.DistancePlane {
 // returns the mean metrics. Kernel models route through the shared distance
 // plane; everything else takes the ordinary Fit/Predict path.
 func (pl *cvPlan) evalOne(factory Factory, params Params) (stats.Scores, error) {
+	return pl.evalOneMode(factory, params, false)
+}
+
+// evalOneSpectral is evalOne with the kernel fit routed through the plane's
+// shared eigensystem (kernel.SpectralPlaneModel); the engine calls it for
+// shift-axis candidate groups.
+func (pl *cvPlan) evalOneSpectral(factory Factory, params Params) (stats.Scores, error) {
+	return pl.evalOneMode(factory, params, true)
+}
+
+func (pl *cvPlan) evalOneMode(factory Factory, params Params, spectral bool) (stats.Scores, error) {
 	var sum stats.Scores
 	for _, f := range pl.folds {
 		model, err := factory(params)
@@ -66,7 +77,13 @@ func (pl *cvPlan) evalOne(factory Factory, params Params) (stats.Scores, error) 
 		if pm, ok := model.(kernel.PlaneModel); ok {
 			p := pl.distancePlane()
 			_, trY := ml.Subset(pl.x, pl.y, f.Train)
-			if err := pm.FitPlane(p, f.Train, trY); err != nil {
+			var err error
+			if sm, ok := pm.(kernel.SpectralPlaneModel); ok && spectral {
+				err = sm.FitPlaneSpectral(p, f.Train, trY)
+			} else {
+				err = pm.FitPlane(p, f.Train, trY)
+			}
+			if err != nil {
 				return stats.Scores{}, err
 			}
 			pred = pm.PredictPlane(p, f.Test)

@@ -69,7 +69,7 @@ func Registry(seed uint64) map[string]ModelSpec {
 			},
 			Space: Space{
 				{Name: "length", Values: []float64{0.5, 1, 2, 4}, Lo: 0.25, Hi: 8, Log: true},
-				{Name: "alpha", Values: []float64{1e-3, 1e-2, 1e-1, 1}, Lo: 1e-4, Hi: 10, Log: true},
+				{Name: "alpha", Values: []float64{1e-3, 1e-2, 1e-1, 1}, Lo: 1e-4, Hi: 10, Log: true, Shift: true},
 			},
 		},
 		"DT": {
@@ -126,9 +126,17 @@ func Registry(seed uint64) map[string]ModelSpec {
 			Factory: func(p Params) (ml.Regressor, error) {
 				return kernel.NewGaussianProcess(kernel.RBF{Length: fv(p, "length", 1.0)}, fv(p, "noise", 1e-3)), nil
 			},
+			// Four log-spaced noise decades. The added 1e-1 aligns the
+			// discrete grid with the axis's declared Hi (random/Bayes
+			// always sampled up to it; grid search previously stopped at
+			// 1e-2), and at four values the shift column of each length
+			// clears the spectral engine's break-even, so one factorization
+			// per (length, fold) serves the whole column. Note this widens
+			// the searched grid: GP grid selections can differ from
+			// earlier revisions (documented in CHANGES.md).
 			Space: Space{
 				{Name: "length", Values: []float64{0.5, 1, 2, 4}, Lo: 0.25, Hi: 8, Log: true},
-				{Name: "noise", Values: []float64{1e-4, 1e-3, 1e-2}, Lo: 1e-5, Hi: 1e-1, Log: true},
+				{Name: "noise", Values: []float64{1e-4, 1e-3, 1e-2, 1e-1}, Lo: 1e-5, Hi: 1e-1, Log: true, Shift: true},
 			},
 		},
 		"BR": {

@@ -1,0 +1,176 @@
+package modelsel
+
+import (
+	"math"
+	"testing"
+
+	"parcost/internal/ml"
+	"parcost/internal/ml/kernel"
+	"parcost/internal/rng"
+	"parcost/internal/stats"
+)
+
+// synthData builds a smooth nonlinear regression problem with mild noise.
+func synthData(n, d int, seed uint64) ([][]float64, []float64) {
+	r := rng.New(seed)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.Uniform(-2, 2)
+		}
+		x[i] = row
+		y[i] = math.Sin(row[0]) + 0.4*row[1]*row[1] + 0.05*r.Normal()
+	}
+	return x, y
+}
+
+// spectralSpace is a kernel-ridge space with a fine shift axis — the shape
+// the spectral engine exists for (one eigensystem per (length, fold) serving
+// every alpha).
+func spectralSpace() (Factory, Space) {
+	factory := func(p Params) (ml.Regressor, error) {
+		return kernel.NewKernelRidge(kernel.RBF{Length: p["length"]}, p["alpha"]), nil
+	}
+	space := Space{
+		{Name: "length", Values: []float64{0.5, 1, 2}, Lo: 0.25, Hi: 4, Log: true},
+		{Name: "alpha", Values: []float64{1e-4, 1e-3, 1e-2, 1e-1, 0.5, 1, 5, 10}, Lo: 1e-4, Hi: 10, Log: true, Shift: true},
+	}
+	return factory, space
+}
+
+// TestSpectralGridMatchesReference is the engine-level parity gate: the
+// spectral grid search must pick the same hyper-parameters as the Cholesky
+// reference mode (WithoutSpectral) and as the scalar-gram reference, with
+// R² traces agreeing to tight tolerance candidate by candidate.
+func TestSpectralGridMatchesReference(t *testing.T) {
+	x, y := synthData(140, 4, 41)
+	factory, space := spectralSpace()
+
+	spec, err := GridSearch(factory, space, x, y, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := GridSearch(factory, space, x, y, 3, 7, WithoutSpectral())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := GridSearch(factory, space, x, y, 3, 7, WithScalarGram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, other := range map[string]SearchResult{"cholesky": ref, "scalar": scalar} {
+		if spec.Best.Params.String() != other.Best.Params.String() {
+			t.Fatalf("spectral best %v differs from %s best %v", spec.Best.Params, name, other.Best.Params)
+		}
+		if len(spec.Trace) != len(other.Trace) {
+			t.Fatalf("trace length mismatch vs %s", name)
+		}
+		for i := range spec.Trace {
+			a, b := spec.Trace[i], other.Trace[i]
+			if a.Params.String() != b.Params.String() {
+				t.Fatalf("trace %d params mismatch vs %s", i, name)
+			}
+			if math.Abs(a.Scores.R2-b.Scores.R2) > 1e-6*(1+math.Abs(b.Scores.R2)) {
+				t.Fatalf("trace %d R² %v (spectral) vs %v (%s)", i, a.Scores.R2, b.Scores.R2, name)
+			}
+			if math.Abs(a.NegMAPE-b.NegMAPE) > 1e-6*(1+math.Abs(b.NegMAPE)) {
+				t.Fatalf("trace %d NegMAPE %v (spectral) vs %v (%s)", i, a.NegMAPE, b.NegMAPE, name)
+			}
+		}
+	}
+}
+
+// TestSpectralParallelMatchesSerial pins pool scheduling out of the spectral
+// path: parallel and serial runs must produce bit-identical traces.
+func TestSpectralParallelMatchesSerial(t *testing.T) {
+	x, y := synthData(110, 3, 42)
+	factory, space := spectralSpace()
+	par, err := GridSearch(factory, space, x, y, 3, 9, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := GridSearch(factory, space, x, y, 3, 9, WithSerial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Trace) != len(ser.Trace) {
+		t.Fatal("trace length mismatch")
+	}
+	for i := range par.Trace {
+		if par.Trace[i].NegMAPE != ser.Trace[i].NegMAPE || par.Trace[i].Scores != ser.Trace[i].Scores {
+			t.Fatalf("parallel trace %d differs from serial: %+v vs %+v", i, par.Trace[i], ser.Trace[i])
+		}
+	}
+}
+
+// TestShiftGrouping checks the grouping policy: big shift groups become one
+// spectral item, sub-threshold groups stay per-candidate.
+func TestShiftGrouping(t *testing.T) {
+	factory, space := spectralSpace()
+	points := space.gridPoints() // 3 lengths × 8 alphas
+	items := buildWorkItems(points, space, factory, engineOpts{})
+	if len(items) != 3 {
+		t.Fatalf("expected 3 spectral groups, got %d items", len(items))
+	}
+	covered := 0
+	for _, it := range items {
+		if it.shiftIdx == nil {
+			t.Fatalf("expected spectral item, got %+v", it)
+		}
+		covered += len(it.shiftIdx)
+	}
+	if covered != len(points) {
+		t.Fatalf("groups cover %d of %d candidates", covered, len(points))
+	}
+
+	// A 3-value shift axis sits below spectralMinShifts: no grouping.
+	small := Space{
+		{Name: "length", Values: []float64{0.5, 1}, Lo: 0.25, Hi: 4, Log: true},
+		{Name: "alpha", Values: []float64{1e-3, 1e-2, 1e-1}, Lo: 1e-4, Hi: 10, Log: true, Shift: true},
+	}
+	items = buildWorkItems(small.gridPoints(), small, factory, engineOpts{})
+	if len(items) != 6 {
+		t.Fatalf("sub-threshold groups should stay single candidates, got %d items", len(items))
+	}
+	for _, it := range items {
+		if it.shiftIdx != nil {
+			t.Fatal("sub-threshold group became spectral")
+		}
+	}
+
+	// Reference modes must disable grouping entirely.
+	for _, o := range []engineOpts{{noSpectral: true}, {scalarGram: true}} {
+		items = buildWorkItems(points, space, factory, o)
+		if len(items) != len(points) {
+			t.Fatalf("reference mode %+v still grouped: %d items", o, len(items))
+		}
+	}
+}
+
+// TestAdmitSpectralBudget pins the all-or-nothing admission: a search whose
+// eigensystems would blow the byte budget deterministically reverts every
+// shift group to per-candidate reference items before the pool starts.
+func TestAdmitSpectralBudget(t *testing.T) {
+	factory, space := spectralSpace()
+	points := space.gridPoints()
+	items := buildWorkItems(points, space, factory, engineOpts{})
+
+	small := &cvPlan{folds: []stats.Fold{{Train: make([]int, 100)}, {Train: make([]int, 100)}}}
+	kept := admitSpectral(items, small)
+	if len(kept) != len(items) {
+		t.Fatalf("within-budget search lost its shift groups: %d vs %d items", len(kept), len(items))
+	}
+
+	huge := &cvPlan{folds: []stats.Fold{{Train: make([]int, 40000)}, {Train: make([]int, 40000)}}}
+	exploded := admitSpectral(items, huge)
+	if len(exploded) != len(points) {
+		t.Fatalf("over-budget search kept groups: %d items, want %d singles", len(exploded), len(points))
+	}
+	for _, it := range exploded {
+		if it.shiftIdx != nil {
+			t.Fatal("over-budget search still has a spectral item")
+		}
+	}
+}

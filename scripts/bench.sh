@@ -1,12 +1,37 @@
 #!/usr/bin/env bash
 # Runs the headline paper-table benchmarks once and records the results as
 # BENCH_<date>.json in the repo root, building the performance trajectory
-# across PRs. Pass a custom -bench pattern as $1 to override the default set.
+# across PRs.
+#
+# Usage:
+#   scripts/bench.sh [pattern]            run + record
+#   scripts/bench.sh compare [pattern]    run + record + diff against the
+#                                         latest prior BENCH_*.json, printing
+#                                         per-benchmark speedup ratios
+#
+# A custom -bench pattern overrides the default set. Existing BENCH files are
+# never clobbered: a same-day rerun writes BENCH_<date>_N.json, which sorts
+# after the original so "latest prior" stays well-defined.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern="${1:-BenchmarkTable2_GBTrainPredict|BenchmarkFigure1_AuroraModels|BenchmarkAblation_SplitterEngine|BenchmarkAblation_KernelGram}"
+compare=0
+if [[ "${1:-}" == "compare" ]]; then
+  compare=1
+  shift
+fi
+pattern="${1:-BenchmarkTable2_GBTrainPredict|BenchmarkFigure1_AuroraModels|BenchmarkAblation_SplitterEngine|BenchmarkAblation_KernelGram|BenchmarkAblation_SPDSolve}"
+
+# Snapshot the latest prior record BEFORE writing the new one (-V so a
+# tenth same-day rerun _10 sorts after _9, not before _2).
+prev=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)
+
 out="BENCH_$(date +%Y%m%d).json"
+n=2
+while [[ -e "$out" ]]; do
+  out="BENCH_$(date +%Y%m%d)_$n.json"
+  n=$((n + 1))
+done
 
 raw=$(go test -run '^$' -bench "$pattern" -benchtime=1x -benchmem .)
 echo "$raw"
@@ -20,6 +45,7 @@ echo "$raw"
     /^Benchmark/ {
       if (seen) printf ",\n"
       seen = 1
+      sub(/-[0-9]+$/, "", $1)  # drop the -GOMAXPROCS suffix so snapshots from different core counts compare
       printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $1, $3, $5, $7
     }
     END { if (seen) printf "\n" }'
@@ -27,3 +53,25 @@ echo "$raw"
   echo '}'
 } > "$out"
 echo "wrote $out"
+
+if [[ "$compare" == 1 ]]; then
+  if [[ -z "$prev" ]]; then
+    echo "compare: no prior BENCH_*.json to diff against"
+    exit 0
+  fi
+  echo
+  echo "compare: $prev -> $out (ratio > 1 is a speedup)"
+  # Both files hold one {"name": ..., "ns_per_op": ...} object per line.
+  awk '
+    function trim(s) { gsub(/[",]/, "", s); return s }
+    /"name"/ {
+      name = trim($2); ns = trim($4) + 0
+      if (FILENAME == ARGV[1]) { prev[name] = ns }
+      else if (name in prev && ns > 0) {
+        printf "  %-55s %12.0f -> %12.0f ns/op   %5.2fx\n", name, prev[name], ns, prev[name] / ns
+      } else if (!(name in prev)) {
+        printf "  %-55s %28s %12.0f ns/op   (new)\n", name, "", ns
+      }
+    }
+  ' "$prev" "$out"
+fi
