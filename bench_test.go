@@ -18,6 +18,7 @@ import (
 	"parcost/internal/ccsd"
 	"parcost/internal/dataset"
 	"parcost/internal/experiments"
+	"parcost/internal/guide"
 	"parcost/internal/machine"
 	"parcost/internal/mat"
 	"parcost/internal/ml/ensemble"
@@ -409,6 +410,55 @@ func randGram(r *rng.Source, n int) *mat.Dense {
 		}
 	}
 	return g
+}
+
+// --- Router: mixed two-machine fleet under a shared sweep semaphore ---
+//
+// Serves a mixed-key query stream (both machines × problems × objectives)
+// through a two-shard guide.Router, the fleet-serving hot path: cold keys
+// sweep the candidate grid under the fleet-wide semaphore, repeats hit the
+// per-shard LRU caches. One op = one 64-query routed batch.
+
+func BenchmarkRouter_MixedFleet(b *testing.B) {
+	router := guide.NewRouter()
+	problems := []dataset.Problem{{O: 99, V: 718}, {O: 146, V: 1096}, {O: 180, V: 1070}, {O: 116, V: 840}}
+	for _, spec := range []machine.Spec{machine.Aurora(), machine.Frontier()} {
+		d := ccsd.Generate(spec, ccsd.GenConfig{
+			Problems: problems,
+			Grid: dataset.Grid{
+				Nodes:     []int{5, 15, 30, 50, 100, 200, 400},
+				TileSizes: []int{40, 60, 80, 100},
+			},
+			Seed: 1,
+		})
+		gb := ensemble.NewGradientBoosting(60, 0.1, tree.Params{MaxDepth: 6}, 1)
+		adv, err := guide.NewAdvisor(gb, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := router.AddShard(spec.Name, adv, guide.WithOracle(guide.NewSimOracle(spec))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	names := router.Machines()
+	queries := make([]guide.RoutedQuery, 64)
+	for i := range queries {
+		queries[i] = guide.RoutedQuery{
+			Machine: names[i%len(names)],
+			Query: guide.Query{
+				Problem:   problems[(i/2)%len(problems)],
+				Objective: guide.Objective((i / 8) % 2),
+			},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range router.RecommendBatch(queries) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
 }
 
 // --- Ablation: feature scaling effect on a kernel model ---

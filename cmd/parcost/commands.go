@@ -90,7 +90,7 @@ func advisorForQuery(qf *queryFlags) (*guide.Advisor, machine.Spec, error) {
 		}
 		return adv, spec, nil
 	}
-	d, spec, err := loadOrGenerate(qf.data, qf.machine, qf.seed)
+	d, spec, err := loadOrGenerate(qf.data, qf.machine, qf.seed, defaultGenSize)
 	if err != nil {
 		return nil, machine.Spec{}, err
 	}
@@ -154,7 +154,7 @@ func runEval(args []string) error {
 	if err != nil {
 		return err
 	}
-	d, spec, err := loadOrGenerate(qf.data, qf.machine, qf.seed)
+	d, spec, err := loadOrGenerate(qf.data, qf.machine, qf.seed, defaultGenSize)
 	if err != nil {
 		return err
 	}

@@ -15,6 +15,12 @@
 //	parcost stq   -model aurora.model.json -o 146 -v 1096
 //	parcost serve -model aurora.model.json -addr :8080
 //
+// A whole fleet can train in one run and serve from one process — queries
+// route by the "machine" field of the request body:
+//
+//	parcost train -machines aurora,frontier -out fleet.json
+//	parcost serve -model fleet.json -addr :8080 -warmset warm.json
+//
 // If -data is omitted, the dataset is generated on the fly by the simulator
 // for the chosen machine.
 package main
@@ -79,12 +85,16 @@ Commands:
   bq       find (nodes, tile) minimizing node-hours
   predict  predict the iteration time of a specific configuration
   eval     evaluate model accuracy on a held-out split
-  train    fit the model once and write an advisor artifact (-out)
-  serve    serve stq/bq/predict over HTTP from an artifact (-model -addr)
+  train    fit the model once and write an artifact (-out); -machines a,b
+           trains a whole fleet into one bundle
+  serve    serve stq/bq/predict over HTTP from an artifact or fleet bundle
+           (-model -addr; -warmset pre-sweeps hot keys at startup and saves
+           them on graceful shutdown)
 
 Common flags:
   -data <csv>      dataset CSV (default: simulate for -machine)
   -machine <name>  aurora or frontier (default aurora)
+  -machines <a,b>  train: comma-separated machine list (fleet bundle)
   -model <file>    advisor artifact; query without refitting (stq/bq/predict)
   -o, -v           problem size (occupied / virtual orbitals)
   -nodes, -tile    configuration (predict only)
@@ -93,8 +103,14 @@ Common flags:
 `)
 }
 
+// defaultGenSize is the simulated-dataset size when -data is omitted,
+// matching the paper's collected-measurement count.
+const defaultGenSize = 2300
+
 // loadOrGenerate returns the dataset and machine spec for the given flags.
-func loadOrGenerate(data, machineName string, seed uint64) (*dataset.Dataset, machine.Spec, error) {
+// size bounds the simulated dataset when no CSV is given (defaultGenSize for
+// the query commands; `train -gensize` overrides it).
+func loadOrGenerate(data, machineName string, seed uint64, size int) (*dataset.Dataset, machine.Spec, error) {
 	spec, err := machine.ByName(machineName)
 	if err != nil {
 		return nil, machine.Spec{}, err
@@ -103,7 +119,7 @@ func loadOrGenerate(data, machineName string, seed uint64) (*dataset.Dataset, ma
 		d, err := dataset.LoadCSV(machineName, data)
 		return d, spec, err
 	}
-	d := ccsd.Generate(spec, ccsd.GenConfig{TargetSize: 2300, Noise: true, Seed: seed})
+	d := ccsd.Generate(spec, ccsd.GenConfig{TargetSize: size, Noise: true, Seed: seed})
 	return d, spec, nil
 }
 

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Per-endpoint latency histograms, exported under /v1/healthz. Buckets are
+// log-spaced (×2 per step) so one fixed layout resolves both sub-millisecond
+// cache hits and multi-second cold sweeps without tuning.
+const (
+	latencyBucketCount = 20
+	latencyBucketBase  = 50 * time.Microsecond // first upper bound; last finite bound ≈ 26s
+)
+
+// latencyHistogram records request durations for one route.
+type latencyHistogram struct {
+	mu      sync.Mutex
+	count   uint64
+	total   time.Duration
+	buckets [latencyBucketCount]uint64 // buckets[i] counts d ≤ base·2^i; overflow only in count
+}
+
+// observe records one request duration.
+func (h *latencyHistogram) observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.total += d
+	bound := latencyBucketBase
+	for i := 0; i < latencyBucketCount; i++ {
+		if d <= bound {
+			h.buckets[i]++
+			return
+		}
+		bound *= 2
+	}
+	// Slower than the last finite bound: counted in count/total only.
+}
+
+// latencyBucketJSON is one cumulative bucket: the count of requests at or
+// under le_ms milliseconds.
+type latencyBucketJSON struct {
+	LeMs  float64 `json:"le_ms"`
+	Count uint64  `json:"count"`
+}
+
+// latencySnapshot is the exported per-route view. Buckets are cumulative
+// (Prometheus-style `le`); requests slower than the last finite bound appear
+// in Count but in no bucket.
+type latencySnapshot struct {
+	Count   uint64              `json:"count"`
+	MeanMs  float64             `json:"mean_ms"`
+	Buckets []latencyBucketJSON `json:"buckets"`
+}
+
+// snapshot renders the histogram, trimming trailing empty buckets (the
+// cumulative counts make them redundant with the last populated one).
+func (h *latencyHistogram) snapshot() latencySnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := latencySnapshot{Count: h.count}
+	if h.count > 0 {
+		s.MeanMs = float64(h.total) / float64(h.count) / float64(time.Millisecond)
+	}
+	var cum uint64
+	bound := latencyBucketBase
+	last := -1
+	for i, n := range h.buckets {
+		if n > 0 {
+			last = i
+		}
+	}
+	for i := 0; i <= last; i++ {
+		cum += h.buckets[i]
+		s.Buckets = append(s.Buckets, latencyBucketJSON{
+			LeMs:  float64(bound) / float64(time.Millisecond),
+			Count: cum,
+		})
+		bound *= 2
+	}
+	return s
+}
+
+// routeMetrics holds one histogram per served route.
+type routeMetrics struct {
+	mu     sync.Mutex
+	routes map[string]*latencyHistogram
+}
+
+func newRouteMetrics() *routeMetrics {
+	return &routeMetrics{routes: make(map[string]*latencyHistogram)}
+}
+
+// route returns (creating if needed) the named route's histogram.
+func (m *routeMetrics) route(name string) *latencyHistogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.routes[name]
+	if !ok {
+		h = &latencyHistogram{}
+		m.routes[name] = h
+	}
+	return h
+}
+
+// snapshot renders every route's histogram, keyed by route name.
+func (m *routeMetrics) snapshot() map[string]latencySnapshot {
+	m.mu.Lock()
+	hists := make(map[string]*latencyHistogram, len(m.routes))
+	for name, h := range m.routes {
+		hists[name] = h
+	}
+	m.mu.Unlock()
+	out := make(map[string]latencySnapshot, len(hists))
+	for name, h := range hists {
+		out[name] = h.snapshot()
+	}
+	return out
+}
+
+// instrument wraps a handler so every request's wall time lands in the named
+// route's histogram.
+func (m *routeMetrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	hist := m.route(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.observe(time.Since(start))
+	}
+}

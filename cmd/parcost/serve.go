@@ -1,10 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"parcost/internal/dataset"
@@ -12,15 +18,20 @@ import (
 	"parcost/internal/machine"
 )
 
-// runServe loads a trained advisor artifact and serves STQ/BQ/predict
-// queries over HTTP, backed by the concurrent guide.Service (bounded sweep
-// cache, coalesced concurrent queries).
+// runServe loads a trained artifact — a multi-machine fleet bundle or a
+// single-advisor artifact — and serves STQ/BQ/predict queries over HTTP,
+// backed by a guide.Router of per-machine Service shards (bounded sweep
+// caches, one fleet-wide sweep semaphore, coalesced concurrent queries).
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	var (
-		model = fs.String("model", "", "trained advisor artifact (required; from `parcost train`)")
-		addr  = fs.String("addr", ":8080", "listen address")
-		cache = fs.Int("cache", guide.DefaultCacheSize, "sweep-cache entries (0 disables)")
+		model   = fs.String("model", "", "trained artifact: fleet bundle or single advisor (required; from `parcost train`)")
+		addr    = fs.String("addr", ":8080", "listen address")
+		cache   = fs.Int("cache", guide.DefaultCacheSize, "sweep-cache entries per shard (0 removes the entry bound)")
+		cacheMB = fs.Int("cache-mb", 0, "sweep-cache byte budget per shard, in MiB (0 = no byte bound)")
+		ttl     = fs.Duration("ttl", 0, "sweep-cache entry TTL, e.g. 30m (0 = no expiry)")
+		warmset = fs.String("warmset", "", "warm-set file: pre-sweep its keys at startup, save the hottest keys on shutdown")
+		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout on SIGINT/SIGTERM")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -28,32 +39,104 @@ func runServe(args []string) error {
 	if *model == "" {
 		return fmt.Errorf("-model is required")
 	}
-	adv, machineName, err := guide.LoadAdvisor(*model)
+	if *cache < 0 || *cacheMB < 0 || *ttl < 0 || *drain <= 0 {
+		return fmt.Errorf("-cache, -cache-mb, and -ttl must be non-negative and -drain positive")
+	}
+	entries, _, err := guide.LoadFleet(*model)
 	if err != nil {
 		return err
 	}
-	spec, err := machine.ByName(machineName)
-	if err != nil {
-		return fmt.Errorf("artifact machine: %w", err)
+	router := guide.NewRouter()
+	shardOpts := []guide.ServiceOption{
+		guide.WithCacheSize(*cache),
+		guide.WithCacheBytes(int64(*cacheMB) << 20),
+		guide.WithTTL(*ttl),
 	}
-	svc, err := guide.NewService(adv,
-		guide.WithOracle(guide.NewSimOracle(spec)),
-		guide.WithCacheSize(*cache))
-	if err != nil {
-		return err
+	for _, e := range entries {
+		spec, err := machine.ByName(e.Machine)
+		if err != nil {
+			return fmt.Errorf("artifact machine: %w", err)
+		}
+		opts := append([]guide.ServiceOption{guide.WithOracle(guide.NewSimOracle(spec))}, shardOpts...)
+		if err := router.AddShard(e.Machine, e.Advisor, opts...); err != nil {
+			return err
+		}
+		fmt.Printf("Shard %s: %s advisor (grid %d nodes × %d tiles)\n",
+			e.Machine, e.Advisor.Model.Name(), len(e.Advisor.Grid.Nodes), len(e.Advisor.Grid.TileSizes))
 	}
-	fmt.Printf("Serving %s advisor for %s on %s\n", adv.Model.Name(), spec.Name, *addr)
-	return http.ListenAndServe(*addr, newServeHandler(svc, adv.Model.Name(), spec.Name))
+	if *warmset != "" {
+		if warmed, err := router.LoadWarmSet(*warmset); err == nil {
+			fmt.Printf("Warm set %s: pre-swept %d keys\n", *warmset, warmed)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			// A missing file is the normal first boot; anything else (corrupt
+			// warm set, unreadable path) should be visible but not fatal.
+			fmt.Fprintf(os.Stderr, "warning: warm set %s not loaded: %v\n", *warmset, err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: newServeHandler(router)}
+	fmt.Printf("Serving fleet %v on %s\n", router.Machines(), *addr)
+	err = serveUntilShutdown(ctx, srv, nil, *drain, func() {
+		if *warmset == "" {
+			return
+		}
+		if err := router.SaveWarmSet(*warmset, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: warm set %s not saved: %v\n", *warmset, err)
+		} else {
+			fmt.Printf("Warm set saved to %s\n", *warmset)
+		}
+	})
+	return err
 }
 
-// Request/response schema of the serve endpoints. All bodies are JSON.
+// serveUntilShutdown runs the server until it fails or ctx is cancelled
+// (SIGINT/SIGTERM in production). On cancellation it stops accepting new
+// connections, lets in-flight requests — including long cold sweeps — finish
+// within the drain timeout via http.Server.Shutdown, then runs onDrained
+// (warm-set persistence). A clean drain returns nil. ln, when non-nil,
+// supplies the listener (tests bind port 0 to learn the address); nil uses
+// srv.Addr.
+func serveUntilShutdown(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, onDrained func()) error {
+	errCh := make(chan error, 1)
+	go func() {
+		if ln != nil {
+			errCh <- srv.Serve(ln)
+			return
+		}
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		return err // bind failure or other serve error; nothing to drain
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	if onDrained != nil {
+		onDrained()
+	}
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}
+
+// Request/response schema of the serve endpoints. All bodies are JSON. The
+// machine field routes a query to its fleet shard; it may be omitted when
+// the fleet serves exactly one machine (the pre-fleet single-advisor wire
+// format keeps working unchanged).
 type recommendRequest struct {
+	Machine   string `json:"machine,omitempty"`
 	O         int    `json:"o"`
 	V         int    `json:"v"`
 	Objective string `json:"objective"` // "stq" or "bq"
 }
 
 type recommendResponse struct {
+	Machine     string  `json:"machine"`
 	O           int     `json:"o"`
 	V           int     `json:"v"`
 	Objective   string  `json:"objective"`
@@ -64,13 +147,15 @@ type recommendResponse struct {
 }
 
 type predictRequest struct {
-	O     int `json:"o"`
-	V     int `json:"v"`
-	Nodes int `json:"nodes"`
-	Tile  int `json:"tile"`
+	Machine string `json:"machine,omitempty"`
+	O       int    `json:"o"`
+	V       int    `json:"v"`
+	Nodes   int    `json:"nodes"`
+	Tile    int    `json:"tile"`
 }
 
 type predictResponse struct {
+	Machine       string  `json:"machine"`
 	PredSeconds   float64 `json:"pred_seconds"`
 	PredNodeHours float64 `json:"pred_node_hours"`
 }
@@ -88,57 +173,98 @@ type batchResponse struct {
 	Results []batchEntry `json:"results"`
 }
 
-type healthResponse struct {
-	Status  string `json:"status"`
-	Model   string `json:"model"`
-	Machine string `json:"machine"`
+// cacheHealth is one cache's observability block: hit/miss/expiry counters,
+// residency, and per-sweep wall time.
+type cacheHealth struct {
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheExpired uint64  `json:"cache_expired"`
+	CacheSize    int     `json:"cache_size"`
+	CacheBytes   int64   `json:"cache_bytes"`
+	Sweeps       uint64  `json:"sweeps"`
+	SweepMinMs   float64 `json:"sweep_min_ms"`
+	SweepMeanMs  float64 `json:"sweep_mean_ms"`
+	SweepMaxMs   float64 `json:"sweep_max_ms"`
+}
 
-	// Service observability: sweep-cache behavior and per-sweep wall time.
-	CacheHits   uint64  `json:"cache_hits"`
-	CacheMisses uint64  `json:"cache_misses"`
-	CacheSize   int     `json:"cache_size"`
-	Sweeps      uint64  `json:"sweeps"`
-	SweepMinMs  float64 `json:"sweep_min_ms"`
-	SweepMeanMs float64 `json:"sweep_mean_ms"`
-	SweepMaxMs  float64 `json:"sweep_max_ms"`
+func toCacheHealth(st guide.Stats) cacheHealth {
+	return cacheHealth{
+		CacheHits: st.Hits, CacheMisses: st.Misses, CacheExpired: st.Expired,
+		CacheSize: st.Size, CacheBytes: st.Bytes,
+		Sweeps:      st.SweepCount,
+		SweepMinMs:  float64(st.SweepMin) / float64(time.Millisecond),
+		SweepMeanMs: float64(st.SweepMean) / float64(time.Millisecond),
+		SweepMaxMs:  float64(st.SweepMax) / float64(time.Millisecond),
+	}
+}
+
+// shardHealth is one fleet shard's block in /v1/healthz.
+type shardHealth struct {
+	Machine string `json:"machine"`
+	Model   string `json:"model"`
+	cacheHealth
+}
+
+type healthResponse struct {
+	Status string `json:"status"`
+
+	// Per-shard and fleet-aggregate cache/sweep observability. The
+	// aggregate's min/mean/max follow guide.Stats aggregation: shards with
+	// zero sweeps contribute nothing to the extremes.
+	Machines  []shardHealth `json:"machines"`
+	Aggregate cacheHealth   `json:"aggregate"`
+
+	// Per-endpoint request latency histograms (log-spaced cumulative
+	// buckets), covering the full handler — decode, cache or sweep, encode.
+	Latency map[string]latencySnapshot `json:"latency"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// newServeHandler builds the HTTP API over a guide.Service. Split from
+// newServeHandler builds the HTTP API over a guide.Router. Split from
 // runServe so tests drive the exact handler the daemon mounts.
-func newServeHandler(svc *guide.Service, modelName, machineName string) http.Handler {
+func newServeHandler(router *guide.Router) http.Handler {
 	mux := http.NewServeMux()
+	metrics := newRouteMetrics()
 
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		st := svc.CacheStats()
-		writeJSON(w, http.StatusOK, healthResponse{
-			Status: "ok", Model: modelName, Machine: machineName,
-			CacheHits: st.Hits, CacheMisses: st.Misses, CacheSize: st.Size,
-			Sweeps:      st.SweepCount,
-			SweepMinMs:  float64(st.SweepMin) / float64(time.Millisecond),
-			SweepMeanMs: float64(st.SweepMean) / float64(time.Millisecond),
-			SweepMaxMs:  float64(st.SweepMax) / float64(time.Millisecond),
-		})
-	})
+	mux.HandleFunc("GET /v1/healthz", metrics.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
+		resp := healthResponse{
+			Status:    "ok",
+			Aggregate: toCacheHealth(router.AggregateStats()),
+			Latency:   metrics.snapshot(),
+		}
+		stats := router.ShardStats()
+		for _, name := range router.Machines() {
+			svc, err := router.Shard(name)
+			if err != nil {
+				continue // removed between listing and resolve
+			}
+			resp.Machines = append(resp.Machines, shardHealth{
+				Machine:     name,
+				Model:       svc.Advisor().Model.Name(),
+				cacheHealth: toCacheHealth(stats[name]),
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
 
-	mux.HandleFunc("POST /v1/recommend", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/recommend", metrics.instrument("recommend", func(w http.ResponseWriter, r *http.Request) {
 		var req recommendRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed JSON body: " + err.Error()})
 			return
 		}
-		resp, err := recommendOne(svc, req)
+		resp, err := recommendOne(router, req)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
-	})
+	}))
 
-	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/batch", metrics.instrument("batch", func(w http.ResponseWriter, r *http.Request) {
 		var req batchRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed JSON body: " + err.Error()})
@@ -149,8 +275,9 @@ func newServeHandler(svc *guide.Service, modelName, machineName string) http.Han
 			return
 		}
 		// Validate every query up front so a malformed entry rejects the
-		// batch before any sweeps run.
-		queries := make([]guide.Query, len(req.Queries))
+		// batch before any sweeps run. Machine resolution stays per-entry:
+		// a batch may mix machines, and an unknown one fails only its entry.
+		queries := make([]guide.RoutedQuery, len(req.Queries))
 		for i, q := range req.Queries {
 			obj, err := parseObjective(q.Objective)
 			if err != nil {
@@ -161,9 +288,12 @@ func newServeHandler(svc *guide.Service, modelName, machineName string) http.Han
 				writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("query %d: o and v must be positive (got o=%d v=%d)", i, q.O, q.V)})
 				return
 			}
-			queries[i] = guide.Query{Problem: dataset.Problem{O: q.O, V: q.V}, Objective: obj}
+			queries[i] = guide.RoutedQuery{
+				Machine: q.Machine,
+				Query:   guide.Query{Problem: dataset.Problem{O: q.O, V: q.V}, Objective: obj},
+			}
 		}
-		results := svc.RecommendBatch(queries)
+		results := router.RecommendBatch(queries)
 		resp := batchResponse{Results: make([]batchEntry, len(results))}
 		for i, res := range results {
 			if res.Err != nil {
@@ -171,12 +301,13 @@ func newServeHandler(svc *guide.Service, modelName, machineName string) http.Han
 				continue
 			}
 			rr := toRecommendResponse(req.Queries[i], res.Rec)
+			rr.Machine = res.Machine // resolved shard name, not the (possibly empty) request field
 			resp.Results[i] = batchEntry{Result: &rr}
 		}
 		writeJSON(w, http.StatusOK, resp)
-	})
+	}))
 
-	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/predict", metrics.instrument("predict", func(w http.ResponseWriter, r *http.Request) {
 		var req predictRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed JSON body: " + err.Error()})
@@ -187,19 +318,28 @@ func newServeHandler(svc *guide.Service, modelName, machineName string) http.Han
 				Error: fmt.Sprintf("o, v, nodes, and tile must all be positive (got o=%d v=%d nodes=%d tile=%d)", req.O, req.V, req.Nodes, req.Tile)})
 			return
 		}
+		machineName, svc, err := router.ResolveShard(req.Machine)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
 		cfg := dataset.Config{O: req.O, V: req.V, Nodes: req.Nodes, TileSize: req.Tile}
 		secs := svc.PredictTime(cfg)
 		writeJSON(w, http.StatusOK, predictResponse{
+			Machine:       machineName,
 			PredSeconds:   secs,
 			PredNodeHours: float64(cfg.Nodes) * secs / 3600,
 		})
-	})
+	}))
 
 	return mux
 }
 
-// recommendOne validates and answers a single recommend request.
-func recommendOne(svc *guide.Service, req recommendRequest) (recommendResponse, error) {
+// recommendOne validates and answers a single recommend request. The
+// response echoes the machine name resolved atomically with the shard
+// lookup, so a defaulted query reports the shard that actually answered
+// even if the fleet composition changes mid-request.
+func recommendOne(router *guide.Router, req recommendRequest) (recommendResponse, error) {
 	obj, err := parseObjective(req.Objective)
 	if err != nil {
 		return recommendResponse{}, err
@@ -207,16 +347,23 @@ func recommendOne(svc *guide.Service, req recommendRequest) (recommendResponse, 
 	if req.O <= 0 || req.V <= 0 {
 		return recommendResponse{}, fmt.Errorf("o and v must be positive (got o=%d v=%d)", req.O, req.V)
 	}
+	machineName, svc, err := router.ResolveShard(req.Machine)
+	if err != nil {
+		return recommendResponse{}, err
+	}
 	rec, err := svc.Recommend(dataset.Problem{O: req.O, V: req.V}, obj)
 	if err != nil {
 		return recommendResponse{}, err
 	}
-	return toRecommendResponse(req, rec), nil
+	out := toRecommendResponse(req, rec)
+	out.Machine = machineName
+	return out, nil
 }
 
 func toRecommendResponse(req recommendRequest, rec guide.Recommendation) recommendResponse {
 	return recommendResponse{
-		O: req.O, V: req.V, Objective: rec.Objective.String(),
+		Machine: req.Machine,
+		O:       req.O, V: req.V, Objective: rec.Objective.String(),
 		Nodes: rec.Config.Nodes, Tile: rec.Config.TileSize,
 		PredSeconds: rec.PredTime, PredValue: rec.PredValue,
 	}

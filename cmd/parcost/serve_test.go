@@ -2,12 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"parcost/internal/ccsd"
 	"parcost/internal/dataset"
@@ -15,10 +20,9 @@ import (
 	"parcost/internal/machine"
 )
 
-// testService builds a small advisor + service pair over simulated data.
-func testService(t *testing.T) (*guide.Service, *guide.Advisor, guide.Oracle) {
+// testAdvisor trains a small advisor over simulated data for one machine.
+func testAdvisor(t *testing.T, spec machine.Spec) (*guide.Advisor, guide.Oracle) {
 	t.Helper()
-	spec := machine.Aurora()
 	d := ccsd.Generate(spec, ccsd.GenConfig{
 		Problems: []dataset.Problem{{O: 99, V: 718}, {O: 146, V: 1096}, {O: 180, V: 1070}},
 		Grid: dataset.Grid{
@@ -31,12 +35,19 @@ func testService(t *testing.T) (*guide.Service, *guide.Advisor, guide.Oracle) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	oracle := guide.NewSimOracle(spec)
-	svc, err := guide.NewService(adv, guide.WithOracle(oracle))
-	if err != nil {
+	return adv, guide.NewSimOracle(spec)
+}
+
+// testRouter builds a one-shard aurora router, the single-machine serving
+// shape.
+func testRouter(t *testing.T) (*guide.Router, *guide.Advisor, guide.Oracle) {
+	t.Helper()
+	adv, oracle := testAdvisor(t, machine.Aurora())
+	r := guide.NewRouter()
+	if err := r.AddShard("aurora", adv, guide.WithOracle(oracle)); err != nil {
 		t.Fatal(err)
 	}
-	return svc, adv, oracle
+	return r, adv, oracle
 }
 
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
@@ -57,11 +68,11 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
 	return resp, buf.Bytes()
 }
 
-// TestServeEndToEnd drives the HTTP API and asserts every answer matches
-// the in-process advisor exactly.
+// TestServeEndToEnd drives the HTTP API of a one-shard fleet and asserts
+// every answer matches the in-process advisor exactly.
 func TestServeEndToEnd(t *testing.T) {
-	svc, adv, oracle := testService(t)
-	srv := httptest.NewServer(newServeHandler(svc, adv.Model.Name(), "aurora"))
+	router, adv, oracle := testRouter(t)
+	srv := httptest.NewServer(newServeHandler(router))
 	defer srv.Close()
 
 	// healthz
@@ -74,11 +85,12 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if health.Status != "ok" || health.Machine != "aurora" {
+	if health.Status != "ok" || len(health.Machines) != 1 || health.Machines[0].Machine != "aurora" {
 		t.Fatalf("health = %+v", health)
 	}
 
-	// recommend, both objectives, vs in-process advisor
+	// recommend, both objectives, vs in-process advisor. The machine field
+	// is OMITTED: a one-shard fleet must default to its only machine.
 	for _, objName := range []string{"stq", "bq"} {
 		obj := guide.ShortestTime
 		if objName == "bq" {
@@ -97,6 +109,9 @@ func TestServeEndToEnd(t *testing.T) {
 		if err := json.Unmarshal(body, &rec); err != nil {
 			t.Fatal(err)
 		}
+		if rec.Machine != "aurora" {
+			t.Fatalf("defaulted machine echoed as %q", rec.Machine)
+		}
 		if rec.Nodes != want.Config.Nodes || rec.Tile != want.Config.TileSize {
 			t.Fatalf("HTTP %s recommends nodes=%d tile=%d, in-process nodes=%d tile=%d",
 				objName, rec.Nodes, rec.Tile, want.Config.Nodes, want.Config.TileSize)
@@ -107,8 +122,8 @@ func TestServeEndToEnd(t *testing.T) {
 		}
 	}
 
-	// healthz again: the two sweeps above must show up in the observability
-	// fields with a consistent min ≤ mean ≤ max.
+	// healthz again: the two sweeps must show up per-shard AND in the
+	// aggregate with a consistent min ≤ mean ≤ max.
 	resp, err = http.Get(srv.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -117,11 +132,13 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if health.Sweeps != 2 || health.CacheMisses != 2 {
-		t.Fatalf("healthz after 2 sweeps: %+v", health)
-	}
-	if !(health.SweepMinMs > 0 && health.SweepMinMs <= health.SweepMeanMs && health.SweepMeanMs <= health.SweepMaxMs) {
-		t.Fatalf("healthz sweep timings inconsistent: %+v", health)
+	for _, block := range []cacheHealth{health.Machines[0].cacheHealth, health.Aggregate} {
+		if block.Sweeps != 2 || block.CacheMisses != 2 {
+			t.Fatalf("healthz after 2 sweeps: %+v", block)
+		}
+		if !(block.SweepMinMs > 0 && block.SweepMinMs <= block.SweepMeanMs && block.SweepMeanMs <= block.SweepMaxMs) {
+			t.Fatalf("healthz sweep timings inconsistent: %+v", block)
+		}
 	}
 
 	// predict vs in-process model
@@ -135,8 +152,8 @@ func TestServeEndToEnd(t *testing.T) {
 	if err := json.Unmarshal(body, &pr); err != nil {
 		t.Fatal(err)
 	}
-	if pr.PredSeconds != wantSecs {
-		t.Fatalf("HTTP predict %v, in-process %v", pr.PredSeconds, wantSecs)
+	if pr.PredSeconds != wantSecs || pr.Machine != "aurora" {
+		t.Fatalf("HTTP predict %+v, in-process %v", pr, wantSecs)
 	}
 
 	// batch: order preserved, answers match the advisor
@@ -174,9 +191,355 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServeBackCompatSingleArtifact is the backward-compatibility acceptance
+// criterion: a PR 3/PR 4-era single-advisor artifact loads into a one-shard
+// Router, and /v1/recommend WITHOUT a machine field answers bit-identically
+// to the pre-refactor path (the advisor queried directly in process).
+func TestServeBackCompatSingleArtifact(t *testing.T) {
+	adv, oracle := testAdvisor(t, machine.Aurora())
+	path := filepath.Join(t.TempDir(), "advisor.json")
+	// The single-advisor format is unchanged since PR 3: SaveAdvisor writes
+	// exactly what `parcost train -machine aurora` wrote before fleets.
+	if err := guide.SaveAdvisor(path, adv, "aurora"); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, _, err := guide.LoadFleet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Machine != "aurora" {
+		t.Fatalf("single artifact loaded as %+v", entries)
+	}
+	router := guide.NewRouter()
+	if err := router.AddShard(entries[0].Machine, entries[0].Advisor, guide.WithOracle(oracle)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServeHandler(router))
+	defer srv.Close()
+
+	for _, objName := range []string{"stq", "bq"} {
+		obj := guide.ShortestTime
+		if objName == "bq" {
+			obj = guide.Budget
+		}
+		for _, p := range []dataset.Problem{{O: 146, V: 1096}, {O: 99, V: 718}} {
+			want, err := adv.Recommend(p, obj, oracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, body := postJSON(t, srv.URL+"/v1/recommend",
+				recommendRequest{O: p.O, V: p.V, Objective: objName}) // no machine field
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d body %s", resp.StatusCode, body)
+			}
+			var rec recommendResponse
+			if err := json.Unmarshal(body, &rec); err != nil {
+				t.Fatal(err)
+			}
+			// Bit-identical: the exact floats the pre-refactor path produced.
+			if rec.Nodes != want.Config.Nodes || rec.Tile != want.Config.TileSize ||
+				rec.PredSeconds != want.PredTime || rec.PredValue != want.PredValue {
+				t.Fatalf("backcompat %v/%s: HTTP %+v, pre-refactor %+v", p, objName, rec, want)
+			}
+		}
+	}
+}
+
+// TestServeFleetEndToEnd is the fleet acceptance criterion:
+// train -machines Aurora,Frontier → one bundle → one serve process answers
+// routed queries for both machines, with per-shard stats in /v1/healthz and
+// per-endpoint latency histograms.
+func TestServeFleetEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fleet.json")
+	if err := runTrain([]string{"-machines", "aurora,frontier", "-gensize", "300", "-trees", "25", "-depth", "4", "-seed", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	entries, meta, err := guide.LoadFleet(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Machine != "aurora" || entries[1].Machine != "frontier" {
+		t.Fatalf("fleet entries %+v", entries)
+	}
+	if meta.TrainedAt == "" || !strings.Contains(meta.Source, "seed=3") {
+		t.Fatalf("bundle meta %+v", meta)
+	}
+
+	router := guide.NewRouter()
+	oracles := map[string]guide.Oracle{}
+	for _, e := range entries {
+		spec, err := machine.ByName(e.Machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles[e.Machine] = guide.NewSimOracle(spec)
+		if err := router.AddShard(e.Machine, e.Advisor, guide.WithOracle(oracles[e.Machine])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(newServeHandler(router))
+	defer srv.Close()
+
+	// Routed queries for both machines from one process; answers must match
+	// each machine's own advisor.
+	p := dataset.Problem{O: 146, V: 1096}
+	for _, e := range entries {
+		want, err := e.Advisor.Recommend(p, guide.ShortestTime, oracles[e.Machine])
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, body := postJSON(t, srv.URL+"/v1/recommend",
+			recommendRequest{Machine: e.Machine, O: p.O, V: p.V, Objective: "stq"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("recommend %s: status %d body %s", e.Machine, resp.StatusCode, body)
+		}
+		var rec recommendResponse
+		if err := json.Unmarshal(body, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Machine != e.Machine || rec.Nodes != want.Config.Nodes || rec.Tile != want.Config.TileSize ||
+			rec.PredSeconds != want.PredTime {
+			t.Fatalf("%s routed answer %+v, in-process %+v", e.Machine, rec, want)
+		}
+	}
+
+	// Each fleet shard must predict identically to a single-machine train
+	// run with the same flags (the -machines path shares loadOrGenerate and
+	// buildGB with the single path, pinned here for aurora).
+	single := filepath.Join(t.TempDir(), "aurora.json")
+	if err := runTrain([]string{"-machine", "aurora", "-gensize", "300", "-trees", "25", "-depth", "4", "-seed", "3", "-out", single}); err != nil {
+		t.Fatal(err)
+	}
+	singleAdv, _, err := guide.LoadAdvisor(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSingle, err := singleAdv.Recommend(p, guide.ShortestTime, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFleet, err := entries[0].Advisor.Recommend(p, guide.ShortestTime, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFleet != wantSingle {
+		t.Fatalf("aurora fleet shard diverges from single train: %+v vs %+v", gotFleet, wantSingle)
+	}
+
+	// The two shards must answer DIFFERENTLY (different machines, different
+	// models) — otherwise routing could be silently collapsed.
+	ra, _ := recommendOne(router, recommendRequest{Machine: "aurora", O: p.O, V: p.V, Objective: "stq"})
+	rf, _ := recommendOne(router, recommendRequest{Machine: "frontier", O: p.O, V: p.V, Objective: "stq"})
+	if ra.PredSeconds == rf.PredSeconds {
+		t.Fatal("aurora and frontier shards returned identical predictions; routing suspect")
+	}
+
+	// A mixed-machine batch routes each entry to its shard; an entry naming
+	// an unknown machine fails alone without failing the batch.
+	batch := batchRequest{Queries: []recommendRequest{
+		{Machine: "aurora", O: 99, V: 718, Objective: "stq"},
+		{Machine: "frontier", O: 99, V: 718, Objective: "bq"},
+		{Machine: "perlmutter", O: 99, V: 718, Objective: "stq"},
+	}}
+	respB, body := postJSON(t, srv.URL+"/v1/batch", batch)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d body %s", respB.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Results[0].Error != "" || br.Results[0].Result.Machine != "aurora" {
+		t.Fatalf("batch aurora entry %+v", br.Results[0])
+	}
+	if br.Results[1].Error != "" || br.Results[1].Result.Machine != "frontier" {
+		t.Fatalf("batch frontier entry %+v", br.Results[1])
+	}
+	if br.Results[2].Error == "" || !strings.Contains(br.Results[2].Error, "perlmutter") {
+		t.Fatalf("batch unknown-machine entry %+v", br.Results[2])
+	}
+
+	// An un-machined recommend against a two-shard fleet is a 400.
+	respU, body := postJSON(t, srv.URL+"/v1/recommend", recommendRequest{O: 99, V: 718, Objective: "stq"})
+	if respU.StatusCode != http.StatusBadRequest {
+		t.Fatalf("machine-less query on a 2-shard fleet: status %d body %s", respU.StatusCode, body)
+	}
+
+	// healthz: per-shard stats visible for both machines, plus per-endpoint
+	// latency histograms for the routes exercised above.
+	respH, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health healthResponse
+	if err := json.NewDecoder(respH.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	respH.Body.Close()
+	if len(health.Machines) != 2 {
+		t.Fatalf("healthz lists %d shards", len(health.Machines))
+	}
+	perShard := map[string]shardHealth{}
+	for _, sh := range health.Machines {
+		perShard[sh.Machine] = sh
+	}
+	if perShard["aurora"].Sweeps == 0 || perShard["frontier"].Sweeps == 0 {
+		t.Fatalf("per-shard sweeps missing: %+v", perShard)
+	}
+	if health.Aggregate.Sweeps != perShard["aurora"].Sweeps+perShard["frontier"].Sweeps {
+		t.Fatalf("aggregate sweeps %d != shard sum", health.Aggregate.Sweeps)
+	}
+	for _, route := range []string{"recommend", "batch"} {
+		hist, ok := health.Latency[route]
+		if !ok || hist.Count == 0 {
+			t.Fatalf("latency histogram for %s missing or empty: %+v", route, health.Latency)
+		}
+		if len(hist.Buckets) == 0 || hist.MeanMs <= 0 {
+			t.Fatalf("latency %s has no buckets: %+v", route, hist)
+		}
+		// Cumulative buckets are monotone and end at or below the count.
+		var prev uint64
+		for _, bkt := range hist.Buckets {
+			if bkt.Count < prev {
+				t.Fatalf("latency %s buckets not cumulative: %+v", route, hist.Buckets)
+			}
+			prev = bkt.Count
+		}
+		if prev > hist.Count {
+			t.Fatalf("latency %s cumulative %d exceeds count %d", route, prev, hist.Count)
+		}
+	}
+
+	// Corrupted bundle entries (any shard) are rejected at load — spot-check
+	// through the CLI-visible LoadFleet path with whole-file tampering; the
+	// per-entry cases are pinned in internal/guide.
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(raw, []byte(`"machine":"aurora"`), []byte(`"machine":"borealis"`), 1)
+	if bytes.Equal(tampered, raw) {
+		t.Fatal("tamper target not found in bundle")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := guide.LoadFleet(bad); err == nil {
+		t.Fatal("tampered bundle accepted by LoadFleet")
+	}
+}
+
+// TestServeWarmSetAcrossRestart drives the Router warm-set API the way
+// runServe does: serve traffic, save on shutdown, pre-sweep on next boot.
+func TestServeWarmSetAcrossRestart(t *testing.T) {
+	router, adv, oracle := testRouter(t)
+	srv := httptest.NewServer(newServeHandler(router))
+	for _, p := range []dataset.Problem{{O: 99, V: 718}, {O: 146, V: 1096}} {
+		resp, body := postJSON(t, srv.URL+"/v1/recommend", recommendRequest{O: p.O, V: p.V, Objective: "stq"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("recommend: %d %s", resp.StatusCode, body)
+		}
+	}
+	srv.Close()
+	warm := filepath.Join(t.TempDir(), "warm.json")
+	if err := router.SaveWarmSet(warm, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": fresh router over the same advisor, warm from file.
+	restarted := guide.NewRouter()
+	if err := restarted.AddShard("aurora", adv, guide.WithOracle(oracle)); err != nil {
+		t.Fatal(err)
+	}
+	warmed, err := restarted.LoadWarmSet(warm)
+	if err != nil || warmed != 2 {
+		t.Fatalf("LoadWarmSet = %d, %v; want 2, nil", warmed, err)
+	}
+	srv2 := httptest.NewServer(newServeHandler(restarted))
+	defer srv2.Close()
+	if resp, _ := postJSON(t, srv2.URL+"/v1/recommend", recommendRequest{O: 99, V: 718, Objective: "stq"}); resp.StatusCode != http.StatusOK {
+		t.Fatal("warmed query failed")
+	}
+	st := restarted.AggregateStats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("post-restart stats %+v: the warmed keys should hit", st)
+	}
+}
+
+// TestServeGracefulShutdown pins the drain path: cancelling the serve
+// context (what SIGINT/SIGTERM do in runServe) lets an in-flight request
+// complete, runs the drain hook, and returns nil.
+func TestServeGracefulShutdown(t *testing.T) {
+	router, _, _ := testRouter(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	handler := newServeHandler(router)
+	started := make(chan struct{})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		time.Sleep(300 * time.Millisecond) // in-flight work Shutdown must wait for
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, "drained")
+	})
+	mux.Handle("/", handler)
+	srv := &http.Server{Handler: mux}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	drained := false
+	done := make(chan error, 1)
+	go func() {
+		done <- serveUntilShutdown(ctx, srv, ln, 5*time.Second, func() { drained = true })
+	}()
+
+	reqDone := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			reqDone <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		reqDone <- buf.String()
+	}()
+	<-started
+	cancel() // SIGINT
+
+	select {
+	case body := <-reqDone:
+		if body != "drained" {
+			t.Fatalf("in-flight request during shutdown: %q", body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveUntilShutdown never returned")
+	}
+	if !drained {
+		t.Fatal("drain hook did not run")
+	}
+	// The listener is closed: new connections are refused.
+	if _, err := http.Get("http://" + ln.Addr().String() + "/v1/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+// TestServeRejectsBadRequests covers the validation layer of every endpoint.
 func TestServeRejectsBadRequests(t *testing.T) {
-	svc, adv, _ := testService(t)
-	srv := httptest.NewServer(newServeHandler(svc, adv.Model.Name(), "aurora"))
+	router, _, _ := testRouter(t)
+	srv := httptest.NewServer(newServeHandler(router))
 	defer srv.Close()
 
 	cases := []struct {
@@ -187,8 +550,10 @@ func TestServeRejectsBadRequests(t *testing.T) {
 		{"zero o/v", "/v1/recommend", recommendRequest{O: 0, V: 0, Objective: "stq"}},
 		{"negative o", "/v1/recommend", recommendRequest{O: -5, V: 100, Objective: "stq"}},
 		{"bad objective", "/v1/recommend", recommendRequest{O: 99, V: 718, Objective: "fastest"}},
+		{"unknown machine", "/v1/recommend", recommendRequest{Machine: "perlmutter", O: 99, V: 718, Objective: "stq"}},
 		{"zero nodes", "/v1/predict", predictRequest{O: 99, V: 718, Nodes: 0, Tile: 80}},
 		{"zero tile", "/v1/predict", predictRequest{O: 99, V: 718, Nodes: 100, Tile: 0}},
+		{"predict unknown machine", "/v1/predict", predictRequest{Machine: "perlmutter", O: 99, V: 718, Nodes: 100, Tile: 80}},
 		{"empty batch", "/v1/batch", batchRequest{}},
 		{"batch bad entry", "/v1/batch", batchRequest{Queries: []recommendRequest{{O: 0, V: 1, Objective: "stq"}}}},
 	}
@@ -220,7 +585,7 @@ func TestServeRejectsBadRequests(t *testing.T) {
 // identically to the refit-in-process path with the same flags.
 func TestTrainArtifactMatchesRefit(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "model.json")
-	args := []string{"-machine", "aurora", "-trees", "40", "-depth", "5", "-seed", "3", "-out", out}
+	args := []string{"-machine", "aurora", "-gensize", "400", "-trees", "40", "-depth", "5", "-seed", "3", "-out", out}
 	if err := runTrain(args); err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +600,7 @@ func TestTrainArtifactMatchesRefit(t *testing.T) {
 
 	// Refit in process exactly as `parcost stq -trees 40 -depth 5 -seed 3`
 	// would without -model.
-	d, spec, err := loadOrGenerate("", "aurora", 3)
+	d, spec, err := loadOrGenerate("", "aurora", 3, 400)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,6 +685,23 @@ func TestTrainFlagValidation(t *testing.T) {
 	if err := runTrain([]string{"-out", "x.json", "-trees", "0"}); err == nil || !strings.Contains(err.Error(), "-trees") {
 		t.Errorf("train with zero trees: %v", err)
 	}
+	// Fleet-flag conflicts.
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"machines with machine", []string{"-out", "x.json", "-machines", "aurora,frontier", "-machine", "aurora"}, "-machine"},
+		{"machines with data", []string{"-out", "x.json", "-machines", "aurora,frontier", "-data", "d.csv"}, "-data"},
+		{"machines empty entry", []string{"-out", "x.json", "-machines", "aurora,,frontier"}, "empty"},
+		{"machines duplicate", []string{"-out", "x.json", "-machines", "aurora,aurora"}, "twice"},
+		{"machines unknown", []string{"-out", "x.json", "-machines", "aurora,perlmutter"}, "perlmutter"},
+		{"zero gensize", []string{"-out", "x.json", "-gensize", "0"}, "-gensize"},
+	} {
+		if err := runTrain(tc.args); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
 }
 
 func TestServeFlagValidation(t *testing.T) {
@@ -328,5 +710,8 @@ func TestServeFlagValidation(t *testing.T) {
 	}
 	if err := runServe([]string{"-model", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
 		t.Error("serve with missing artifact should error")
+	}
+	if err := runServe([]string{"-model", "m.json", "-drain", "0s"}); err == nil || !strings.Contains(err.Error(), "-drain") {
+		t.Errorf("serve with zero drain: %v", err)
 	}
 }

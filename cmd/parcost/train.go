@@ -3,22 +3,33 @@ package main
 import (
 	"flag"
 	"fmt"
+	"strings"
+	"time"
 
 	"parcost/internal/guide"
+	"parcost/internal/machine"
 )
 
-// runTrain fits the paper's GB model on a dataset and writes the advisor
-// artifact (model + candidate grid + machine) that stq/bq/predict/serve
-// load, splitting training time from query time.
+// runTrain fits the paper's GB model and writes the artifact that
+// stq/bq/predict/serve load, splitting training time from query time.
+//
+// Two shapes:
+//
+//   - `-machine a` (default): one advisor, written in the single-advisor
+//     artifact format (unchanged since PR 3; everything still loads it).
+//   - `-machines a,b`: one advisor per machine fitted in a single run, all
+//     written into one fleet bundle that `serve` hosts behind one endpoint.
 func runTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ContinueOnError)
 	var (
-		data        = fs.String("data", "", "dataset CSV (default: simulate for -machine)")
-		machineName = fs.String("machine", "aurora", "machine")
-		out         = fs.String("out", "", "output artifact path (required)")
-		trees       = fs.Int("trees", 750, "GB estimators")
-		depth       = fs.Int("depth", 10, "GB max depth")
-		seed        = fs.Uint64("seed", 1, "seed")
+		data         = fs.String("data", "", "dataset CSV (default: simulate for -machine; single-machine only)")
+		machineName  = fs.String("machine", "aurora", "machine (single-advisor artifact)")
+		machineNames = fs.String("machines", "", "comma-separated machines, e.g. aurora,frontier (fleet bundle)")
+		out          = fs.String("out", "", "output artifact path (required)")
+		trees        = fs.Int("trees", 750, "GB estimators")
+		depth        = fs.Int("depth", 10, "GB max depth")
+		seed         = fs.Uint64("seed", 1, "seed")
+		genSize      = fs.Int("gensize", defaultGenSize, "simulated dataset size when -data is omitted")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -29,19 +40,78 @@ func runTrain(args []string) error {
 	if *trees <= 0 || *depth <= 0 {
 		return fmt.Errorf("-trees and -depth must be positive (got trees=%d depth=%d)", *trees, *depth)
 	}
-	d, spec, err := loadOrGenerate(*data, *machineName, *seed)
-	if err != nil {
+	if *genSize <= 0 {
+		return fmt.Errorf("-gensize must be positive (got %d)", *genSize)
+	}
+	if *machineNames == "" {
+		d, spec, err := loadOrGenerate(*data, *machineName, *seed, *genSize)
+		if err != nil {
+			return err
+		}
+		adv, err := guide.NewAdvisor(buildGB(*trees, *depth, *seed), d)
+		if err != nil {
+			return err
+		}
+		if err := guide.SaveAdvisor(*out, adv, spec.Name); err != nil {
+			return err
+		}
+		fmt.Printf("Trained %s on %d %s records (grid %d nodes × %d tiles)\n",
+			adv.Model.Name(), d.Len(), spec.Name, len(adv.Grid.Nodes), len(adv.Grid.TileSizes))
+		fmt.Printf("Artifact written to %s\n", *out)
+		return nil
+	}
+
+	// Fleet path. A CSV names one machine's measurements, so it cannot feed a
+	// multi-machine fleet; each machine's dataset is simulated. Setting
+	// -machine alongside -machines would silently lose, so reject it.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["machine"] {
+		return fmt.Errorf("-machine has no effect with -machines; name every machine in -machines")
+	}
+	if set["data"] {
+		return fmt.Errorf("-data is single-machine; fleet training simulates each machine's dataset")
+	}
+	// Validate EVERY machine name before fitting anything: training is
+	// minutes per machine, so a typo in the last name must not waste the
+	// fits that came before it.
+	var names []string
+	seen := map[string]bool{}
+	for _, name := range strings.Split(*machineNames, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return fmt.Errorf("-machines has an empty entry (got %q)", *machineNames)
+		}
+		if seen[name] {
+			return fmt.Errorf("-machines lists %q twice", name)
+		}
+		seen[name] = true
+		if _, err := machine.ByName(name); err != nil {
+			return err
+		}
+		names = append(names, name)
+	}
+	var entries []guide.FleetEntry
+	for _, name := range names {
+		d, spec, err := loadOrGenerate("", name, *seed, *genSize)
+		if err != nil {
+			return err
+		}
+		adv, err := guide.NewAdvisor(buildGB(*trees, *depth, *seed), d)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, guide.FleetEntry{Machine: spec.Name, Advisor: adv})
+		fmt.Printf("Trained %s on %d %s records (grid %d nodes × %d tiles)\n",
+			adv.Model.Name(), d.Len(), spec.Name, len(adv.Grid.Nodes), len(adv.Grid.TileSizes))
+	}
+	meta := guide.BundleMeta{
+		TrainedAt: time.Now().UTC().Format(time.RFC3339),
+		Source:    fmt.Sprintf("simulated seed=%d trees=%d depth=%d", *seed, *trees, *depth),
+	}
+	if err := guide.SaveBundle(*out, entries, meta); err != nil {
 		return err
 	}
-	adv, err := guide.NewAdvisor(buildGB(*trees, *depth, *seed), d)
-	if err != nil {
-		return err
-	}
-	if err := guide.SaveAdvisor(*out, adv, spec.Name); err != nil {
-		return err
-	}
-	fmt.Printf("Trained %s on %d %s records (grid %d nodes × %d tiles)\n",
-		adv.Model.Name(), d.Len(), spec.Name, len(adv.Grid.Nodes), len(adv.Grid.TileSizes))
-	fmt.Printf("Artifact written to %s\n", *out)
+	fmt.Printf("Fleet bundle (%d machines) written to %s\n", len(entries), *out)
 	return nil
 }

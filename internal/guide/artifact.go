@@ -32,6 +32,22 @@ type advisorArtifact struct {
 	Payload  json.RawMessage `json:"payload"`
 }
 
+// sniffArtifactFormat reads just the envelope's format tag so loaders that
+// accept several artifact generations (DecodeFleet: fleet bundle OR
+// single-advisor artifact) can dispatch without attempting full decodes.
+func sniffArtifactFormat(data []byte) (string, error) {
+	var head struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return "", fmt.Errorf("guide: malformed artifact: %w", err)
+	}
+	if head.Format == "" {
+		return "", fmt.Errorf("guide: artifact has no format tag")
+	}
+	return head.Format, nil
+}
+
 // advisorPayload is the checksummed content. Model holds a complete ml
 // model artifact (its own format/version/checksum envelope).
 type advisorPayload struct {

@@ -1,0 +1,206 @@
+package guide
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Fleet bundles hold N named advisor artifacts — machine → advisor — in one
+// checksummed envelope, so `parcost train -machines a,b` emits a whole fleet
+// in one file and `parcost serve` hosts it from one process. Each entry
+// embeds a complete single-advisor artifact (its own format/version/checksum
+// envelope), and the bundle adds shared metadata plus a whole-payload
+// checksum on top: corruption anywhere — metadata, entry name, or any
+// nested advisor — is rejected at load.
+const (
+	FleetBundleFormat  = "parcost-fleet"
+	FleetBundleVersion = 1
+)
+
+// BundleMeta is the shared, informational metadata stored beside a bundle's
+// entries: when the fleet was trained and where its datasets came from.
+// It does not affect serving; provenance that DOES (each shard's candidate
+// grid and machine name) lives inside the per-entry advisor artifacts.
+type BundleMeta struct {
+	TrainedAt string `json:"trained_at,omitempty"` // RFC3339
+	Source    string `json:"source,omitempty"`     // dataset/grid provenance, e.g. "simulated seed=1"
+}
+
+// FleetEntry pairs a machine name with its fitted advisor.
+type FleetEntry struct {
+	Machine string
+	Advisor *Advisor
+}
+
+// fleetBundle is the on-disk envelope, mirroring advisorArtifact.
+type fleetBundle struct {
+	Format   string          `json:"format"`
+	Version  int             `json:"version"`
+	Checksum string          `json:"checksum"` // sha256 hex of the payload bytes
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// fleetPayload is the checksummed content. AdvisorFormat/AdvisorVersion
+// declare the format of every nested entry so a reader can reject a bundle
+// of artifacts it cannot decode before unwrapping any of them.
+type fleetPayload struct {
+	Meta           BundleMeta       `json:"meta"`
+	AdvisorFormat  string           `json:"advisor_format"`
+	AdvisorVersion int              `json:"advisor_version"`
+	Entries        []fleetEntryJSON `json:"entries"`
+}
+
+type fleetEntryJSON struct {
+	Machine string          `json:"machine"`
+	Advisor json.RawMessage `json:"advisor"` // complete parcost-advisor artifact
+}
+
+// EncodeBundle captures a fleet of fitted advisors into bundle bytes. Every
+// entry needs a unique, non-empty machine name and a snapshot-capable model.
+func EncodeBundle(entries []FleetEntry, meta BundleMeta) ([]byte, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("guide: EncodeBundle requires at least one entry")
+	}
+	payload := fleetPayload{
+		Meta:           meta,
+		AdvisorFormat:  AdvisorArtifactFormat,
+		AdvisorVersion: AdvisorArtifactVersion,
+	}
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if e.Machine == "" {
+			return nil, fmt.Errorf("guide: bundle entry with empty machine name")
+		}
+		if seen[e.Machine] {
+			return nil, fmt.Errorf("guide: duplicate bundle entry for machine %q", e.Machine)
+		}
+		seen[e.Machine] = true
+		art, err := EncodeAdvisor(e.Advisor, e.Machine)
+		if err != nil {
+			return nil, fmt.Errorf("guide: encoding bundle entry %q: %w", e.Machine, err)
+		}
+		payload.Entries = append(payload.Entries, fleetEntryJSON{Machine: e.Machine, Advisor: art})
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(raw)
+	return json.Marshal(fleetBundle{
+		Format:   FleetBundleFormat,
+		Version:  FleetBundleVersion,
+		Checksum: hex.EncodeToString(sum[:]),
+		Payload:  raw,
+	})
+}
+
+// DecodeBundle validates a fleet bundle (format, version, payload checksum,
+// then every nested advisor artifact) and rebuilds its advisors in entry
+// order. A corrupted entry anywhere in the fleet fails the whole load: a
+// serve process must not come up answering one machine correctly and
+// another from corrupt state.
+func DecodeBundle(data []byte) ([]FleetEntry, BundleMeta, error) {
+	var b fleetBundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, BundleMeta{}, fmt.Errorf("guide: malformed fleet bundle: %w", err)
+	}
+	if b.Format != FleetBundleFormat {
+		return nil, BundleMeta{}, fmt.Errorf("guide: bundle format %q, want %q", b.Format, FleetBundleFormat)
+	}
+	if b.Version != FleetBundleVersion {
+		return nil, BundleMeta{}, fmt.Errorf("guide: fleet bundle version %d not supported (reader handles %d)",
+			b.Version, FleetBundleVersion)
+	}
+	sum := sha256.Sum256(b.Payload)
+	if got := hex.EncodeToString(sum[:]); got != b.Checksum {
+		return nil, BundleMeta{}, fmt.Errorf("guide: fleet bundle checksum mismatch (corrupt bundle?)")
+	}
+	var payload fleetPayload
+	if err := json.Unmarshal(b.Payload, &payload); err != nil {
+		return nil, BundleMeta{}, fmt.Errorf("guide: malformed fleet payload: %w", err)
+	}
+	if payload.AdvisorFormat != AdvisorArtifactFormat || payload.AdvisorVersion != AdvisorArtifactVersion {
+		return nil, BundleMeta{}, fmt.Errorf("guide: bundle declares nested artifacts %q v%d (reader handles %q v%d)",
+			payload.AdvisorFormat, payload.AdvisorVersion, AdvisorArtifactFormat, AdvisorArtifactVersion)
+	}
+	if len(payload.Entries) == 0 {
+		return nil, BundleMeta{}, fmt.Errorf("guide: fleet bundle has no entries")
+	}
+	entries := make([]FleetEntry, 0, len(payload.Entries))
+	seen := make(map[string]bool, len(payload.Entries))
+	for _, e := range payload.Entries {
+		if e.Machine == "" {
+			return nil, BundleMeta{}, fmt.Errorf("guide: bundle entry with empty machine name")
+		}
+		if seen[e.Machine] {
+			return nil, BundleMeta{}, fmt.Errorf("guide: duplicate bundle entry for machine %q", e.Machine)
+		}
+		seen[e.Machine] = true
+		adv, machineName, err := DecodeAdvisor(e.Advisor)
+		if err != nil {
+			return nil, BundleMeta{}, fmt.Errorf("guide: bundle entry %q: %w", e.Machine, err)
+		}
+		if machineName != e.Machine {
+			return nil, BundleMeta{}, fmt.Errorf("guide: bundle entry %q wraps an advisor trained for %q",
+				e.Machine, machineName)
+		}
+		entries = append(entries, FleetEntry{Machine: e.Machine, Advisor: adv})
+	}
+	return entries, payload.Meta, nil
+}
+
+// SaveBundle writes a fleet bundle to a file.
+func SaveBundle(path string, entries []FleetEntry, meta BundleMeta) error {
+	data, err := EncodeBundle(entries, meta)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadBundle reads a fleet bundle from a file.
+func LoadBundle(path string) ([]FleetEntry, BundleMeta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, BundleMeta{}, err
+	}
+	return DecodeBundle(data)
+}
+
+// DecodeFleet accepts either artifact generation: a fleet bundle decodes to
+// its entries, and a single-advisor artifact (the PR 3 format every
+// pre-fleet `parcost train` emitted) decodes to a one-entry fleet named by
+// its recorded machine. This is what keeps existing artifacts loading
+// unchanged behind the Router.
+func DecodeFleet(data []byte) ([]FleetEntry, BundleMeta, error) {
+	format, err := sniffArtifactFormat(data)
+	if err != nil {
+		return nil, BundleMeta{}, err
+	}
+	switch format {
+	case FleetBundleFormat:
+		return DecodeBundle(data)
+	case AdvisorArtifactFormat:
+		adv, machineName, err := DecodeAdvisor(data)
+		if err != nil {
+			return nil, BundleMeta{}, err
+		}
+		return []FleetEntry{{Machine: machineName, Advisor: adv}}, BundleMeta{}, nil
+	default:
+		return nil, BundleMeta{}, fmt.Errorf("guide: artifact format %q is neither %q nor %q",
+			format, FleetBundleFormat, AdvisorArtifactFormat)
+	}
+}
+
+// LoadFleet reads a fleet from a file holding either a fleet bundle or a
+// single-advisor artifact (see DecodeFleet).
+func LoadFleet(path string) ([]FleetEntry, BundleMeta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, BundleMeta{}, err
+	}
+	return DecodeFleet(data)
+}

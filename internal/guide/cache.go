@@ -1,0 +1,258 @@
+package guide
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+	"unsafe"
+
+	"parcost/internal/dataset"
+)
+
+// sweepCache is the serving cache engine shared by Service and Router: a
+// bounded LRU of sweep results with coalesced concurrent misses and a
+// semaphore bounding CPU-bound sweeps. It was extracted from Service so every
+// shard of a fleet runs the same tested machinery instead of bespoke
+// bookkeeping per wrapper.
+//
+// Bounds compose, and an entry is admitted only while ALL configured bounds
+// hold:
+//
+//   - maxEntries caps the resident entry count (the original LRU bound).
+//   - maxBytes caps the approximate resident footprint. Entries are
+//     fixed-size structs, so the per-entry cost is the compile-time
+//     entryBytes constant; the bound still matters because callers reason in
+//     bytes (cache budgets per shard of a fleet), not entry counts.
+//   - ttl, when positive, expires entries so models retrained in place age
+//     out sweeps computed against the previous model. Expiry is lazy: an
+//     expired entry is dropped when its key is next queried (counted in
+//     Stats.Expired) and re-swept.
+//
+// A cache with no bound configured (maxEntries == 0 && maxBytes == 0) is
+// disabled: every query sweeps. This preserves WithCacheSize(0)'s contract.
+type sweepCache struct {
+	maxEntries int
+	maxBytes   int64
+	ttl        time.Duration
+	sweeps     chan struct{}    // bounds concurrent sweeps; shared across Router shards
+	now        func() time.Time // injectable clock for TTL tests
+
+	// Guarded by mu. The mutex is never held across a sweep: misses
+	// register an inflight entry and release it, so hits stay O(1) while a
+	// sweep runs.
+	mu       sync.Mutex
+	entries  map[Query]*list.Element
+	lru      *list.List // front = most recently used
+	bytes    int64
+	inflight map[Query]*inflightCall
+	hits     uint64
+	misses   uint64
+	expired  uint64
+
+	// Per-sweep wall-time accounting (miss path only; hits and coalesced
+	// waits are not sweeps).
+	sweepCount uint64
+	sweepTotal time.Duration
+	sweepMin   time.Duration
+	sweepMax   time.Duration
+}
+
+// cacheEntry is one resident sweep result. expires is the zero Time when the
+// cache has no TTL.
+type cacheEntry struct {
+	q       Query
+	rec     Recommendation
+	expires time.Time
+}
+
+// inflightCall coalesces concurrent misses on the same key.
+type inflightCall struct {
+	done chan struct{}
+	rec  Recommendation
+	err  error
+}
+
+// entryBytes approximates the resident footprint of one cache entry: the
+// entry struct itself, its intrusive list element, and a flat allowance for
+// its share of the entries-map bucket (key + element pointer + bucket
+// overhead). Query and Recommendation are fixed-size value structs, so this
+// is exact up to the map allowance.
+const entryBytes = int64(unsafe.Sizeof(cacheEntry{})+unsafe.Sizeof(list.Element{})+unsafe.Sizeof(Query{})) + 16
+
+// newSweepCache builds a cache with the given bounds sharing the given sweep
+// semaphore.
+func newSweepCache(maxEntries int, maxBytes int64, ttl time.Duration, sweeps chan struct{}) *sweepCache {
+	c := &sweepCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ttl:        ttl,
+		sweeps:     sweeps,
+		now:        time.Now,
+		entries:    make(map[Query]*list.Element),
+		lru:        list.New(),
+		inflight:   make(map[Query]*inflightCall),
+	}
+	return c
+}
+
+// enabled reports whether results are retained at all.
+func (c *sweepCache) enabled() bool { return c.maxEntries > 0 || c.maxBytes > 0 }
+
+// do answers one query: cache hit, coalesced wait on an in-flight sweep, or
+// a fresh sweep under the semaphore. sweep runs WITHOUT the cache lock held.
+func (c *sweepCache) do(q Query, sweep func() (Recommendation, error)) (Recommendation, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[q]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.expires.IsZero() || c.now().Before(e.expires) {
+			c.lru.MoveToFront(el)
+			c.hits++
+			rec := e.rec
+			c.mu.Unlock()
+			return rec, nil
+		}
+		// Stale under TTL: drop it and fall through to the miss path so the
+		// caller re-sweeps against the current model.
+		c.removeLocked(el)
+		c.expired++
+	}
+	if call, ok := c.inflight[q]; ok {
+		// Another goroutine is already sweeping this key; share its result.
+		c.hits++
+		c.mu.Unlock()
+		<-call.done
+		return call.rec, call.err
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	c.inflight[q] = call
+	c.misses++
+	c.mu.Unlock()
+
+	// The sweep itself runs under the semaphore, so total CPU-bound grid
+	// sweeps stay bounded no matter how many callers, batches, or Router
+	// shards are in flight (cache hits and coalesced waits never take a
+	// token). A panicking sweep must still release the waiters with an
+	// error and unregister the key — otherwise every later query for it
+	// would block forever — and then propagate to this caller.
+	var panicked any
+	var sweepT time.Duration
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = r
+				call.err = fmt.Errorf("guide: sweep for %v/%v panicked: %v", q.Problem, q.Objective, r)
+			}
+		}()
+		c.sweeps <- struct{}{}
+		defer func() { <-c.sweeps }()
+		start := time.Now()
+		call.rec, call.err = sweep()
+		sweepT = time.Since(start)
+	}()
+	close(call.done)
+
+	c.mu.Lock()
+	delete(c.inflight, q)
+	if panicked == nil {
+		// Record the sweep's wall time (semaphore wait excluded, so the
+		// numbers reflect sweep cost, not queueing under load).
+		c.sweepCount++
+		c.sweepTotal += sweepT
+		if c.sweepCount == 1 || sweepT < c.sweepMin {
+			c.sweepMin = sweepT
+		}
+		if sweepT > c.sweepMax {
+			c.sweepMax = sweepT
+		}
+	}
+	if call.err == nil && c.enabled() {
+		c.insertLocked(q, call.rec)
+	}
+	c.mu.Unlock()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return call.rec, call.err
+}
+
+// insertLocked adds a sweep result, evicting least-recently-used entries
+// until every configured bound holds again. Callers hold the lock.
+func (c *sweepCache) insertLocked(q Query, rec Recommendation) {
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	if el, ok := c.entries[q]; ok { // lost a benign race with a same-key call
+		c.lru.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.rec = rec
+		e.expires = expires
+		return
+	}
+	c.entries[q] = c.lru.PushFront(&cacheEntry{q: q, rec: rec, expires: expires})
+	c.bytes += entryBytes
+	for c.overBoundsLocked() {
+		c.removeLocked(c.lru.Back())
+	}
+}
+
+// overBoundsLocked reports whether any configured bound is exceeded.
+func (c *sweepCache) overBoundsLocked() bool {
+	if c.lru.Len() == 0 {
+		return false
+	}
+	if c.maxEntries > 0 && c.lru.Len() > c.maxEntries {
+		return true
+	}
+	return c.maxBytes > 0 && c.bytes > c.maxBytes
+}
+
+// removeLocked drops one resident entry and its byte accounting.
+func (c *sweepCache) removeLocked(el *list.Element) {
+	c.lru.Remove(el)
+	delete(c.entries, el.Value.(*cacheEntry).q)
+	c.bytes -= entryBytes
+}
+
+// hotKeys returns up to n resident keys in heat order (most recently used
+// first); n <= 0 returns all. Expired entries are skipped — persisting a key
+// whose sweep already aged out would pre-sweep stale traffic at load.
+func (c *sweepCache) hotKeys(n int) []Query {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]Query, 0, c.lru.Len())
+	now := c.now()
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if n > 0 && len(keys) == n {
+			break
+		}
+		e := el.Value.(*cacheEntry)
+		if !e.expires.IsZero() && !now.Before(e.expires) {
+			continue
+		}
+		keys = append(keys, e.q)
+	}
+	return keys
+}
+
+// stats snapshots the cache counters.
+func (c *sweepCache) stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Hits: c.hits, Misses: c.misses, Expired: c.expired,
+		Size: c.lru.Len(), Bytes: c.bytes,
+		SweepCount: c.sweepCount, SweepMin: c.sweepMin, SweepMax: c.sweepMax,
+	}
+	if c.sweepCount > 0 {
+		st.SweepMean = c.sweepTotal / time.Duration(c.sweepCount)
+	}
+	return st
+}
+
+// Query identifies one STQ/BQ question.
+type Query struct {
+	Problem   dataset.Problem
+	Objective Objective
+}

@@ -16,6 +16,28 @@
 // loss of a prediction is measured not by the predicted time at the
 // predicted optimum, but by the *true* time of the predicted configuration
 // (Section 3.4). This is what makes the STQ/BQ accuracy numbers meaningful.
+//
+// # Serving
+//
+// Around the Advisor sits a serving stack sized for a fleet:
+//
+//   - Service wraps one fitted Advisor for concurrent serving. Its cache
+//     engine (the unexported sweepCache) is a bounded LRU of sweep results
+//     keyed by (problem, objective) with coalesced concurrent misses, an
+//     entry-count bound, an approximate-byte bound, and an optional
+//     per-entry TTL so models retrained in place age out stale sweeps.
+//   - Router registers one Service shard per machine behind a single
+//     Recommend(machine, problem, objective) API. All shards share one
+//     sweep semaphore, so the fleet's total CPU-bound grid sweeps stay
+//     bounded; shards hot-add/remove for retrain-in-place; per-shard and
+//     aggregate CacheStats feed observability; SaveWarmSet/LoadWarmSet
+//     persist the hottest cache keys across restarts and pre-sweep them at
+//     startup.
+//   - Artifacts: Save/LoadAdvisor write one fitted advisor (model +
+//     candidate grid + machine provenance) under a whole-payload checksum;
+//     Save/LoadBundle pack N named advisors plus shared metadata into one
+//     parcost-fleet envelope; LoadFleet accepts either generation, loading
+//     a single-advisor artifact as a one-entry fleet.
 package guide
 
 import (

@@ -1,0 +1,323 @@
+package guide
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"parcost/internal/dataset"
+)
+
+// Router serves a fleet of per-machine advisors behind one Recommend API.
+// Each shard is a full Service (bounded sweep cache, coalesced misses), and
+// every shard shares ONE sweep semaphore owned by the Router, so the fleet's
+// total CPU-bound grid sweeps stay bounded no matter how queries distribute
+// across machines.
+//
+// Shards can be added and removed while queries are in flight (hot
+// retrain-in-place: fit a new advisor, AddShard over the old name). A
+// removed shard's in-flight sweeps complete on the detached Service;
+// subsequent queries for its machine fail with an unknown-machine error.
+type Router struct {
+	sweeps chan struct{} // fleet-wide sweep semaphore, shared by every shard
+
+	mu     sync.RWMutex
+	shards map[string]*Service
+}
+
+// RouterOption configures a Router.
+type RouterOption func(*Router)
+
+// WithSweepLimit bounds the fleet's total concurrent grid sweeps to n
+// (default GOMAXPROCS). The bound spans every shard: a batch hammering one
+// machine cannot starve the CPU out from under the others past this limit.
+func WithSweepLimit(n int) RouterOption {
+	return func(r *Router) {
+		if n < 1 {
+			n = 1
+		}
+		r.sweeps = make(chan struct{}, n)
+	}
+}
+
+// NewRouter builds an empty fleet router.
+func NewRouter(opts ...RouterOption) *Router {
+	r := &Router{shards: make(map[string]*Service)}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if r.sweeps == nil {
+		r.sweeps = make(chan struct{}, runtime.GOMAXPROCS(0))
+	}
+	return r
+}
+
+// AddShard registers (or hot-replaces) the Service answering queries for a
+// machine. The shard is built with the Router's shared sweep semaphore; the
+// given options configure its oracle and cache bounds. Replacing an existing
+// shard swaps atomically: queries either see the old Service or the new one,
+// never a gap.
+func (r *Router) AddShard(machine string, adv *Advisor, opts ...ServiceOption) error {
+	if machine == "" {
+		return fmt.Errorf("guide: AddShard requires a machine name")
+	}
+	svc, err := NewService(adv, append(opts, withSharedSweeps(r.sweeps))...)
+	if err != nil {
+		return fmt.Errorf("guide: shard %q: %w", machine, err)
+	}
+	r.mu.Lock()
+	r.shards[machine] = svc
+	r.mu.Unlock()
+	return nil
+}
+
+// RemoveShard unregisters a machine's shard, reporting whether it existed.
+// In-flight queries on the removed Service complete normally.
+func (r *Router) RemoveShard(machine string) bool {
+	r.mu.Lock()
+	_, ok := r.shards[machine]
+	delete(r.shards, machine)
+	r.mu.Unlock()
+	return ok
+}
+
+// Shard resolves a machine name to its Service. The empty name is allowed
+// when the fleet has exactly one shard — the single-machine deployment keeps
+// working without callers naming it — and is an error otherwise.
+func (r *Router) Shard(machine string) (*Service, error) {
+	_, svc, err := r.ResolveShard(machine)
+	return svc, err
+}
+
+// ResolveShard is Shard plus the concrete machine name the query landed on,
+// so a caller echoing the machine in a response reports the shard that
+// actually answered — a defaulted empty name resolves here, atomically with
+// the lookup, rather than being re-derived later when a concurrent
+// AddShard/RemoveShard may have changed the fleet.
+func (r *Router) ResolveShard(machine string) (string, *Service, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if machine == "" {
+		if len(r.shards) == 1 {
+			for name, svc := range r.shards {
+				return name, svc, nil
+			}
+		}
+		return "", nil, fmt.Errorf("guide: machine is required with %d shards (have %v)", len(r.shards), r.machinesLocked())
+	}
+	svc, ok := r.shards[machine]
+	if !ok {
+		return "", nil, fmt.Errorf("guide: no shard for machine %q (have %v)", machine, r.machinesLocked())
+	}
+	return machine, svc, nil
+}
+
+// Machines lists the registered shard names, sorted.
+func (r *Router) Machines() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.machinesLocked()
+}
+
+func (r *Router) machinesLocked() []string {
+	names := make([]string, 0, len(r.shards))
+	for name := range r.shards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Recommend answers one STQ/BQ query routed to a machine's shard. An empty
+// machine resolves only in a one-shard fleet (see Shard).
+func (r *Router) Recommend(machine string, p dataset.Problem, obj Objective) (Recommendation, error) {
+	svc, err := r.Shard(machine)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	return svc.Recommend(p, obj)
+}
+
+// RoutedQuery is one fleet batch item: a query plus the machine whose model
+// should answer it.
+type RoutedQuery struct {
+	Machine string
+	Query   Query
+}
+
+// RoutedResult pairs a routed query with its answer. Machine is the
+// RESOLVED shard name — for a query whose empty machine defaulted to a
+// one-shard fleet, it names that shard, not "".
+type RoutedResult struct {
+	RoutedQuery
+	Rec Recommendation
+	Err error
+}
+
+// RecommendBatch answers a mixed-machine query list concurrently, returning
+// results in input order. Shards are resolved once up front (so a
+// mid-batch RemoveShard affects at most later batches, not this one's
+// routing), then items fan across a bounded worker pool; sweeps themselves
+// are additionally bounded by the fleet-wide semaphore.
+func (r *Router) RecommendBatch(queries []RoutedQuery) []RoutedResult {
+	out := make([]RoutedResult, len(queries))
+	svcs := make([]*Service, len(queries))
+	for i, rq := range queries {
+		out[i].RoutedQuery = rq
+		var name string
+		name, svcs[i], out[i].Err = r.ResolveShard(rq.Machine)
+		if out[i].Err == nil {
+			out[i].Machine = name
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				q := out[i].Query
+				out[i].Rec, out[i].Err = svcs[i].Recommend(q.Problem, q.Objective)
+			}
+		}()
+	}
+	for i := range out {
+		if out[i].Err != nil { // unresolvable machine; don't dispatch
+			continue
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// ShardStats snapshots every shard's cache stats, keyed by machine.
+func (r *Router) ShardStats() map[string]Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]Stats, len(r.shards))
+	for name, svc := range r.shards {
+		out[name] = svc.CacheStats()
+	}
+	return out
+}
+
+// AggregateStats folds every shard's snapshot into one fleet-level view.
+// Counters (hits, misses, expiries, sizes, bytes, sweep counts) sum;
+// SweepMean is weighted by per-shard sweep count; SweepMin is the
+// min-of-mins over shards that completed at least one sweep and SweepMax the
+// max-of-maxes — a shard that has never swept contributes nothing, so an
+// idle shard cannot drag the fleet minimum to zero.
+func (r *Router) AggregateStats() Stats {
+	var agg Stats
+	for _, st := range r.ShardStats() {
+		agg = agg.merge(st)
+	}
+	return agg
+}
+
+// Warm sets persist the fleet's hottest cache keys so a restarted (or
+// freshly retrained) service can pre-sweep them before traffic arrives,
+// instead of paying cold-sweep latency on the first burst.
+const (
+	warmSetFormat  = "parcost-warmset"
+	warmSetVersion = 1
+)
+
+type warmSetFile struct {
+	Format  string        `json:"format"`
+	Version int           `json:"version"`
+	Entries []warmSetItem `json:"entries"`
+}
+
+type warmSetItem struct {
+	Machine   string `json:"machine"`
+	O         int    `json:"o"`
+	V         int    `json:"v"`
+	Objective string `json:"objective"` // "STQ" or "BQ"
+}
+
+// SaveWarmSet writes every shard's resident, unexpired cache keys in heat
+// order (most recently used first) to path. limit caps the keys saved per
+// shard; limit <= 0 saves all resident keys.
+func (r *Router) SaveWarmSet(path string, limit int) error {
+	r.mu.RLock()
+	names := r.machinesLocked()
+	shards := make(map[string]*Service, len(r.shards))
+	for name, svc := range r.shards {
+		shards[name] = svc
+	}
+	r.mu.RUnlock()
+
+	ws := warmSetFile{Format: warmSetFormat, Version: warmSetVersion}
+	for _, name := range names {
+		for _, q := range shards[name].cache.hotKeys(limit) {
+			ws.Entries = append(ws.Entries, warmSetItem{
+				Machine: name, O: q.Problem.O, V: q.Problem.V, Objective: q.Objective.String(),
+			})
+		}
+	}
+	data, err := json.MarshalIndent(ws, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadWarmSet reads a warm set and pre-sweeps its keys through the current
+// fleet, returning how many keys were warmed. Keys naming machines the fleet
+// no longer serves are skipped (fleet composition may have changed between
+// save and load); a key whose sweep fails is counted as skipped too. Sweeps
+// run through RecommendBatch, so warming is parallel but still bounded by
+// the fleet-wide semaphore.
+func (r *Router) LoadWarmSet(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var ws warmSetFile
+	if err := json.Unmarshal(data, &ws); err != nil {
+		return 0, fmt.Errorf("guide: malformed warm set: %w", err)
+	}
+	if ws.Format != warmSetFormat {
+		return 0, fmt.Errorf("guide: warm set format %q, want %q", ws.Format, warmSetFormat)
+	}
+	if ws.Version != warmSetVersion {
+		return 0, fmt.Errorf("guide: warm set version %d not supported (reader handles %d)", ws.Version, warmSetVersion)
+	}
+	queries := make([]RoutedQuery, 0, len(ws.Entries))
+	for _, it := range ws.Entries {
+		var obj Objective
+		switch it.Objective {
+		case "STQ":
+			obj = ShortestTime
+		case "BQ":
+			obj = Budget
+		default:
+			return 0, fmt.Errorf("guide: warm set objective %q not recognized", it.Objective)
+		}
+		queries = append(queries, RoutedQuery{
+			Machine: it.Machine,
+			Query:   Query{Problem: dataset.Problem{O: it.O, V: it.V}, Objective: obj},
+		})
+	}
+	warmed := 0
+	for _, res := range r.RecommendBatch(queries) {
+		if res.Err == nil {
+			warmed++
+		}
+	}
+	return warmed, nil
+}

@@ -1,7 +1,6 @@
 package guide
 
 import (
-	"container/list"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,53 +14,30 @@ import (
 //
 //   - Recommend answers STQ/BQ queries through a bounded LRU cache keyed by
 //     (problem, objective), so repeated queries for the same problem don't
-//     re-sweep the candidate grid.
+//     re-sweep the candidate grid. The cache engine (sweepCache) supports
+//     entry-count and approximate-byte bounds plus an optional per-entry TTL.
 //   - Concurrent first requests for the same key are coalesced: one
 //     goroutine sweeps, the rest wait for its result (no duplicated work,
 //     no thundering herd on a cold cache).
 //   - RecommendBatch fans a query list across a bounded worker pool.
+//
+// Services can stand alone or serve as shards of a Router, in which case the
+// Router supplies one shared sweep semaphore so the whole fleet's CPU-bound
+// sweeps stay bounded together.
 //
 // The underlying model's Predict must be goroutine-safe; every model family
 // in this library predicts from immutable fitted state with per-call
 // scratch, which the -race hammer tests in internal/ml verify.
 type Service struct {
 	adv    *Advisor
-	oracle Oracle        // optional feasibility pruning, applied to every query
-	max    int           // cache capacity (entries); 0 disables caching
-	sweeps chan struct{} // service-wide semaphore bounding concurrent grid sweeps
+	oracle Oracle // optional feasibility pruning, applied to every query
+	cache  *sweepCache
 
-	mu       sync.Mutex
-	entries  map[Query]*list.Element
-	lru      *list.List // front = most recently used
-	inflight map[Query]*inflightCall
-	hits     uint64
-	misses   uint64
-
-	// Per-sweep wall-time accounting (miss path only; hits and coalesced
-	// waits are not sweeps). Guarded by mu.
-	sweepCount uint64
-	sweepTotal time.Duration
-	sweepMin   time.Duration
-	sweepMax   time.Duration
-}
-
-// Query identifies one STQ/BQ question.
-type Query struct {
-	Problem   dataset.Problem
-	Objective Objective
-}
-
-// cacheEntry is one resident sweep result.
-type cacheEntry struct {
-	q   Query
-	rec Recommendation
-}
-
-// inflightCall coalesces concurrent misses on the same key.
-type inflightCall struct {
-	done chan struct{}
-	rec  Recommendation
-	err  error
+	// Construction-time knobs consumed by NewService when it builds cache.
+	maxEntries int
+	maxBytes   int64
+	ttl        time.Duration
+	sweeps     chan struct{} // non-nil when a Router shares its semaphore
 }
 
 // DefaultCacheSize bounds the per-problem sweep cache unless overridden.
@@ -76,15 +52,49 @@ func WithOracle(o Oracle) ServiceOption {
 	return func(s *Service) { s.oracle = o }
 }
 
-// WithCacheSize bounds the sweep cache to n entries; n <= 0 disables
-// caching entirely (every query re-sweeps the grid).
+// WithCacheSize bounds the sweep cache to n entries; n <= 0 removes the
+// entry-count bound, which disables caching entirely unless a byte bound
+// (WithCacheBytes) is also configured.
 func WithCacheSize(n int) ServiceOption {
 	return func(s *Service) {
 		if n < 0 {
 			n = 0
 		}
-		s.max = n
+		s.maxEntries = n
 	}
+}
+
+// WithCacheBytes bounds the sweep cache's approximate resident footprint to
+// n bytes (each entry costs the fixed entryBytes documented in cache.go).
+// n <= 0 removes the byte bound. Both bounds may be active at once; eviction
+// runs until every configured bound holds.
+func WithCacheBytes(n int64) ServiceOption {
+	return func(s *Service) {
+		if n < 0 {
+			n = 0
+		}
+		s.maxBytes = n
+	}
+}
+
+// WithTTL expires cached sweeps d after insertion, so a model retrained in
+// place (hot shard swap) ages out recommendations computed against the old
+// model instead of serving them forever. d <= 0 disables expiry. Expired
+// entries are dropped lazily on their next lookup and counted in
+// Stats.Expired.
+func WithTTL(d time.Duration) ServiceOption {
+	return func(s *Service) {
+		if d < 0 {
+			d = 0
+		}
+		s.ttl = d
+	}
+}
+
+// withSharedSweeps wires the Router's fleet-wide sweep semaphore into a
+// shard. Unexported: standalone Services size their own semaphore.
+func withSharedSweeps(sem chan struct{}) ServiceOption {
+	return func(s *Service) { s.sweeps = sem }
 }
 
 // NewService wraps a fitted Advisor for concurrent serving.
@@ -92,17 +102,14 @@ func NewService(adv *Advisor, opts ...ServiceOption) (*Service, error) {
 	if adv == nil || adv.Model == nil {
 		return nil, fmt.Errorf("guide: NewService requires a fitted advisor")
 	}
-	s := &Service{
-		adv:      adv,
-		max:      DefaultCacheSize,
-		sweeps:   make(chan struct{}, runtime.GOMAXPROCS(0)),
-		entries:  make(map[Query]*list.Element),
-		lru:      list.New(),
-		inflight: make(map[Query]*inflightCall),
-	}
+	s := &Service{adv: adv, maxEntries: DefaultCacheSize}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.sweeps == nil {
+		s.sweeps = make(chan struct{}, runtime.GOMAXPROCS(0))
+	}
+	s.cache = newSweepCache(s.maxEntries, s.maxBytes, s.ttl, s.sweeps)
 	return s, nil
 }
 
@@ -112,88 +119,9 @@ func (s *Service) Advisor() *Advisor { return s.adv }
 // Recommend answers one STQ/BQ query, serving repeats from the cache.
 func (s *Service) Recommend(p dataset.Problem, obj Objective) (Recommendation, error) {
 	q := Query{Problem: p, Objective: obj}
-
-	s.mu.Lock()
-	if el, ok := s.entries[q]; ok {
-		s.lru.MoveToFront(el)
-		s.hits++
-		rec := el.Value.(*cacheEntry).rec
-		s.mu.Unlock()
-		return rec, nil
-	}
-	if c, ok := s.inflight[q]; ok {
-		// Another goroutine is already sweeping this key; share its result.
-		s.hits++
-		s.mu.Unlock()
-		<-c.done
-		return c.rec, c.err
-	}
-	c := &inflightCall{done: make(chan struct{})}
-	s.inflight[q] = c
-	s.misses++
-	s.mu.Unlock()
-
-	// The sweep itself runs under a service-wide semaphore, so total
-	// CPU-bound grid sweeps stay bounded no matter how many callers or
-	// batches are in flight (cache hits and coalesced waits never take a
-	// token). A panicking model must still release the waiters with an
-	// error and unregister the key — otherwise every later query for it
-	// would block forever — and then propagate to this caller.
-	var panicked any
-	var sweepT time.Duration
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				panicked = r
-				c.err = fmt.Errorf("guide: sweep for %v/%v panicked: %v", p, obj, r)
-			}
-		}()
-		s.sweeps <- struct{}{}
-		defer func() { <-s.sweeps }()
-		start := time.Now()
-		c.rec, c.err = s.adv.Recommend(p, obj, s.oracle)
-		sweepT = time.Since(start)
-	}()
-	close(c.done)
-
-	s.mu.Lock()
-	delete(s.inflight, q)
-	if panicked == nil {
-		// Record the sweep's wall time (semaphore wait excluded, so the
-		// numbers reflect sweep cost, not queueing under load).
-		s.sweepCount++
-		s.sweepTotal += sweepT
-		if s.sweepCount == 1 || sweepT < s.sweepMin {
-			s.sweepMin = sweepT
-		}
-		if sweepT > s.sweepMax {
-			s.sweepMax = sweepT
-		}
-	}
-	if c.err == nil && s.max > 0 {
-		s.insertLocked(q, c.rec)
-	}
-	s.mu.Unlock()
-	if panicked != nil {
-		panic(panicked)
-	}
-	return c.rec, c.err
-}
-
-// insertLocked adds a sweep result, evicting the least-recently-used entry
-// when the cache is full. Callers hold s.mu.
-func (s *Service) insertLocked(q Query, rec Recommendation) {
-	if el, ok := s.entries[q]; ok { // lost a benign race with a same-key call
-		s.lru.MoveToFront(el)
-		el.Value.(*cacheEntry).rec = rec
-		return
-	}
-	s.entries[q] = s.lru.PushFront(&cacheEntry{q: q, rec: rec})
-	for s.lru.Len() > s.max {
-		oldest := s.lru.Back()
-		s.lru.Remove(oldest)
-		delete(s.entries, oldest.Value.(*cacheEntry).q)
-	}
+	return s.cache.do(q, func() (Recommendation, error) {
+		return s.adv.Recommend(p, obj, s.oracle)
+	})
 }
 
 // BatchResult pairs one batch query's answer with its error.
@@ -205,8 +133,9 @@ type BatchResult struct {
 
 // RecommendBatch answers a list of queries concurrently, returning results
 // in input order. Worker goroutines are cheap waiters; the underlying grid
-// sweeps are bounded by the service-wide semaphore shared with Recommend,
-// so concurrent batch calls cannot multiply CPU-bound sweeps past it.
+// sweeps are bounded by the sweep semaphore shared with Recommend (and, for
+// Router shards, with every other shard of the fleet), so concurrent batch
+// calls cannot multiply CPU-bound sweeps past it.
 func (s *Service) RecommendBatch(queries []Query) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	workers := runtime.GOMAXPROCS(0)
@@ -242,15 +171,22 @@ func (s *Service) PredictTime(c dataset.Config) float64 {
 	return s.adv.Model.Predict([][]float64{c.Features()})[0]
 }
 
-// Stats is a point-in-time snapshot of the service's cache behavior and
-// sweep latency: how often queries hit the cache, and how long the grid
+// Stats is a point-in-time snapshot of a cache's behavior and sweep latency:
+// how often queries hit the cache, what is resident, and how long the grid
 // sweeps behind the misses took (wall time of the sweep itself, excluding
-// semaphore queueing). SweepMin/SweepMean/SweepMax are zero until the first
-// sweep completes.
+// semaphore queueing).
+//
+// Zero-sweep contract: SweepMin/SweepMean/SweepMax are all zero until the
+// first sweep completes (SweepCount == 0 means "no data", NOT "sweeps take
+// 0s"). Aggregations over multiple Stats (Router.AggregateStats) must treat
+// them accordingly: a zero-sweep shard contributes nothing to the aggregate
+// min/mean/max rather than dragging the minimum to zero.
 type Stats struct {
-	Hits   uint64 // cache reads plus coalesced waits on in-flight sweeps
-	Misses uint64
-	Size   int // resident cache entries
+	Hits    uint64 // cache reads plus coalesced waits on in-flight sweeps
+	Misses  uint64
+	Expired uint64 // TTL-expired entries dropped and re-swept (subset of Misses' causes)
+	Size    int    // resident cache entries
+	Bytes   int64  // approximate resident bytes (Size × entryBytes)
 
 	SweepCount uint64 // completed grid sweeps (including ones that errored)
 	SweepMin   time.Duration
@@ -258,17 +194,34 @@ type Stats struct {
 	SweepMax   time.Duration
 }
 
-// CacheStats reports cache hits, misses, resident entries, and per-sweep
-// wall-time min/mean/max.
+// merge folds another snapshot into this one for fleet-level aggregation.
+// Counters sum; SweepMean is re-weighted by sweep count; SweepMin aggregates
+// as the min over snapshots that completed at least one sweep (min-of-mins)
+// and SweepMax as max-of-maxes, the contract pinned by the Router tests.
+func (a Stats) merge(b Stats) Stats {
+	out := Stats{
+		Hits: a.Hits + b.Hits, Misses: a.Misses + b.Misses, Expired: a.Expired + b.Expired,
+		Size: a.Size + b.Size, Bytes: a.Bytes + b.Bytes,
+		SweepCount: a.SweepCount + b.SweepCount,
+	}
+	switch {
+	case a.SweepCount == 0:
+		out.SweepMin = b.SweepMin
+	case b.SweepCount == 0:
+		out.SweepMin = a.SweepMin
+	default:
+		out.SweepMin = min(a.SweepMin, b.SweepMin)
+	}
+	out.SweepMax = max(a.SweepMax, b.SweepMax)
+	if out.SweepCount > 0 {
+		total := a.SweepMean*time.Duration(a.SweepCount) + b.SweepMean*time.Duration(b.SweepCount)
+		out.SweepMean = total / time.Duration(out.SweepCount)
+	}
+	return out
+}
+
+// CacheStats reports cache hits, misses, TTL expiries, resident entries and
+// bytes, and per-sweep wall-time min/mean/max.
 func (s *Service) CacheStats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := Stats{
-		Hits: s.hits, Misses: s.misses, Size: s.lru.Len(),
-		SweepCount: s.sweepCount, SweepMin: s.sweepMin, SweepMax: s.sweepMax,
-	}
-	if s.sweepCount > 0 {
-		st.SweepMean = s.sweepTotal / time.Duration(s.sweepCount)
-	}
-	return st
+	return s.cache.stats()
 }

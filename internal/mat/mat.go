@@ -260,4 +260,3 @@ func Norm2(x []float64) float64 {
 	}
 	return math.Sqrt(s)
 }
-

@@ -5,9 +5,18 @@
 #
 # Usage:
 #   scripts/bench.sh [pattern]            run + record
-#   scripts/bench.sh compare [pattern]    run + record + diff against the
+#   scripts/bench.sh compare [-fail-above <ratio>] [pattern]
+#                                         run + record + diff against the
 #                                         latest prior BENCH_*.json, printing
 #                                         per-benchmark speedup ratios
+#
+# With -fail-above, compare exits non-zero when any benchmark's ns/op grew
+# past <ratio> × its prior value (e.g. -fail-above 1.5 fails on a >1.5×
+# slowdown), so a gate can fail on regressions instead of only printing
+# ratios. Ratios are only meaningful between runs on the SAME hardware:
+# gate in environments that record their own baseline (a dev box's local
+# BENCH trajectory, or CI that measures a baseline in the same job), not
+# against snapshots committed from different machines.
 #
 # A custom -bench pattern overrides the default set. Existing BENCH files are
 # never clobbered: a same-day rerun writes BENCH_<date>_N.json, which sorts
@@ -16,11 +25,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 compare=0
+fail_above=""
 if [[ "${1:-}" == "compare" ]]; then
   compare=1
   shift
+  if [[ "${1:-}" == "-fail-above" ]]; then
+    fail_above="${2:?-fail-above needs a ratio}"
+    shift 2
+  fi
 fi
-pattern="${1:-BenchmarkTable2_GBTrainPredict|BenchmarkFigure1_AuroraModels|BenchmarkAblation_SplitterEngine|BenchmarkAblation_KernelGram|BenchmarkAblation_SPDSolve}"
+pattern="${1:-BenchmarkTable2_GBTrainPredict|BenchmarkFigure1_AuroraModels|BenchmarkAblation_SplitterEngine|BenchmarkAblation_KernelGram|BenchmarkAblation_SPDSolve|BenchmarkRouter_MixedFleet}"
 
 # Snapshot the latest prior record BEFORE writing the new one (-V so a
 # tenth same-day rerun _10 sorts after _9, not before _2).
@@ -62,16 +76,30 @@ if [[ "$compare" == 1 ]]; then
   echo
   echo "compare: $prev -> $out (ratio > 1 is a speedup)"
   # Both files hold one {"name": ..., "ns_per_op": ...} object per line.
-  awk '
+  # With a fail-above ratio, benchmarks whose new ns/op exceeds
+  # prev × ratio are listed and the script exits 1.
+  awk -v fail_above="${fail_above}" '
     function trim(s) { gsub(/[",]/, "", s); return s }
     /"name"/ {
       name = trim($2); ns = trim($4) + 0
       if (FILENAME == ARGV[1]) { prev[name] = ns }
       else if (name in prev && ns > 0) {
         printf "  %-55s %12.0f -> %12.0f ns/op   %5.2fx\n", name, prev[name], ns, prev[name] / ns
+        if (fail_above != "" && ns > prev[name] * fail_above) {
+          regressed[name] = ns / prev[name]
+        }
       } else if (!(name in prev)) {
         printf "  %-55s %28s %12.0f ns/op   (new)\n", name, "", ns
       }
+    }
+    END {
+      bad = 0
+      for (name in regressed) {
+        if (!bad) printf "\nregressions past %sx:\n", fail_above
+        printf "  %-55s %.2fx slower\n", name, regressed[name]
+        bad = 1
+      }
+      exit bad
     }
   ' "$prev" "$out"
 fi
