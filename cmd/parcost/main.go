@@ -63,6 +63,8 @@ func main() {
 		err = runTrain(args)
 	case "serve":
 		err = runServe(args)
+	case "proxy":
+		err = runProxy(args)
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -90,6 +92,9 @@ Commands:
   serve    serve stq/bq/predict over HTTP from an artifact or fleet bundle
            (-model -addr; -warmset pre-sweeps hot keys at startup and saves
            them on graceful shutdown)
+  proxy    front N serve processes with one fault-tolerant endpoint
+           (-backends host1:8081,host2:8082 -hedge-after 95p -retries 2
+           -breaker-window 10s; same /v1 API, plus /v1/admin/drain)
 
 Common flags:
   -data <csv>      dataset CSV (default: simulate for -machine)

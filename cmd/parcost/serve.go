@@ -76,29 +76,62 @@ func runServe(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: *addr, Handler: newServeHandler(router)}
+	srv := hardenedServer(*addr, newServeHandler(router))
 	fmt.Printf("Serving fleet %v on %s\n", router.Machines(), *addr)
-	err = serveUntilShutdown(ctx, srv, nil, *drain, func() {
-		if *warmset == "" {
-			return
+	return serveUntilShutdown(ctx, srv, nil, *drain, saveWarmSetOnDrain(router, *warmset))
+}
+
+// Hardened http.Server limits: without them a client that trickles header
+// bytes (slow loris) or never finishes a body pins a connection forever, and
+// idle keep-alives accumulate across deploy cycles. Request bodies are
+// additionally capped at maxRequestBytes via http.MaxBytesReader, answered
+// with a structured 413.
+const (
+	serverReadHeaderTimeout = 5 * time.Second
+	serverReadTimeout       = 30 * time.Second
+	serverIdleTimeout       = 120 * time.Second
+	maxRequestBytes         = 1 << 20
+)
+
+// hardenedServer builds the http.Server shared by serve and proxy with the
+// slow-client limits above. No WriteTimeout: cold sweeps legitimately run
+// long, and the drain timeout already bounds shutdown.
+func hardenedServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: serverReadHeaderTimeout,
+		ReadTimeout:       serverReadTimeout,
+		IdleTimeout:       serverIdleTimeout,
+	}
+}
+
+// saveWarmSetOnDrain is the drain hook runServe installs: persist the warm
+// set after in-flight requests finish. A save failure names the path and
+// becomes the process exit status — losing the warm set silently would turn
+// the next boot's first burst into unexplained cold-sweep latency.
+func saveWarmSetOnDrain(router *guide.Router, path string) func() error {
+	return func() error {
+		if path == "" {
+			return nil
 		}
-		if err := router.SaveWarmSet(*warmset, 0); err != nil {
-			fmt.Fprintf(os.Stderr, "warning: warm set %s not saved: %v\n", *warmset, err)
-		} else {
-			fmt.Printf("Warm set saved to %s\n", *warmset)
+		if err := router.SaveWarmSet(path, 0); err != nil {
+			return fmt.Errorf("warm set %s not saved on drain: %w", path, err)
 		}
-	})
-	return err
+		fmt.Printf("Warm set saved to %s\n", path)
+		return nil
+	}
 }
 
 // serveUntilShutdown runs the server until it fails or ctx is cancelled
 // (SIGINT/SIGTERM in production). On cancellation it stops accepting new
 // connections, lets in-flight requests — including long cold sweeps — finish
 // within the drain timeout via http.Server.Shutdown, then runs onDrained
-// (warm-set persistence). A clean drain returns nil. ln, when non-nil,
-// supplies the listener (tests bind port 0 to learn the address); nil uses
-// srv.Addr.
-func serveUntilShutdown(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, onDrained func()) error {
+// (warm-set persistence). A clean drain returns nil; a drain-hook failure is
+// the return value (and thus the exit status) when shutdown itself
+// succeeded, so a lost warm set is never silent. ln, when non-nil, supplies
+// the listener (tests bind port 0 to learn the address); nil uses srv.Addr.
+func serveUntilShutdown(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, onDrained func() error) error {
 	errCh := make(chan error, 1)
 	go func() {
 		if ln != nil {
@@ -115,13 +148,16 @@ func serveUntilShutdown(ctx context.Context, srv *http.Server, ln net.Listener, 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx)
+	var drainErr error
 	if onDrained != nil {
-		onDrained()
+		if drainErr = onDrained(); drainErr != nil {
+			fmt.Fprintf(os.Stderr, "error: drain: %v\n", drainErr)
+		}
 	}
 	if err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	return nil
+	return drainErr
 }
 
 // Request/response schema of the serve endpoints. All bodies are JSON. The
@@ -173,67 +209,39 @@ type batchResponse struct {
 	Results []batchEntry `json:"results"`
 }
 
-// cacheHealth is one cache's observability block: hit/miss/expiry counters,
-// residency, and per-sweep wall time.
-type cacheHealth struct {
-	CacheHits    uint64  `json:"cache_hits"`
-	CacheMisses  uint64  `json:"cache_misses"`
-	CacheExpired uint64  `json:"cache_expired"`
-	CacheSize    int     `json:"cache_size"`
-	CacheBytes   int64   `json:"cache_bytes"`
-	Sweeps       uint64  `json:"sweeps"`
-	SweepMinMs   float64 `json:"sweep_min_ms"`
-	SweepMeanMs  float64 `json:"sweep_mean_ms"`
-	SweepMaxMs   float64 `json:"sweep_max_ms"`
-}
-
-func toCacheHealth(st guide.Stats) cacheHealth {
-	return cacheHealth{
-		CacheHits: st.Hits, CacheMisses: st.Misses, CacheExpired: st.Expired,
-		CacheSize: st.Size, CacheBytes: st.Bytes,
-		Sweeps:      st.SweepCount,
-		SweepMinMs:  float64(st.SweepMin) / float64(time.Millisecond),
-		SweepMeanMs: float64(st.SweepMean) / float64(time.Millisecond),
-		SweepMaxMs:  float64(st.SweepMax) / float64(time.Millisecond),
-	}
-}
-
-// shardHealth is one fleet shard's block in /v1/healthz.
-type shardHealth struct {
-	Machine string `json:"machine"`
-	Model   string `json:"model"`
-	cacheHealth
-}
-
-type healthResponse struct {
-	Status string `json:"status"`
-
-	// Per-shard and fleet-aggregate cache/sweep observability. The
-	// aggregate's min/mean/max follow guide.Stats aggregation: shards with
-	// zero sweeps contribute nothing to the extremes.
-	Machines  []shardHealth `json:"machines"`
-	Aggregate cacheHealth   `json:"aggregate"`
-
-	// Per-endpoint request latency histograms (log-spaced cumulative
-	// buckets), covering the full handler — decode, cache or sweep, encode.
-	Latency map[string]latencySnapshot `json:"latency"`
-}
-
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// decodeJSON reads a size-capped JSON request body into dst, answering a
+// structured 413 when the body exceeds maxRequestBytes and a structured 400
+// when it is malformed. Returns false when a response has been written.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed JSON body: " + err.Error()})
+		return false
+	}
+	return true
 }
 
 // newServeHandler builds the HTTP API over a guide.Router. Split from
 // runServe so tests drive the exact handler the daemon mounts.
 func newServeHandler(router *guide.Router) http.Handler {
 	mux := http.NewServeMux()
-	metrics := newRouteMetrics()
+	metrics := guide.NewMetrics()
 
-	mux.HandleFunc("GET /v1/healthz", metrics.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
-		resp := healthResponse{
+	mux.HandleFunc("GET /v1/healthz", metrics.Instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
+		resp := guide.HealthReport{
 			Status:    "ok",
-			Aggregate: toCacheHealth(router.AggregateStats()),
-			Latency:   metrics.snapshot(),
+			Aggregate: guide.HealthFromStats(router.AggregateStats()),
+			Latency:   metrics.Snapshot(),
 		}
 		stats := router.ShardStats()
 		for _, name := range router.Machines() {
@@ -241,19 +249,50 @@ func newServeHandler(router *guide.Router) http.Handler {
 			if err != nil {
 				continue // removed between listing and resolve
 			}
-			resp.Machines = append(resp.Machines, shardHealth{
+			resp.Machines = append(resp.Machines, guide.ShardHealth{
 				Machine:     name,
 				Model:       svc.Advisor().Model.Name(),
-				cacheHealth: toCacheHealth(stats[name]),
+				CacheHealth: guide.HealthFromStats(stats[name]),
 			})
 		}
 		writeJSON(w, http.StatusOK, resp)
 	}))
 
-	mux.HandleFunc("POST /v1/recommend", metrics.instrument("recommend", func(w http.ResponseWriter, r *http.Request) {
+	// Warm-set handoff endpoints: GET exports the fleet's hottest keys in
+	// the same versioned format SaveWarmSet writes; POST pre-sweeps an
+	// exported set through this fleet. Together they let a proxy drain a
+	// backend into its replacement without a shared filesystem.
+	mux.HandleFunc("GET /v1/warmset", metrics.Instrument("warmset", func(w http.ResponseWriter, r *http.Request) {
+		data, err := guide.EncodeWarmSet(router.ExportWarmSet(0))
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	}))
+
+	mux.HandleFunc("POST /v1/warmset", metrics.Instrument("warmset", func(w http.ResponseWriter, r *http.Request) {
+		var raw json.RawMessage
+		if !decodeJSON(w, r, &raw) {
+			return
+		}
+		ws, err := guide.DecodeWarmSet(raw)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		warmed, err := router.ImportWarmSet(ws)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"warmed": warmed})
+	}))
+
+	mux.HandleFunc("POST /v1/recommend", metrics.Instrument("recommend", func(w http.ResponseWriter, r *http.Request) {
 		var req recommendRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed JSON body: " + err.Error()})
+		if !decodeJSON(w, r, &req) {
 			return
 		}
 		resp, err := recommendOne(router, req)
@@ -264,10 +303,9 @@ func newServeHandler(router *guide.Router) http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	}))
 
-	mux.HandleFunc("POST /v1/batch", metrics.instrument("batch", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/batch", metrics.Instrument("batch", func(w http.ResponseWriter, r *http.Request) {
 		var req batchRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed JSON body: " + err.Error()})
+		if !decodeJSON(w, r, &req) {
 			return
 		}
 		if len(req.Queries) == 0 {
@@ -307,10 +345,9 @@ func newServeHandler(router *guide.Router) http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	}))
 
-	mux.HandleFunc("POST /v1/predict", metrics.instrument("predict", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/predict", metrics.Instrument("predict", func(w http.ResponseWriter, r *http.Request) {
 		var req predictRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed JSON body: " + err.Error()})
+		if !decodeJSON(w, r, &req) {
 			return
 		}
 		if req.O <= 0 || req.V <= 0 || req.Nodes <= 0 || req.Tile <= 0 {

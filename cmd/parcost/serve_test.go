@@ -16,12 +16,45 @@ import (
 
 	"parcost/internal/ccsd"
 	"parcost/internal/dataset"
+	"parcost/internal/fleetproxy"
 	"parcost/internal/guide"
 	"parcost/internal/machine"
 )
 
+// frontendFactory exposes a serve handler over HTTP: either directly, or
+// through a one-backend `parcost proxy` in front of it. Running every wire
+// battery through both makes the serve tests double as proxy conformance
+// tests — the proxy must be invisible for a healthy single backend.
+type frontendFactory func(t *testing.T, h http.Handler) (baseURL string)
+
+func directFrontend(t *testing.T, h http.Handler) string {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func proxyFrontend(t *testing.T, h http.Handler) string {
+	t.Helper()
+	backend := httptest.NewServer(h)
+	t.Cleanup(backend.Close)
+	p, err := fleetproxy.New(fleetproxy.Config{Backends: []string{backend.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	front := httptest.NewServer(p.Handler())
+	t.Cleanup(front.Close)
+	return front.URL
+}
+
+func forEachFrontend(t *testing.T, fn func(t *testing.T, newFrontend frontendFactory)) {
+	t.Run("direct", func(t *testing.T) { fn(t, directFrontend) })
+	t.Run("proxy", func(t *testing.T) { fn(t, proxyFrontend) })
+}
+
 // testAdvisor trains a small advisor over simulated data for one machine.
-func testAdvisor(t *testing.T, spec machine.Spec) (*guide.Advisor, guide.Oracle) {
+func testAdvisor(t testing.TB, spec machine.Spec) (*guide.Advisor, guide.Oracle) {
 	t.Helper()
 	d := ccsd.Generate(spec, ccsd.GenConfig{
 		Problems: []dataset.Problem{{O: 99, V: 718}, {O: 146, V: 1096}, {O: 180, V: 1070}},
@@ -40,7 +73,7 @@ func testAdvisor(t *testing.T, spec machine.Spec) (*guide.Advisor, guide.Oracle)
 
 // testRouter builds a one-shard aurora router, the single-machine serving
 // shape.
-func testRouter(t *testing.T) (*guide.Router, *guide.Advisor, guide.Oracle) {
+func testRouter(t testing.TB) (*guide.Router, *guide.Advisor, guide.Oracle) {
 	t.Helper()
 	adv, oracle := testAdvisor(t, machine.Aurora())
 	r := guide.NewRouter()
@@ -50,7 +83,7 @@ func testRouter(t *testing.T) (*guide.Router, *guide.Advisor, guide.Oracle) {
 	return r, adv, oracle
 }
 
-func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+func postJSON(t testing.TB, url string, body any) (*http.Response, []byte) {
 	t.Helper()
 	data, err := json.Marshal(body)
 	if err != nil {
@@ -68,19 +101,23 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
 	return resp, buf.Bytes()
 }
 
-// TestServeEndToEnd drives the HTTP API of a one-shard fleet and asserts
-// every answer matches the in-process advisor exactly.
+// TestServeEndToEnd drives the HTTP API of a one-shard fleet — directly and
+// through a one-backend proxy — and asserts every answer matches the
+// in-process advisor exactly.
 func TestServeEndToEnd(t *testing.T) {
+	forEachFrontend(t, testServeEndToEnd)
+}
+
+func testServeEndToEnd(t *testing.T, newFrontend frontendFactory) {
 	router, adv, oracle := testRouter(t)
-	srv := httptest.NewServer(newServeHandler(router))
-	defer srv.Close()
+	base := newFrontend(t, newServeHandler(router))
 
 	// healthz
-	resp, err := http.Get(srv.URL + "/v1/healthz")
+	resp, err := http.Get(base + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var health healthResponse
+	var health guide.HealthReport
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +138,7 @@ func TestServeEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp, body := postJSON(t, srv.URL+"/v1/recommend", recommendRequest{O: p.O, V: p.V, Objective: objName})
+		resp, body := postJSON(t, base+"/v1/recommend", recommendRequest{O: p.O, V: p.V, Objective: objName})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("recommend %s: status %d body %s", objName, resp.StatusCode, body)
 		}
@@ -124,7 +161,7 @@ func TestServeEndToEnd(t *testing.T) {
 
 	// healthz again: the two sweeps must show up per-shard AND in the
 	// aggregate with a consistent min ≤ mean ≤ max.
-	resp, err = http.Get(srv.URL + "/v1/healthz")
+	resp, err = http.Get(base + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +169,7 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	for _, block := range []cacheHealth{health.Machines[0].cacheHealth, health.Aggregate} {
+	for _, block := range []guide.CacheHealth{health.Machines[0].CacheHealth, health.Aggregate} {
 		if block.Sweeps != 2 || block.CacheMisses != 2 {
 			t.Fatalf("healthz after 2 sweeps: %+v", block)
 		}
@@ -144,7 +181,7 @@ func TestServeEndToEnd(t *testing.T) {
 	// predict vs in-process model
 	cfg := dataset.Config{O: 99, V: 718, Nodes: 100, TileSize: 80}
 	wantSecs := adv.Model.Predict([][]float64{cfg.Features()})[0]
-	resp2, body := postJSON(t, srv.URL+"/v1/predict", predictRequest{O: cfg.O, V: cfg.V, Nodes: cfg.Nodes, Tile: cfg.TileSize})
+	resp2, body := postJSON(t, base+"/v1/predict", predictRequest{O: cfg.O, V: cfg.V, Nodes: cfg.Nodes, Tile: cfg.TileSize})
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("predict: status %d body %s", resp2.StatusCode, body)
 	}
@@ -161,7 +198,7 @@ func TestServeEndToEnd(t *testing.T) {
 		{O: 99, V: 718, Objective: "stq"},
 		{O: 146, V: 1096, Objective: "bq"},
 	}}
-	resp3, body := postJSON(t, srv.URL+"/v1/batch", batch)
+	resp3, body := postJSON(t, base+"/v1/batch", batch)
 	if resp3.StatusCode != http.StatusOK {
 		t.Fatalf("batch: status %d body %s", resp3.StatusCode, body)
 	}
@@ -196,6 +233,10 @@ func TestServeEndToEnd(t *testing.T) {
 // Router, and /v1/recommend WITHOUT a machine field answers bit-identically
 // to the pre-refactor path (the advisor queried directly in process).
 func TestServeBackCompatSingleArtifact(t *testing.T) {
+	forEachFrontend(t, testServeBackCompatSingleArtifact)
+}
+
+func testServeBackCompatSingleArtifact(t *testing.T, newFrontend frontendFactory) {
 	adv, oracle := testAdvisor(t, machine.Aurora())
 	path := filepath.Join(t.TempDir(), "advisor.json")
 	// The single-advisor format is unchanged since PR 3: SaveAdvisor writes
@@ -215,8 +256,7 @@ func TestServeBackCompatSingleArtifact(t *testing.T) {
 	if err := router.AddShard(entries[0].Machine, entries[0].Advisor, guide.WithOracle(oracle)); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServeHandler(router))
-	defer srv.Close()
+	base := newFrontend(t, newServeHandler(router))
 
 	for _, objName := range []string{"stq", "bq"} {
 		obj := guide.ShortestTime
@@ -228,7 +268,7 @@ func TestServeBackCompatSingleArtifact(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			resp, body := postJSON(t, srv.URL+"/v1/recommend",
+			resp, body := postJSON(t, base+"/v1/recommend",
 				recommendRequest{O: p.O, V: p.V, Objective: objName}) // no machine field
 			if resp.StatusCode != http.StatusOK {
 				t.Fatalf("status %d body %s", resp.StatusCode, body)
@@ -266,47 +306,10 @@ func TestServeFleetEndToEnd(t *testing.T) {
 		t.Fatalf("bundle meta %+v", meta)
 	}
 
-	router := guide.NewRouter()
-	oracles := map[string]guide.Oracle{}
-	for _, e := range entries {
-		spec, err := machine.ByName(e.Machine)
-		if err != nil {
-			t.Fatal(err)
-		}
-		oracles[e.Machine] = guide.NewSimOracle(spec)
-		if err := router.AddShard(e.Machine, e.Advisor, guide.WithOracle(oracles[e.Machine])); err != nil {
-			t.Fatal(err)
-		}
-	}
-	srv := httptest.NewServer(newServeHandler(router))
-	defer srv.Close()
-
-	// Routed queries for both machines from one process; answers must match
-	// each machine's own advisor.
-	p := dataset.Problem{O: 146, V: 1096}
-	for _, e := range entries {
-		want, err := e.Advisor.Recommend(p, guide.ShortestTime, oracles[e.Machine])
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp, body := postJSON(t, srv.URL+"/v1/recommend",
-			recommendRequest{Machine: e.Machine, O: p.O, V: p.V, Objective: "stq"})
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("recommend %s: status %d body %s", e.Machine, resp.StatusCode, body)
-		}
-		var rec recommendResponse
-		if err := json.Unmarshal(body, &rec); err != nil {
-			t.Fatal(err)
-		}
-		if rec.Machine != e.Machine || rec.Nodes != want.Config.Nodes || rec.Tile != want.Config.TileSize ||
-			rec.PredSeconds != want.PredTime {
-			t.Fatalf("%s routed answer %+v, in-process %+v", e.Machine, rec, want)
-		}
-	}
-
 	// Each fleet shard must predict identically to a single-machine train
 	// run with the same flags (the -machines path shares loadOrGenerate and
 	// buildGB with the single path, pinned here for aurora).
+	p := dataset.Problem{O: 146, V: 1096}
 	single := filepath.Join(t.TempDir(), "aurora.json")
 	if err := runTrain([]string{"-machine", "aurora", "-gensize", "300", "-trees", "25", "-depth", "4", "-seed", "3", "-out", single}); err != nil {
 		t.Fatal(err)
@@ -327,6 +330,70 @@ func TestServeFleetEndToEnd(t *testing.T) {
 		t.Fatalf("aurora fleet shard diverges from single train: %+v vs %+v", gotFleet, wantSingle)
 	}
 
+	// Corrupted bundle entries (any shard) are rejected at load — spot-check
+	// through the CLI-visible LoadFleet path with whole-file tampering; the
+	// per-entry cases are pinned in internal/guide.
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(raw, []byte(`"machine":"aurora"`), []byte(`"machine":"borealis"`), 1)
+	if bytes.Equal(tampered, raw) {
+		t.Fatal("tamper target not found in bundle")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := guide.LoadFleet(bad); err == nil {
+		t.Fatal("tampered bundle accepted by LoadFleet")
+	}
+
+	// The wire battery runs once per frontend (direct and proxied) over a
+	// fresh router each time so the healthz stats assertions stay exact.
+	forEachFrontend(t, func(t *testing.T, newFrontend frontendFactory) {
+		testServeFleetWire(t, newFrontend, entries)
+	})
+}
+
+func testServeFleetWire(t *testing.T, newFrontend frontendFactory, entries []guide.FleetEntry) {
+	router := guide.NewRouter()
+	oracles := map[string]guide.Oracle{}
+	for _, e := range entries {
+		spec, err := machine.ByName(e.Machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles[e.Machine] = guide.NewSimOracle(spec)
+		if err := router.AddShard(e.Machine, e.Advisor, guide.WithOracle(oracles[e.Machine])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := newFrontend(t, newServeHandler(router))
+
+	// Routed queries for both machines from one process; answers must match
+	// each machine's own advisor.
+	p := dataset.Problem{O: 146, V: 1096}
+	for _, e := range entries {
+		want, err := e.Advisor.Recommend(p, guide.ShortestTime, oracles[e.Machine])
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, body := postJSON(t, base+"/v1/recommend",
+			recommendRequest{Machine: e.Machine, O: p.O, V: p.V, Objective: "stq"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("recommend %s: status %d body %s", e.Machine, resp.StatusCode, body)
+		}
+		var rec recommendResponse
+		if err := json.Unmarshal(body, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Machine != e.Machine || rec.Nodes != want.Config.Nodes || rec.Tile != want.Config.TileSize ||
+			rec.PredSeconds != want.PredTime {
+			t.Fatalf("%s routed answer %+v, in-process %+v", e.Machine, rec, want)
+		}
+	}
+
 	// The two shards must answer DIFFERENTLY (different machines, different
 	// models) — otherwise routing could be silently collapsed.
 	ra, _ := recommendOne(router, recommendRequest{Machine: "aurora", O: p.O, V: p.V, Objective: "stq"})
@@ -342,7 +409,7 @@ func TestServeFleetEndToEnd(t *testing.T) {
 		{Machine: "frontier", O: 99, V: 718, Objective: "bq"},
 		{Machine: "perlmutter", O: 99, V: 718, Objective: "stq"},
 	}}
-	respB, body := postJSON(t, srv.URL+"/v1/batch", batch)
+	respB, body := postJSON(t, base+"/v1/batch", batch)
 	if respB.StatusCode != http.StatusOK {
 		t.Fatalf("batch: status %d body %s", respB.StatusCode, body)
 	}
@@ -361,18 +428,19 @@ func TestServeFleetEndToEnd(t *testing.T) {
 	}
 
 	// An un-machined recommend against a two-shard fleet is a 400.
-	respU, body := postJSON(t, srv.URL+"/v1/recommend", recommendRequest{O: 99, V: 718, Objective: "stq"})
+	respU, body := postJSON(t, base+"/v1/recommend", recommendRequest{O: 99, V: 718, Objective: "stq"})
 	if respU.StatusCode != http.StatusBadRequest {
 		t.Fatalf("machine-less query on a 2-shard fleet: status %d body %s", respU.StatusCode, body)
 	}
 
 	// healthz: per-shard stats visible for both machines, plus per-endpoint
-	// latency histograms for the routes exercised above.
-	respH, err := http.Get(srv.URL + "/v1/healthz")
+	// latency histograms for the routes exercised above (behind the proxy,
+	// the histograms are the proxy's own route timings — same schema).
+	respH, err := http.Get(base + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var health healthResponse
+	var health guide.HealthReport
 	if err := json.NewDecoder(respH.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +448,7 @@ func TestServeFleetEndToEnd(t *testing.T) {
 	if len(health.Machines) != 2 {
 		t.Fatalf("healthz lists %d shards", len(health.Machines))
 	}
-	perShard := map[string]shardHealth{}
+	perShard := map[string]guide.ShardHealth{}
 	for _, sh := range health.Machines {
 		perShard[sh.Machine] = sh
 	}
@@ -409,25 +477,6 @@ func TestServeFleetEndToEnd(t *testing.T) {
 		if prev > hist.Count {
 			t.Fatalf("latency %s cumulative %d exceeds count %d", route, prev, hist.Count)
 		}
-	}
-
-	// Corrupted bundle entries (any shard) are rejected at load — spot-check
-	// through the CLI-visible LoadFleet path with whole-file tampering; the
-	// per-entry cases are pinned in internal/guide.
-	raw, err := os.ReadFile(out)
-	if err != nil {
-		t.Fatal(err)
-	}
-	tampered := bytes.Replace(raw, []byte(`"machine":"aurora"`), []byte(`"machine":"borealis"`), 1)
-	if bytes.Equal(tampered, raw) {
-		t.Fatal("tamper target not found in bundle")
-	}
-	bad := filepath.Join(t.TempDir(), "bad.json")
-	if err := os.WriteFile(bad, tampered, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, _, err := guide.LoadFleet(bad); err == nil {
-		t.Fatal("tampered bundle accepted by LoadFleet")
 	}
 }
 
@@ -493,7 +542,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	drained := false
 	done := make(chan error, 1)
 	go func() {
-		done <- serveUntilShutdown(ctx, srv, ln, 5*time.Second, func() { drained = true })
+		done <- serveUntilShutdown(ctx, srv, ln, 5*time.Second, func() error { drained = true; return nil })
 	}()
 
 	reqDone := make(chan string, 1)
@@ -536,11 +585,16 @@ func TestServeGracefulShutdown(t *testing.T) {
 	}
 }
 
-// TestServeRejectsBadRequests covers the validation layer of every endpoint.
+// TestServeRejectsBadRequests covers the validation layer of every endpoint —
+// semantic 400s, malformed-JSON 400s, and oversized-body 413s — directly and
+// through the proxy (which must relay 4xx verbatim, never retry them).
 func TestServeRejectsBadRequests(t *testing.T) {
+	forEachFrontend(t, testServeRejectsBadRequests)
+}
+
+func testServeRejectsBadRequests(t *testing.T, newFrontend frontendFactory) {
 	router, _, _ := testRouter(t)
-	srv := httptest.NewServer(newServeHandler(router))
-	defer srv.Close()
+	base := newFrontend(t, newServeHandler(router))
 
 	cases := []struct {
 		name string
@@ -558,7 +612,7 @@ func TestServeRejectsBadRequests(t *testing.T) {
 		{"batch bad entry", "/v1/batch", batchRequest{Queries: []recommendRequest{{O: 0, V: 1, Objective: "stq"}}}},
 	}
 	for _, tc := range cases {
-		resp, body := postJSON(t, srv.URL+tc.path, tc.body)
+		resp, body := postJSON(t, base+tc.path, tc.body)
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d (body %s), want 400", tc.name, resp.StatusCode, body)
 			continue
@@ -569,14 +623,101 @@ func TestServeRejectsBadRequests(t *testing.T) {
 		}
 	}
 
-	// Malformed JSON body.
-	resp, err := http.Post(srv.URL+"/v1/recommend", "application/json", strings.NewReader("{nope"))
+	// Oversized and malformed bodies on every POST endpoint. The oversized
+	// payload is valid JSON past the 1 MiB cap, so only MaxBytesReader can be
+	// the thing rejecting it; the answer must be a structured 413 naming the
+	// limit, not a hang or connection drop.
+	oversized := `{"pad":"` + strings.Repeat("x", maxRequestBytes+1024) + `"}`
+	for _, path := range []string{"/v1/recommend", "/v1/predict", "/v1/batch"} {
+		wire := []struct {
+			name       string
+			payload    string
+			wantStatus int
+			wantInBody string
+		}{
+			{"oversized body", oversized, http.StatusRequestEntityTooLarge, "exceeds"},
+			{"malformed JSON", "{nope", http.StatusBadRequest, "malformed"},
+			{"empty body", "", http.StatusBadRequest, ""},
+		}
+		for _, tc := range wire {
+			resp, err := http.Post(base+path, "application/json", strings.NewReader(tc.payload))
+			if err != nil {
+				t.Fatalf("%s %s: %v", path, tc.name, err)
+			}
+			var buf bytes.Buffer
+			_, _ = buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("%s %s: status %d (body %.100s), want %d", path, tc.name, resp.StatusCode, buf.String(), tc.wantStatus)
+				continue
+			}
+			var er errorResponse
+			if err := json.Unmarshal(buf.Bytes(), &er); err != nil || er.Error == "" {
+				t.Errorf("%s %s: error body %.100q not structured", path, tc.name, buf.String())
+				continue
+			}
+			if tc.wantInBody != "" && !strings.Contains(er.Error, tc.wantInBody) {
+				t.Errorf("%s %s: error %q does not mention %q", path, tc.name, er.Error, tc.wantInBody)
+			}
+		}
+	}
+}
+
+// TestServeDrainSurfacesWarmSetFailure is the drain-path failure contract: a
+// warm-set save that cannot be written must name the path and become the exit
+// status of serveUntilShutdown — never a silent loss.
+func TestServeDrainSurfacesWarmSetFailure(t *testing.T) {
+	router, _, _ := testRouter(t)
+	// Warm one key so there is something to save.
+	srv := httptest.NewServer(newServeHandler(router))
+	if resp, body := postJSON(t, srv.URL+"/v1/recommend", recommendRequest{O: 99, V: 718, Objective: "stq"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup recommend: %d %s", resp.StatusCode, body)
+	}
+	srv.Close()
+
+	// A directory is unwritable as a file: SaveWarmSet must fail.
+	unwritable := t.TempDir()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- serveUntilShutdown(ctx, &http.Server{Handler: newServeHandler(router)}, ln,
+			5*time.Second, saveWarmSetOnDrain(router, unwritable))
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("unwritable warm-set path did not surface in exit status")
+		}
+		if !strings.Contains(err.Error(), unwritable) {
+			t.Fatalf("drain error %q does not name the warm-set path %q", err, unwritable)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveUntilShutdown never returned")
+	}
+
+	// The happy path stays nil: a writable path saves and exits clean.
+	writable := filepath.Join(t.TempDir(), "warm.json")
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done2 := make(chan error, 1)
+	go func() {
+		done2 <- serveUntilShutdown(ctx2, &http.Server{Handler: newServeHandler(router)}, ln2,
+			5*time.Second, saveWarmSetOnDrain(router, writable))
+	}()
+	cancel2()
+	if err := <-done2; err != nil {
+		t.Fatalf("writable warm-set drain returned %v", err)
+	}
+	if _, err := os.Stat(writable); err != nil {
+		t.Fatalf("warm set not written on clean drain: %v", err)
 	}
 }
 

@@ -1,0 +1,125 @@
+package fleetproxy
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable clock for breaker window tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(10*time.Second, 3, clk.now)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("after %d failures state = %v, want closed", i+1, got)
+		}
+	}
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after threshold failures state = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the window")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(10*time.Second, 3, clk.now)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("non-consecutive failures tripped the breaker: %v", got)
+	}
+}
+
+func TestBreakerHalfOpenAfterWindow(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(10*time.Second, 1, clk.now)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+	clk.advance(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit a trial after the window")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+}
+
+func TestBreakerHalfOpenTrialSuccessCloses(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(10*time.Second, 1, clk.now)
+	b.Failure()
+	clk.advance(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no trial admitted")
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after trial success = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a request")
+	}
+}
+
+func TestBreakerHalfOpenTrialFailureReopensFullWindow(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(10*time.Second, 1, clk.now)
+	b.Failure()
+	clk.advance(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no trial admitted")
+	}
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after trial failure = %v, want open", got)
+	}
+	clk.advance(9 * time.Second)
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a request before a FULL new window elapsed")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker never recovered")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+	} {
+		if got := state.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", state, got, want)
+		}
+	}
+}

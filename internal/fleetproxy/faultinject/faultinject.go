@@ -1,0 +1,131 @@
+// Package faultinject is a scriptable fault-injecting HTTP backend double
+// for proxy and fleet tests. A Backend wraps a real handler (typically a
+// parcost serve handler or a canned responder) and, per script, delegates
+// normally, hangs until the client gives up, answers a 5xx burst, resets the
+// connection without a response, or delays before answering. Faults apply to
+// every route — including /v1/healthz — so health-prober and breaker
+// recovery behavior is exercised by the same scripts.
+package faultinject
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is one scriptable behavior.
+type Mode int
+
+const (
+	// OK delegates to the wrapped handler.
+	OK Mode = iota
+	// Hang never writes a response: the handler parks until the client's
+	// request context is cancelled, then aborts the connection. Exercises
+	// deadline and hedging paths.
+	Hang
+	// Err5xx answers 503 with a JSON error body.
+	Err5xx
+	// Reset aborts the connection without writing a response, which the
+	// client surfaces as a connection error (EOF / reset).
+	Reset
+	// Slow sleeps the configured delay, then delegates. Models an overloaded
+	// but live backend (the "slow-then-ok" script).
+	Slow
+)
+
+// Backend is the scriptable double. The zero value is unusable; use New.
+type Backend struct {
+	inner http.Handler
+
+	mu        sync.Mutex
+	mode      Mode
+	remaining int // faulted requests left; <0 means until rescripted
+	delay     time.Duration
+
+	hits    atomic.Int64
+	faulted atomic.Int64
+}
+
+// New wraps inner with an initially well-behaved (OK) script.
+func New(inner http.Handler) *Backend {
+	return &Backend{inner: inner}
+}
+
+// Script sets the behavior for the next burst requests (burst < 0: until
+// rescripted). A burst of 0 restores OK.
+func (b *Backend) Script(mode Mode, burst int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mode = mode
+	b.remaining = burst
+	if burst == 0 {
+		b.mode = OK
+	}
+}
+
+// ScriptSlow arms the Slow behavior with its delay.
+func (b *Backend) ScriptSlow(delay time.Duration, burst int) {
+	b.Script(Slow, burst)
+	b.mu.Lock()
+	b.delay = delay
+	b.mu.Unlock()
+}
+
+// Hits returns how many requests arrived in total.
+func (b *Backend) Hits() int64 { return b.hits.Load() }
+
+// Faulted returns how many requests were answered by a scripted fault.
+func (b *Backend) Faulted() int64 { return b.faulted.Load() }
+
+// take claims one faulted request under the current script, decrementing a
+// finite burst and reverting to OK when it runs out.
+func (b *Backend) take() (Mode, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.mode == OK || b.remaining == 0 {
+		b.mode = OK
+		return OK, 0
+	}
+	if b.remaining > 0 {
+		b.remaining--
+	}
+	return b.mode, b.delay
+}
+
+func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	b.hits.Add(1)
+	mode, delay := b.take()
+	if mode == Hang || mode == Slow {
+		// Drain the body first: the net/http server only watches for client
+		// disconnect (and cancels r.Context()) once the request body has been
+		// consumed, so a parked handler with an unread body would never
+		// observe the proxy giving up and would pin the connection forever.
+		_, _ = io.Copy(io.Discard, r.Body)
+	}
+	if mode != OK {
+		b.faulted.Add(1)
+	}
+	switch mode {
+	case Hang:
+		<-r.Context().Done()
+		panic(http.ErrAbortHandler)
+	case Err5xx:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "injected 5xx"})
+	case Reset:
+		panic(http.ErrAbortHandler)
+	case Slow:
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+			panic(http.ErrAbortHandler)
+		}
+		b.inner.ServeHTTP(w, r)
+	default:
+		b.inner.ServeHTTP(w, r)
+	}
+}

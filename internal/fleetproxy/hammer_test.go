@@ -1,0 +1,133 @@
+package fleetproxy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"parcost/internal/fleetproxy/faultinject"
+)
+
+// TestProxyHammer_ChurningBackend drives a 64-query mixed stream (recommend,
+// predict, and batch across many machine keys) through a three-backend fleet
+// while one backend churns between connection resets, 5xx bursts, hangs, and
+// health — the shape the ISSUE's kill-primary scenario reduces to at the
+// proxy layer. Run under -race in CI. The invariants: every request
+// completes (success or structured failure) before its deadline, and no
+// request observes an empty or non-JSON body.
+func TestProxyHammer_ChurningBackend(t *testing.T) {
+	f := newTestFleet(t, 3, Config{
+		Hedge:           HedgeSpec{Fixed: 30 * time.Millisecond},
+		Retries:         2,
+		RetryBackoff:    time.Millisecond,
+		RequestTimeout:  2 * time.Second,
+		BreakerWindow:   50 * time.Millisecond,
+		BreakerFailures: 3,
+		ProbeInterval:   25 * time.Millisecond,
+		ProbeTimeout:    500 * time.Millisecond,
+	})
+	f.proxy.Start()
+
+	churnDone := make(chan struct{})
+	var churner sync.WaitGroup
+	churner.Add(1)
+	go func() {
+		defer churner.Done()
+		modes := []faultinject.Mode{faultinject.Reset, faultinject.OK, faultinject.Err5xx, faultinject.OK, faultinject.Hang, faultinject.OK}
+		i := 0
+		tick := time.NewTicker(15 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-churnDone:
+				f.faults[0].Script(faultinject.OK, 0)
+				return
+			case <-tick.C:
+				f.faults[0].Script(modes[i%len(modes)], -1)
+				i++
+			}
+		}
+	}()
+
+	const streams = 64
+	const perStream = 6
+	client := &http.Client{Timeout: 10 * time.Second}
+	errs := make(chan error, streams*perStream)
+	var wg sync.WaitGroup
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for q := 0; q < perStream; q++ {
+				machine := fmt.Sprintf("machine-%d", (s*perStream+q)%16)
+				var path string
+				var payload any
+				switch q % 3 {
+				case 0:
+					path, payload = "/v1/recommend", map[string]any{"machine": machine}
+				case 1:
+					path, payload = "/v1/predict", map[string]any{"machine": machine}
+				default:
+					path = "/v1/batch"
+					payload = map[string]any{"queries": []map[string]any{
+						{"machine": machine}, {"machine": fmt.Sprintf("machine-%d", (s+q)%16)},
+					}}
+				}
+				resp, body := hammerPost(client, f.frontend.URL+path, payload)
+				if resp == nil {
+					errs <- fmt.Errorf("stream %d query %d (%s): transport error: %s", s, q, path, body)
+					continue
+				}
+				if resp != nil && resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+					errs <- fmt.Errorf("stream %d query %d (%s): status %d body %s", s, q, path, resp.StatusCode, body)
+					continue
+				}
+				var m map[string]any
+				if err := json.Unmarshal(body, &m); err != nil {
+					errs <- fmt.Errorf("stream %d query %d (%s): non-JSON body %q", s, q, path, body)
+				}
+			}
+		}(s)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("hammer did not complete: at least one request hung past the fleet-wide deadline")
+	}
+	close(churnDone)
+	churner.Wait()
+
+	close(errs)
+	bad := 0
+	for err := range errs {
+		bad++
+		if bad <= 5 {
+			t.Error(err)
+		}
+	}
+	if bad > 5 {
+		t.Errorf("... and %d more failures", bad-5)
+	}
+}
+
+func hammerPost(client *http.Client, url string, payload any) (*http.Response, []byte) {
+	data, _ := json.Marshal(payload)
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return nil, []byte(err.Error())
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, []byte(err.Error())
+	}
+	return resp, body
+}

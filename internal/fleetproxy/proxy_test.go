@@ -1,0 +1,639 @@
+package fleetproxy
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parcost/internal/fleetproxy/faultinject"
+	"parcost/internal/guide"
+)
+
+// cannedBackend is a minimal stand-in for a `parcost serve` process: it
+// echoes which backend answered so tests can observe routing, and serves a
+// plausible health report. Cross-process conformance against the real serve
+// handler lives in cmd/parcost.
+func cannedBackend(name string) http.Handler {
+	mux := http.NewServeMux()
+	single := func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		var req map[string]any
+		_ = json.Unmarshal(body, &req)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"backend": name, "machine": req["machine"], "mean_cost": 1.5,
+		})
+	}
+	mux.HandleFunc("POST /v1/recommend", single)
+	mux.HandleFunc("POST /v1/predict", single)
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Queries []map[string]any `json:"queries"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Queries) == 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "bad batch"})
+			return
+		}
+		results := make([]map[string]any, len(req.Queries))
+		for i, q := range req.Queries {
+			results[i] = map[string]any{"backend": name, "machine": q["machine"]}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"results": results})
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		rep := guide.HealthReport{
+			Status: "ok",
+			Machines: []guide.ShardHealth{{
+				Machine: "aurora", Model: "gb",
+				CacheHealth: guide.CacheHealth{Sweeps: 1, CacheMisses: 1, SweepMinMs: 2, SweepMeanMs: 2, SweepMaxMs: 2},
+			}},
+			Aggregate: guide.CacheHealth{Sweeps: 1, CacheMisses: 1, SweepMinMs: 2, SweepMeanMs: 2, SweepMaxMs: 2},
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rep)
+	})
+	return mux
+}
+
+// testFleet is N scriptable backends behind a Proxy.
+type testFleet struct {
+	proxy    *Proxy
+	faults   []*faultinject.Backend
+	servers  []*httptest.Server
+	frontend *httptest.Server
+}
+
+func newTestFleet(t *testing.T, n int, cfg Config) *testFleet {
+	t.Helper()
+	f := &testFleet{}
+	for i := 0; i < n; i++ {
+		fb := faultinject.New(cannedBackend(fmt.Sprintf("backend-%d", i)))
+		srv := httptest.NewServer(fb)
+		f.faults = append(f.faults, fb)
+		f.servers = append(f.servers, srv)
+		cfg.Backends = append(cfg.Backends, srv.URL)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	f.proxy = p
+	f.frontend = httptest.NewServer(p.Handler())
+	t.Cleanup(func() {
+		f.frontend.Close()
+		p.Close()
+		for _, s := range f.servers {
+			s.Close()
+		}
+	})
+	return f
+}
+
+// backendIndex maps a normalized URL back to its fleet index.
+func (f *testFleet) backendIndex(url string) int {
+	for i, s := range f.servers {
+		if normalizeBackend(s.URL) == url {
+			return i
+		}
+	}
+	return -1
+}
+
+// keyOwnedBy finds a machine key whose primary is backend i.
+func (f *testFleet) keyOwnedBy(t *testing.T, i int) string {
+	t.Helper()
+	f.proxy.mu.RLock()
+	ring := f.proxy.ring
+	f.proxy.mu.RUnlock()
+	want := normalizeBackend(f.servers[i].URL)
+	for k := 0; k < 100000; k++ {
+		key := fmt.Sprintf("machine-%d", k)
+		if ring.primary(key) == want {
+			return key
+		}
+	}
+	t.Fatalf("no key maps to backend %d", i)
+	return ""
+}
+
+func (f *testFleet) post(t *testing.T, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := f.frontend.Client().Post(f.frontend.URL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp, out
+}
+
+func decodeMap(t *testing.T, data []byte) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("response %q is not a JSON object: %v", data, err)
+	}
+	return m
+}
+
+func TestProxyForwardsVerbatim(t *testing.T) {
+	f := newTestFleet(t, 1, Config{Hedge: HedgeSpec{Disabled: true}})
+	body := map[string]any{"machine": "aurora", "problem": map[string]int{"o": 99, "v": 718}}
+
+	resp, proxied := f.post(t, "/v1/recommend", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, proxied)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// The same request straight to the backend must be byte-identical.
+	data, _ := json.Marshal(body)
+	direct, err := http.Post(f.servers[0].URL+"/v1/recommend", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	directBody, _ := io.ReadAll(direct.Body)
+	direct.Body.Close()
+	if !bytes.Equal(proxied, directBody) {
+		t.Fatalf("proxy altered the response:\nproxy:  %s\ndirect: %s", proxied, directBody)
+	}
+}
+
+func TestProxyRoutesByMachineKey(t *testing.T) {
+	f := newTestFleet(t, 3, Config{Hedge: HedgeSpec{Disabled: true}})
+	for i := 0; i < 3; i++ {
+		key := f.keyOwnedBy(t, i)
+		_, body := f.post(t, "/v1/recommend", map[string]any{"machine": key})
+		got := decodeMap(t, body)["backend"]
+		want := fmt.Sprintf("backend-%d", i)
+		if got != want {
+			t.Fatalf("machine %q answered by %v, want primary %s", key, got, want)
+		}
+	}
+}
+
+func TestProxyRetriesOntoReplicaOn5xx(t *testing.T) {
+	f := newTestFleet(t, 2, Config{Hedge: HedgeSpec{Disabled: true}, Retries: 2, RetryBackoff: time.Millisecond})
+	primary := 0
+	key := f.keyOwnedBy(t, primary)
+	f.faults[primary].Script(faultinject.Err5xx, -1)
+
+	resp, body := f.post(t, "/v1/recommend", map[string]any{"machine": key})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := decodeMap(t, body)["backend"]; got != fmt.Sprintf("backend-%d", 1-primary) {
+		t.Fatalf("answered by %v, want the replica", got)
+	}
+	if f.faults[primary].Faulted() == 0 {
+		t.Fatal("primary was never attempted")
+	}
+}
+
+func TestProxyRetriesOnConnectionReset(t *testing.T) {
+	f := newTestFleet(t, 2, Config{Hedge: HedgeSpec{Disabled: true}, Retries: 2, RetryBackoff: time.Millisecond})
+	primary := 1
+	key := f.keyOwnedBy(t, primary)
+	f.faults[primary].Script(faultinject.Reset, -1)
+
+	resp, body := f.post(t, "/v1/recommend", map[string]any{"machine": key})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := decodeMap(t, body)["backend"]; got != fmt.Sprintf("backend-%d", 1-primary) {
+		t.Fatalf("answered by %v, want the replica", got)
+	}
+}
+
+func TestProxyDoesNotRetry4xx(t *testing.T) {
+	f := newTestFleet(t, 2, Config{Hedge: HedgeSpec{Disabled: true}, Retries: 2, RetryBackoff: time.Millisecond})
+	resp, body := f.post(t, "/v1/batch", map[string]any{"queries": []any{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	total := f.faults[0].Hits() + f.faults[1].Hits()
+	if total != 1 {
+		t.Fatalf("a 4xx was retried: %d backend hits", total)
+	}
+}
+
+func TestProxyHedgesSlowPrimary(t *testing.T) {
+	f := newTestFleet(t, 2, Config{
+		Hedge:          HedgeSpec{Fixed: 20 * time.Millisecond},
+		Retries:        0,
+		RequestTimeout: 5 * time.Second,
+	})
+	primary := 0
+	key := f.keyOwnedBy(t, primary)
+	f.faults[primary].ScriptSlow(2*time.Second, -1)
+
+	start := time.Now()
+	resp, body := f.post(t, "/v1/recommend", map[string]any{"machine": key})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := decodeMap(t, body)["backend"]; got != fmt.Sprintf("backend-%d", 1-primary) {
+		t.Fatalf("answered by %v, want the hedged replica", got)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("hedged request took %v — waited out the slow primary instead of hedging", elapsed)
+	}
+	if f.faults[primary].Hits() == 0 {
+		t.Fatal("primary never attempted")
+	}
+}
+
+func TestProxyBreakerShedsDeadBackendAndProbeRecovers(t *testing.T) {
+	f := newTestFleet(t, 2, Config{
+		Hedge: HedgeSpec{Disabled: true}, Retries: 1, RetryBackoff: time.Millisecond,
+		BreakerFailures: 2, BreakerWindow: time.Hour,
+	})
+	dead := 0
+	key := f.keyOwnedBy(t, dead)
+	f.faults[dead].Script(faultinject.Err5xx, -1)
+
+	// Two failing requests trip the breaker (threshold 2).
+	for i := 0; i < 2; i++ {
+		resp, body := f.post(t, "/v1/recommend", map[string]any{"machine": key})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	deadURL := normalizeBackend(f.servers[dead].URL)
+	if got := f.proxy.backendFor(deadURL).breaker.State(); got != BreakerOpen {
+		t.Fatalf("breaker state %v after repeated failures, want open", got)
+	}
+
+	// While open, the dead backend is not even attempted.
+	before := f.faults[dead].Hits()
+	f.post(t, "/v1/recommend", map[string]any{"machine": key})
+	if f.faults[dead].Hits() != before {
+		t.Fatal("open breaker still let traffic through")
+	}
+
+	// Probe-driven recovery: heal the backend, probe it, breaker closes.
+	f.faults[dead].Script(faultinject.OK, 0)
+	f.proxy.probeOne(f.proxy.backendFor(deadURL))
+	if got := f.proxy.backendFor(deadURL).breaker.State(); got != BreakerClosed {
+		t.Fatalf("breaker state %v after successful probe, want closed", got)
+	}
+	_, body := f.post(t, "/v1/recommend", map[string]any{"machine": key})
+	if got := decodeMap(t, body)["backend"]; got != fmt.Sprintf("backend-%d", dead) {
+		t.Fatalf("recovered primary not back in rotation: answered by %v", got)
+	}
+}
+
+func TestProxyDegradesToStaleThenStructured503(t *testing.T) {
+	f := newTestFleet(t, 1, Config{
+		Hedge: HedgeSpec{Disabled: true}, Retries: 0, RetryBackoff: time.Millisecond,
+		RequestTimeout: 2 * time.Second, BreakerFailures: 100, BreakerWindow: 7 * time.Second,
+	})
+	warm := map[string]any{"machine": "aurora"}
+	resp, _ := f.post(t, "/v1/recommend", warm)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup status %d", resp.StatusCode)
+	}
+
+	f.faults[0].Script(faultinject.Reset, -1)
+
+	// Same request: answered stale, explicitly marked.
+	resp, body := f.post(t, "/v1/recommend", warm)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded replay status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Parcost-Degraded") != "true" {
+		t.Fatal("degraded response not marked with X-Parcost-Degraded")
+	}
+	m := decodeMap(t, body)
+	if m["degraded"] != true {
+		t.Fatalf("degraded flag missing from body: %s", body)
+	}
+	if m["backend"] != "backend-0" {
+		t.Fatalf("stale body lost original fields: %s", body)
+	}
+
+	// Unseen request: structured 503 with a Retry-After hint, never a hang.
+	resp, body = f.post(t, "/v1/recommend", map[string]any{"machine": "never-seen"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cold degraded status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") != "7" {
+		t.Fatalf("Retry-After = %q, want \"7\" (one breaker window)", resp.Header.Get("Retry-After"))
+	}
+	if decodeMap(t, body)["error"] == nil {
+		t.Fatalf("503 body not structured: %s", body)
+	}
+}
+
+func TestProxyNeverHangsOnHangingBackend(t *testing.T) {
+	f := newTestFleet(t, 1, Config{
+		Hedge: HedgeSpec{Disabled: true}, Retries: 0,
+		RequestTimeout: 300 * time.Millisecond, StaleCacheSize: -1,
+	})
+	f.faults[0].Script(faultinject.Hang, -1)
+
+	start := time.Now()
+	resp, body := f.post(t, "/v1/recommend", map[string]any{"machine": "aurora"})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("request took %v against a hanging backend — deadline not enforced", elapsed)
+	}
+}
+
+func TestProxySplitsMixedBatchAcrossBackends(t *testing.T) {
+	f := newTestFleet(t, 3, Config{Hedge: HedgeSpec{Disabled: true}, Retries: 1, RetryBackoff: time.Millisecond})
+	k0, k1 := f.keyOwnedBy(t, 0), f.keyOwnedBy(t, 1)
+	queries := []map[string]any{
+		{"machine": k0, "tag": "q0"},
+		{"machine": k1, "tag": "q1"},
+		{"machine": k0, "tag": "q2"},
+	}
+	resp, body := f.post(t, "/v1/batch", map[string]any{"queries": queries})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Results []map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil || len(out.Results) != 3 {
+		t.Fatalf("results %s: %v", body, err)
+	}
+	wantBackends := []string{"backend-0", "backend-1", "backend-0"}
+	wantMachines := []string{k0, k1, k0}
+	for i, r := range out.Results {
+		if r["backend"] != wantBackends[i] || r["machine"] != wantMachines[i] {
+			t.Fatalf("result %d = %v, want backend %s machine %s", i, r, wantBackends[i], wantMachines[i])
+		}
+	}
+}
+
+func TestProxyBatchDegradesPerEntry(t *testing.T) {
+	f := newTestFleet(t, 2, Config{
+		Hedge: HedgeSpec{Disabled: true}, Retries: -1, RetryBackoff: time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+	})
+	k0, k1 := f.keyOwnedBy(t, 0), f.keyOwnedBy(t, 1)
+	f.faults[0].Script(faultinject.Reset, -1) // Retries -1 = zero retries: k0's group dies with its primary
+
+	resp, body := f.post(t, "/v1/batch", map[string]any{"queries": []map[string]any{
+		{"machine": k0}, {"machine": k1},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Results []map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil || len(out.Results) != 2 {
+		t.Fatalf("results %s: %v", body, err)
+	}
+	if out.Results[0]["error"] == nil {
+		t.Fatalf("dead group entry should carry an error: %v", out.Results[0])
+	}
+	if out.Results[1]["backend"] != "backend-1" {
+		t.Fatalf("live group entry lost: %v", out.Results[1])
+	}
+}
+
+func TestProxyHealthzMergesBackendReports(t *testing.T) {
+	f := newTestFleet(t, 2, Config{Hedge: HedgeSpec{Disabled: true}})
+	resp, err := f.frontend.Client().Get(f.frontend.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var h ProxyHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status %q, want ok", h.Status)
+	}
+	if len(h.Machines) != 1 || h.Machines[0].Machine != "aurora" {
+		t.Fatalf("machines %+v, want one merged aurora shard", h.Machines)
+	}
+	// Each canned backend reports Sweeps: 1 for aurora; the merge sums them.
+	if h.Machines[0].Sweeps != 2 {
+		t.Fatalf("merged sweeps %d, want 2", h.Machines[0].Sweeps)
+	}
+	if h.Machines[0].SweepMinMs != 2 || h.Machines[0].SweepMaxMs != 2 {
+		t.Fatalf("merged extremes corrupted: %+v", h.Machines[0].CacheHealth)
+	}
+	if h.Aggregate.Sweeps != 2 {
+		t.Fatalf("aggregate sweeps %d, want 2", h.Aggregate.Sweeps)
+	}
+	if len(h.Backends) != 2 {
+		t.Fatalf("backends %+v, want 2", h.Backends)
+	}
+	for _, b := range h.Backends {
+		if !b.Reachable || b.Breaker != "closed" {
+			t.Fatalf("backend %+v, want reachable and closed", b)
+		}
+	}
+}
+
+func TestProxyHealthzDegradedWhenBackendDown(t *testing.T) {
+	f := newTestFleet(t, 2, Config{Hedge: HedgeSpec{Disabled: true}})
+	f.faults[1].Script(faultinject.Err5xx, -1)
+	resp, err := f.frontend.Client().Get(f.frontend.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var h ProxyHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("status %q with one dead backend, want degraded", h.Status)
+	}
+	reachable := 0
+	for _, b := range h.Backends {
+		if b.Reachable {
+			reachable++
+		}
+	}
+	if reachable != 1 {
+		t.Fatalf("reachable backends %d, want 1", reachable)
+	}
+	// The healthy backend's shard still reports.
+	if len(h.Machines) != 1 || h.Machines[0].Sweeps != 1 {
+		t.Fatalf("machines %+v, want the surviving shard", h.Machines)
+	}
+}
+
+func TestProxyProberMaintainsScores(t *testing.T) {
+	f := newTestFleet(t, 2, Config{
+		Hedge:         HedgeSpec{Disabled: true},
+		ProbeInterval: 20 * time.Millisecond, ProbeTimeout: time.Second,
+	})
+	f.proxy.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		allProbed := true
+		for _, s := range f.servers {
+			healthy, score, last := f.proxy.backendFor(normalizeBackend(s.URL)).snapshot()
+			if last.IsZero() || !healthy || score <= 0 || score > 1 {
+				allProbed = false
+			}
+		}
+		if allProbed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("prober never scored all backends")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestProxyRejectsOversizedBody(t *testing.T) {
+	f := newTestFleet(t, 1, Config{Hedge: HedgeSpec{Disabled: true}, MaxBodyBytes: 256})
+	big := map[string]any{"machine": strings.Repeat("x", 1024)}
+	resp, body := f.post(t, "/v1/recommend", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(decodeMap(t, body)["error"].(string), "256") {
+		t.Fatalf("413 body does not name the limit: %s", body)
+	}
+	if f.faults[0].Hits() != 0 {
+		t.Fatal("oversized body reached a backend")
+	}
+}
+
+// drainBackend fakes the serve-side warm-set endpoints for Drain tests.
+type drainBackend struct {
+	http.Handler
+	mu       sync.Mutex
+	exported guide.WarmSet
+	received []guide.WarmSet
+}
+
+func newDrainBackend(name string, exported guide.WarmSet) *drainBackend {
+	d := &drainBackend{exported: exported}
+	mux := http.NewServeMux()
+	inner := cannedBackend(name)
+	mux.Handle("POST /v1/recommend", inner)
+	mux.Handle("GET /v1/healthz", inner)
+	mux.HandleFunc("GET /v1/warmset", func(w http.ResponseWriter, r *http.Request) {
+		data, _ := guide.EncodeWarmSet(d.exported)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("POST /v1/warmset", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		ws, err := guide.DecodeWarmSet(body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		d.mu.Lock()
+		d.received = append(d.received, ws)
+		d.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]int{"warmed": len(ws.Entries)})
+	})
+	d.Handler = mux
+	return d
+}
+
+func TestProxyDrainHandsOffWarmSet(t *testing.T) {
+	leaverSet := guide.WarmSet{Entries: []guide.WarmKey{
+		{Machine: "aurora", O: 99, V: 718, Objective: "span"},
+		{Machine: "borealis", O: 146, V: 1096, Objective: "total"},
+	}}
+	leaver := newDrainBackend("leaver", leaverSet)
+	stayer := newDrainBackend("stayer", guide.WarmSet{})
+	sLeaver := httptest.NewServer(leaver)
+	defer sLeaver.Close()
+	sStayer := httptest.NewServer(stayer)
+	defer sStayer.Close()
+
+	p := mustProxy(t, Config{Backends: []string{sLeaver.URL, sStayer.URL}, Hedge: HedgeSpec{Disabled: true}})
+	defer p.Close()
+
+	warmed, err := p.Drain(context.Background(), sLeaver.URL)
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if warmed != 2 {
+		t.Fatalf("warmed %d keys, want 2", warmed)
+	}
+	if got := p.Backends(); len(got) != 1 || got[0] != normalizeBackend(sStayer.URL) {
+		t.Fatalf("post-drain backends %v", got)
+	}
+	stayer.mu.Lock()
+	defer stayer.mu.Unlock()
+	total := 0
+	for _, ws := range stayer.received {
+		total += len(ws.Entries)
+	}
+	if total != 2 {
+		t.Fatalf("stayer received %d warm keys, want 2", total)
+	}
+
+	// Draining the last backend is refused; the fleet must keep serving.
+	if _, err := p.Drain(context.Background(), sStayer.URL); err == nil {
+		t.Fatal("Drain removed the last backend")
+	}
+	if _, err := p.Drain(context.Background(), "http://nope:1"); err == nil {
+		t.Fatal("Drain accepted an unknown backend")
+	}
+}
+
+func TestProxyDrainEndpoint(t *testing.T) {
+	leaver := newDrainBackend("leaver", guide.WarmSet{Entries: []guide.WarmKey{{Machine: "aurora", O: 99, V: 718, Objective: "span"}}})
+	stayer := newDrainBackend("stayer", guide.WarmSet{})
+	sLeaver := httptest.NewServer(leaver)
+	defer sLeaver.Close()
+	sStayer := httptest.NewServer(stayer)
+	defer sStayer.Close()
+
+	p := mustProxy(t, Config{Backends: []string{sLeaver.URL, sStayer.URL}, Hedge: HedgeSpec{Disabled: true}})
+	defer p.Close()
+	front := httptest.NewServer(p.Handler())
+	defer front.Close()
+
+	data, _ := json.Marshal(map[string]string{"backend": sLeaver.URL})
+	resp, err := front.Client().Post(front.URL+"/v1/admin/drain", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Drained string `json:"drained"`
+		Warmed  int    `json:"warmed"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil || out.Warmed != 1 {
+		t.Fatalf("drain response %s: %v", body, err)
+	}
+}

@@ -1,0 +1,112 @@
+package fleetproxy
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Consistent hashing on the machine key. Each backend owns many virtual
+// points on a 64-bit ring; a key's primary backend is the first point at or
+// clockwise of the key's hash, and its failover order is the remaining
+// distinct backends in ring order. Removing a backend (drain, breaker-forced
+// exclusion) only remaps the keys it owned — every other machine keeps its
+// primary and thus its backend-side sweep-cache locality.
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+type hashRing struct {
+	points  []ringPoint
+	members []string // distinct, sorted
+}
+
+// hashOf is FNV-64a with a splitmix64-style finalizer. Raw FNV disperses
+// near-identical strings ("host#0" … "host#63") poorly — a member's virtual
+// points cluster into contiguous arcs and the ring degenerates into a few
+// huge owners — so the avalanche pass is load-bearing, not cosmetic.
+func hashOf(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// newHashRing places replicas virtual points per member. Members must be
+// distinct; the caller validates.
+func newHashRing(members []string, replicas int) *hashRing {
+	if replicas < 1 {
+		replicas = 1
+	}
+	r := &hashRing{members: append([]string(nil), members...)}
+	sort.Strings(r.members)
+	r.points = make([]ringPoint, 0, len(r.members)*replicas)
+	for _, m := range r.members {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: hashOf(m + "#" + strconv.Itoa(i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member // deterministic on (absurdly rare) hash ties
+	})
+	return r
+}
+
+// order returns every member in the key's failover order: primary first,
+// then the remaining distinct members as they appear walking the ring
+// clockwise from the key's hash.
+func (r *hashRing) order(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hashOf(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.members))
+	seen := make(map[string]bool, len(r.members))
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// primary returns the key's first-choice member ("" on an empty ring).
+func (r *hashRing) primary(key string) string {
+	o := r.order(key)
+	if len(o) == 0 {
+		return ""
+	}
+	return o[0]
+}
+
+// without returns a new ring excluding member, for drain/removal. The
+// surviving members' virtual points are unchanged, so only keys owned by the
+// removed member remap.
+func (r *hashRing) without(member string) *hashRing {
+	kept := make([]string, 0, len(r.members))
+	for _, m := range r.members {
+		if m != member {
+			kept = append(kept, m)
+		}
+	}
+	// Points for kept members are identical by construction; rebuild from the
+	// per-member replica count implied by the current ring.
+	replicas := 1
+	if len(r.members) > 0 {
+		replicas = len(r.points) / len(r.members)
+	}
+	return newHashRing(kept, replicas)
+}

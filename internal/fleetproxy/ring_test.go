@@ -1,0 +1,101 @@
+package fleetproxy
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOrderCoversAllMembersOnce(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r := newHashRing(members, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("machine-%d", i)
+		order := r.order(key)
+		if len(order) != len(members) {
+			t.Fatalf("order(%q) has %d members, want %d", key, len(order), len(members))
+		}
+		seen := make(map[string]bool)
+		for _, m := range order {
+			if seen[m] {
+				t.Fatalf("order(%q) repeats %s", key, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestRingOrderIsDeterministic(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1 := newHashRing(members, 64)
+	r2 := newHashRing([]string{members[2], members[0], members[1]}, 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("m%d", i)
+		o1, o2 := r1.order(key), r2.order(key)
+		for j := range o1 {
+			if o1[j] != o2[j] {
+				t.Fatalf("order(%q) differs across construction orders: %v vs %v", key, o1, o2)
+			}
+		}
+	}
+}
+
+func TestRingSpreadsPrimaries(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r := newHashRing(members, 64)
+	counts := make(map[string]int)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		counts[r.primary(fmt.Sprintf("machine-%d", i))]++
+	}
+	for _, m := range members {
+		if counts[m] == 0 {
+			t.Fatalf("member %s owns no keys: %v", m, counts)
+		}
+		// Virtual nodes should keep the spread within a loose factor of fair.
+		if counts[m] > n {
+			t.Fatalf("impossible count %d", counts[m])
+		}
+	}
+}
+
+func TestRingWithoutOnlyRemapsRemovedMembersKeys(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r := newHashRing(members, 64)
+	const removed = "http://b:2"
+	shrunk := r.without(removed)
+
+	if len(shrunk.members) != 3 {
+		t.Fatalf("shrunk ring has %d members, want 3", len(shrunk.members))
+	}
+	remapped, kept := 0, 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("machine-%d", i)
+		before := r.primary(key)
+		after := shrunk.primary(key)
+		if before == removed {
+			remapped++
+			if after == removed {
+				t.Fatalf("key %q still maps to removed member", key)
+			}
+			continue
+		}
+		kept++
+		if after != before {
+			t.Fatalf("key %q owned by %s remapped to %s on unrelated removal", key, before, after)
+		}
+	}
+	if remapped == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: remapped=%d kept=%d", remapped, kept)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := newHashRing(nil, 64)
+	if got := empty.primary("x"); got != "" {
+		t.Fatalf("empty ring primary = %q, want \"\"", got)
+	}
+	one := newHashRing([]string{"http://a:1"}, 64)
+	if got := one.primary("anything"); got != "http://a:1" {
+		t.Fatalf("single ring primary = %q", got)
+	}
+}

@@ -1,0 +1,83 @@
+package guide
+
+import "time"
+
+// Health wire schema of /v1/healthz, shared by the single-process serve
+// handler and the fleet proxy. The proxy decodes each backend's report,
+// merges the per-machine and aggregate blocks across replicas, and scores
+// backends from the latency snapshots, so these types are the cross-process
+// contract rather than CLI-private JSON.
+
+// CacheHealth is one cache's observability block: hit/miss/expiry counters,
+// residency, and per-sweep wall time. It is the wire form of Stats.
+type CacheHealth struct {
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheExpired uint64  `json:"cache_expired"`
+	CacheSize    int     `json:"cache_size"`
+	CacheBytes   int64   `json:"cache_bytes"`
+	Sweeps       uint64  `json:"sweeps"`
+	SweepMinMs   float64 `json:"sweep_min_ms"`
+	SweepMeanMs  float64 `json:"sweep_mean_ms"`
+	SweepMaxMs   float64 `json:"sweep_max_ms"`
+}
+
+// HealthFromStats renders a Stats snapshot in wire form.
+func HealthFromStats(st Stats) CacheHealth {
+	return CacheHealth{
+		CacheHits: st.Hits, CacheMisses: st.Misses, CacheExpired: st.Expired,
+		CacheSize: st.Size, CacheBytes: st.Bytes,
+		Sweeps:      st.SweepCount,
+		SweepMinMs:  float64(st.SweepMin) / float64(time.Millisecond),
+		SweepMeanMs: float64(st.SweepMean) / float64(time.Millisecond),
+		SweepMaxMs:  float64(st.SweepMax) / float64(time.Millisecond),
+	}
+}
+
+// Merge folds another health block into this one, following the Stats.merge
+// contract: counters sum, the mean is re-weighted by sweep count, and a
+// zero-sweep block contributes nothing to the min/mean/max extremes (the
+// proxy merges replica backends with this, so an idle replica must not drag
+// the fleet minimum to zero).
+func (a CacheHealth) Merge(b CacheHealth) CacheHealth {
+	out := CacheHealth{
+		CacheHits: a.CacheHits + b.CacheHits, CacheMisses: a.CacheMisses + b.CacheMisses,
+		CacheExpired: a.CacheExpired + b.CacheExpired,
+		CacheSize:    a.CacheSize + b.CacheSize, CacheBytes: a.CacheBytes + b.CacheBytes,
+		Sweeps: a.Sweeps + b.Sweeps,
+	}
+	switch {
+	case a.Sweeps == 0:
+		out.SweepMinMs = b.SweepMinMs
+	case b.Sweeps == 0:
+		out.SweepMinMs = a.SweepMinMs
+	default:
+		out.SweepMinMs = min(a.SweepMinMs, b.SweepMinMs)
+	}
+	out.SweepMaxMs = max(a.SweepMaxMs, b.SweepMaxMs)
+	if out.Sweeps > 0 {
+		total := a.SweepMeanMs*float64(a.Sweeps) + b.SweepMeanMs*float64(b.Sweeps)
+		out.SweepMeanMs = total / float64(out.Sweeps)
+	}
+	return out
+}
+
+// ShardHealth is one fleet shard's block in /v1/healthz.
+type ShardHealth struct {
+	Machine string `json:"machine"`
+	Model   string `json:"model"`
+	CacheHealth
+}
+
+// HealthReport is the /v1/healthz response body. Status is "ok" when every
+// shard (and, behind a proxy, every backend) is reachable, "degraded"
+// otherwise. The aggregate's min/mean/max follow Stats aggregation: shards
+// with zero sweeps contribute nothing to the extremes. Latency holds the
+// per-endpoint request histograms (log-spaced cumulative buckets) covering
+// the full handler — decode, cache or sweep, encode.
+type HealthReport struct {
+	Status    string                     `json:"status"`
+	Machines  []ShardHealth              `json:"machines"`
+	Aggregate CacheHealth                `json:"aggregate"`
+	Latency   map[string]LatencySnapshot `json:"latency"`
+}

@@ -1,4 +1,4 @@
-package main
+package guide
 
 import (
 	"net/http"
@@ -6,9 +6,12 @@ import (
 	"time"
 )
 
-// Per-endpoint latency histograms, exported under /v1/healthz. Buckets are
-// log-spaced (×2 per step) so one fixed layout resolves both sub-millisecond
-// cache hits and multi-second cold sweeps without tuning.
+// Per-endpoint latency histograms, exported under /v1/healthz by both the
+// single-process serve handler and the fleet proxy. Buckets are log-spaced
+// (×2 per step) so one fixed layout resolves both sub-millisecond cache hits
+// and multi-second cold sweeps without tuning. The proxy's health prober
+// consumes these snapshots to score backends, so the wire types live here
+// rather than in the CLI.
 const (
 	latencyBucketCount = 20
 	latencyBucketBase  = 50 * time.Microsecond // first upper bound; last finite bound ≈ 26s
@@ -39,28 +42,28 @@ func (h *latencyHistogram) observe(d time.Duration) {
 	// Slower than the last finite bound: counted in count/total only.
 }
 
-// latencyBucketJSON is one cumulative bucket: the count of requests at or
-// under le_ms milliseconds.
-type latencyBucketJSON struct {
+// LatencyBucket is one cumulative bucket: the count of requests at or under
+// LeMs milliseconds.
+type LatencyBucket struct {
 	LeMs  float64 `json:"le_ms"`
 	Count uint64  `json:"count"`
 }
 
-// latencySnapshot is the exported per-route view. Buckets are cumulative
+// LatencySnapshot is the exported per-route view. Buckets are cumulative
 // (Prometheus-style `le`); requests slower than the last finite bound appear
 // in Count but in no bucket.
-type latencySnapshot struct {
-	Count   uint64              `json:"count"`
-	MeanMs  float64             `json:"mean_ms"`
-	Buckets []latencyBucketJSON `json:"buckets"`
+type LatencySnapshot struct {
+	Count   uint64          `json:"count"`
+	MeanMs  float64         `json:"mean_ms"`
+	Buckets []LatencyBucket `json:"buckets"`
 }
 
 // snapshot renders the histogram, trimming trailing empty buckets (the
 // cumulative counts make them redundant with the last populated one).
-func (h *latencyHistogram) snapshot() latencySnapshot {
+func (h *latencyHistogram) snapshot() LatencySnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := latencySnapshot{Count: h.count}
+	s := LatencySnapshot{Count: h.count}
 	if h.count > 0 {
 		s.MeanMs = float64(h.total) / float64(h.count) / float64(time.Millisecond)
 	}
@@ -74,7 +77,7 @@ func (h *latencyHistogram) snapshot() latencySnapshot {
 	}
 	for i := 0; i <= last; i++ {
 		cum += h.buckets[i]
-		s.Buckets = append(s.Buckets, latencyBucketJSON{
+		s.Buckets = append(s.Buckets, LatencyBucket{
 			LeMs:  float64(bound) / float64(time.Millisecond),
 			Count: cum,
 		})
@@ -83,18 +86,19 @@ func (h *latencyHistogram) snapshot() latencySnapshot {
 	return s
 }
 
-// routeMetrics holds one histogram per served route.
-type routeMetrics struct {
+// Metrics holds one latency histogram per served route.
+type Metrics struct {
 	mu     sync.Mutex
 	routes map[string]*latencyHistogram
 }
 
-func newRouteMetrics() *routeMetrics {
-	return &routeMetrics{routes: make(map[string]*latencyHistogram)}
+// NewMetrics builds an empty route-metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{routes: make(map[string]*latencyHistogram)}
 }
 
 // route returns (creating if needed) the named route's histogram.
-func (m *routeMetrics) route(name string) *latencyHistogram {
+func (m *Metrics) route(name string) *latencyHistogram {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	h, ok := m.routes[name]
@@ -105,24 +109,29 @@ func (m *routeMetrics) route(name string) *latencyHistogram {
 	return h
 }
 
-// snapshot renders every route's histogram, keyed by route name.
-func (m *routeMetrics) snapshot() map[string]latencySnapshot {
+// Observe records one request duration against the named route.
+func (m *Metrics) Observe(name string, d time.Duration) {
+	m.route(name).observe(d)
+}
+
+// Snapshot renders every route's histogram, keyed by route name.
+func (m *Metrics) Snapshot() map[string]LatencySnapshot {
 	m.mu.Lock()
 	hists := make(map[string]*latencyHistogram, len(m.routes))
 	for name, h := range m.routes {
 		hists[name] = h
 	}
 	m.mu.Unlock()
-	out := make(map[string]latencySnapshot, len(hists))
+	out := make(map[string]LatencySnapshot, len(hists))
 	for name, h := range hists {
 		out[name] = h.snapshot()
 	}
 	return out
 }
 
-// instrument wraps a handler so every request's wall time lands in the named
+// Instrument wraps a handler so every request's wall time lands in the named
 // route's histogram.
-func (m *routeMetrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+func (m *Metrics) Instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	hist := m.route(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()

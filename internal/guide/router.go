@@ -230,29 +230,41 @@ func (r *Router) AggregateStats() Stats {
 
 // Warm sets persist the fleet's hottest cache keys so a restarted (or
 // freshly retrained) service can pre-sweep them before traffic arrives,
-// instead of paying cold-sweep latency on the first burst.
+// instead of paying cold-sweep latency on the first burst. Export/Import and
+// Encode/Decode are the in-memory and wire halves of that primitive, so the
+// fleet proxy can drain a live backend — export its warm set over HTTP and
+// replay it into the replacement — without either process touching a shared
+// filesystem; SaveWarmSet/LoadWarmSet are the file-backed wrappers the serve
+// daemon uses across restarts.
 const (
 	warmSetFormat  = "parcost-warmset"
 	warmSetVersion = 1
 )
 
 type warmSetFile struct {
-	Format  string        `json:"format"`
-	Version int           `json:"version"`
-	Entries []warmSetItem `json:"entries"`
+	Format  string    `json:"format"`
+	Version int       `json:"version"`
+	Entries []WarmKey `json:"entries"`
 }
 
-type warmSetItem struct {
+// WarmKey is one warm-set entry: a machine and the query whose sweep result
+// was hot in its shard's cache.
+type WarmKey struct {
 	Machine   string `json:"machine"`
 	O         int    `json:"o"`
 	V         int    `json:"v"`
 	Objective string `json:"objective"` // "STQ" or "BQ"
 }
 
-// SaveWarmSet writes every shard's resident, unexpired cache keys in heat
-// order (most recently used first) to path. limit caps the keys saved per
-// shard; limit <= 0 saves all resident keys.
-func (r *Router) SaveWarmSet(path string, limit int) error {
+// WarmSet is a fleet's hottest cache keys, in per-shard heat order.
+type WarmSet struct {
+	Entries []WarmKey
+}
+
+// ExportWarmSet snapshots every shard's resident, unexpired cache keys in
+// heat order (most recently used first). limit caps the keys exported per
+// shard; limit <= 0 exports all resident keys.
+func (r *Router) ExportWarmSet(limit int) WarmSet {
 	r.mu.RLock()
 	names := r.machinesLocked()
 	shards := make(map[string]*Service, len(r.shards))
@@ -261,42 +273,26 @@ func (r *Router) SaveWarmSet(path string, limit int) error {
 	}
 	r.mu.RUnlock()
 
-	ws := warmSetFile{Format: warmSetFormat, Version: warmSetVersion}
+	var ws WarmSet
 	for _, name := range names {
 		for _, q := range shards[name].cache.hotKeys(limit) {
-			ws.Entries = append(ws.Entries, warmSetItem{
+			ws.Entries = append(ws.Entries, WarmKey{
 				Machine: name, O: q.Problem.O, V: q.Problem.V, Objective: q.Objective.String(),
 			})
 		}
 	}
-	data, err := json.MarshalIndent(ws, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, data, 0o644)
+	return ws
 }
 
-// LoadWarmSet reads a warm set and pre-sweeps its keys through the current
-// fleet, returning how many keys were warmed. Keys naming machines the fleet
-// no longer serves are skipped (fleet composition may have changed between
-// save and load); a key whose sweep fails is counted as skipped too. Sweeps
-// run through RecommendBatch, so warming is parallel but still bounded by
-// the fleet-wide semaphore.
-func (r *Router) LoadWarmSet(path string) (int, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return 0, err
-	}
-	var ws warmSetFile
-	if err := json.Unmarshal(data, &ws); err != nil {
-		return 0, fmt.Errorf("guide: malformed warm set: %w", err)
-	}
-	if ws.Format != warmSetFormat {
-		return 0, fmt.Errorf("guide: warm set format %q, want %q", ws.Format, warmSetFormat)
-	}
-	if ws.Version != warmSetVersion {
-		return 0, fmt.Errorf("guide: warm set version %d not supported (reader handles %d)", ws.Version, warmSetVersion)
-	}
+// ImportWarmSet pre-sweeps a warm set's keys through the current fleet,
+// returning how many keys were warmed. Keys naming machines the fleet does
+// not serve are skipped (fleet composition may have changed between export
+// and import); a key whose sweep fails is counted as skipped too. Sweeps run
+// through RecommendBatch, so warming is parallel but still bounded by the
+// fleet-wide semaphore. A key with an unrecognized objective is an error:
+// it means the set was hand-built rather than exported, and silently
+// dropping it would hide the corruption.
+func (r *Router) ImportWarmSet(ws WarmSet) (int, error) {
 	queries := make([]RoutedQuery, 0, len(ws.Entries))
 	for _, it := range ws.Entries {
 		var obj Objective
@@ -320,4 +316,51 @@ func (r *Router) LoadWarmSet(path string) (int, error) {
 		}
 	}
 	return warmed, nil
+}
+
+// EncodeWarmSet renders a warm set in its versioned wire format.
+func EncodeWarmSet(ws WarmSet) ([]byte, error) {
+	return json.MarshalIndent(warmSetFile{
+		Format: warmSetFormat, Version: warmSetVersion, Entries: ws.Entries,
+	}, "", "  ")
+}
+
+// DecodeWarmSet parses and validates the versioned warm-set wire format.
+func DecodeWarmSet(data []byte) (WarmSet, error) {
+	var ws warmSetFile
+	if err := json.Unmarshal(data, &ws); err != nil {
+		return WarmSet{}, fmt.Errorf("guide: malformed warm set: %w", err)
+	}
+	if ws.Format != warmSetFormat {
+		return WarmSet{}, fmt.Errorf("guide: warm set format %q, want %q", ws.Format, warmSetFormat)
+	}
+	if ws.Version != warmSetVersion {
+		return WarmSet{}, fmt.Errorf("guide: warm set version %d not supported (reader handles %d)", ws.Version, warmSetVersion)
+	}
+	return WarmSet{Entries: ws.Entries}, nil
+}
+
+// SaveWarmSet writes every shard's resident, unexpired cache keys in heat
+// order (most recently used first) to path. limit caps the keys saved per
+// shard; limit <= 0 saves all resident keys.
+func (r *Router) SaveWarmSet(path string, limit int) error {
+	data, err := EncodeWarmSet(r.ExportWarmSet(limit))
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadWarmSet reads a warm set file and pre-sweeps its keys through the
+// current fleet (see ImportWarmSet), returning how many keys were warmed.
+func (r *Router) LoadWarmSet(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	ws, err := DecodeWarmSet(data)
+	if err != nil {
+		return 0, err
+	}
+	return r.ImportWarmSet(ws)
 }
