@@ -63,6 +63,8 @@ func main() {
 		err = runTrain(args)
 	case "serve":
 		err = runServe(args)
+	case "retrain":
+		err = runRetrain(args)
 	case "proxy":
 		err = runProxy(args)
 	case "-h", "--help", "help":
@@ -92,6 +94,10 @@ Commands:
   serve    serve stq/bq/predict over HTTP from an artifact or fleet bundle
            (-model -addr; -warmset pre-sweeps hot keys at startup and saves
            them on graceful shutdown)
+  retrain  serve a fleet with closed-loop retraining: drift-watched
+           observation ingest (/v1/observe), validation-gated hot-swap
+           promotions, automatic rollback (-model -state; crash-safe
+           journals resume interrupted cycles)
   proxy    front N serve processes with one fault-tolerant endpoint
            (-backends host1:8081,host2:8082 -hedge-after 95p -retries 2
            -breaker-window 10s; same /v1 API, plus /v1/admin/drain)

@@ -42,8 +42,8 @@ func twinBackends(t testing.TB) (a, b *httptest.Server, ca, cb *countedHandler, 
 			t.Fatal(err)
 		}
 	}
-	ca = &countedHandler{Handler: newServeHandler(routers[0])}
-	cb = &countedHandler{Handler: newServeHandler(routers[1])}
+	ca = &countedHandler{Handler: newServeHandler(routers[0], nil)}
+	cb = &countedHandler{Handler: newServeHandler(routers[1], nil)}
 	a = httptest.NewServer(ca)
 	t.Cleanup(a.Close)
 	b = httptest.NewServer(cb)
@@ -270,7 +270,7 @@ func TestProxyFlagValidation(t *testing.T) {
 // numbers isolate proxy forwarding, not model work).
 func BenchmarkProxy_Overhead(b *testing.B) {
 	router, _, _ := testRouter(b)
-	backend := httptest.NewServer(newServeHandler(router))
+	backend := httptest.NewServer(newServeHandler(router, nil))
 	b.Cleanup(backend.Close)
 
 	p, err := fleetproxy.New(fleetproxy.Config{Backends: []string{backend.URL}})

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"parcost/internal/active"
+	"parcost/internal/dataset"
+	"parcost/internal/guide"
+	"parcost/internal/machine"
+	"parcost/internal/ml"
+	"parcost/internal/retrain"
+)
+
+// runRetrain serves a fleet like `parcost serve` and closes the loop around
+// it: per shard, a retrain.Controller watches /v1/observe reports for drift
+// against the serving model, acquires fresh measurements (simulated here by
+// the machine's oracle), fits and validation-gates a candidate, and
+// hot-swaps it into the router — journaling every step so a killed daemon
+// resumes mid-cycle without repeating measurements.
+func runRetrain(args []string) error {
+	fs := flag.NewFlagSet("retrain", flag.ContinueOnError)
+	var (
+		model    = fs.String("model", "", "trained artifact: fleet bundle or single advisor (required)")
+		addr     = fs.String("addr", ":8080", "listen address")
+		state    = fs.String("state", "retrain-state", "directory for per-machine journals and promoted artifacts")
+		strategy = fs.String("strategy", "rs", "acquisition strategy: rs, us, or qbc")
+		batch    = fs.Int("batch", 16, "measurements acquired per retrain cycle")
+		window   = fs.Int("drift-window", 32, "observations in the drift window")
+		thresh   = fs.Float64("drift-threshold", 0.25, "windowed mean relative error that arms a retrain")
+		margin   = fs.Float64("gate-margin", 0.05, "relative held-out RMSE improvement a candidate must show")
+		rollback = fs.Int("rollback-window", 16, "post-promotion observations watched before a promotion is final")
+		trees    = fs.Int("trees", 750, "candidate GB trees")
+		depth    = fs.Int("depth", 10, "candidate GB max depth")
+		seed     = fs.Uint64("seed", 1, "RNG seed (acquisition, backoff jitter, base data)")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout on SIGINT/SIGTERM")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		return fmt.Errorf("-model is required")
+	}
+	kind, err := parseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	if *batch <= 0 || *window <= 0 || *rollback <= 0 {
+		return fmt.Errorf("-batch, -drift-window, and -rollback-window must be positive")
+	}
+	if *thresh <= 0 || *margin <= 0 {
+		return fmt.Errorf("-drift-threshold and -gate-margin must be positive")
+	}
+	if *trees <= 0 || *depth <= 0 {
+		return fmt.Errorf("-trees and -depth must be positive")
+	}
+	if *drain <= 0 {
+		return fmt.Errorf("-drain must be positive")
+	}
+	if err := os.MkdirAll(*state, 0o755); err != nil {
+		return fmt.Errorf("state directory: %w", err)
+	}
+
+	entries, _, err := guide.LoadFleet(*model)
+	if err != nil {
+		return err
+	}
+	router := guide.NewRouter()
+	fleet := retrain.NewFleet()
+	for _, e := range entries {
+		spec, err := machine.ByName(e.Machine)
+		if err != nil {
+			return fmt.Errorf("artifact machine: %w", err)
+		}
+		oracle := guide.NewSimOracle(spec)
+		if err := router.AddShard(e.Machine, e.Advisor, guide.WithOracle(oracle)); err != nil {
+			return err
+		}
+		// Base rows: the simulated dataset the bundle's advisor family
+		// trains on, so a candidate always retains pre-drift coverage.
+		d, _, err := loadOrGenerate("", e.Machine, *seed, defaultGenSize)
+		if err != nil {
+			return err
+		}
+		// Acquisition pool: every paper problem swept over the advisor's
+		// own candidate grid.
+		var pool []dataset.Config
+		for _, p := range dataset.PaperProblems() {
+			pool = append(pool, e.Advisor.Grid.Configs(p)...)
+		}
+		ctrl, err := retrain.New(retrain.Config{
+			Machine:     e.Machine,
+			Router:      router,
+			Measurer:    retrain.SimMeasurer{Oracle: oracle},
+			Pool:        pool,
+			BaseX:       d.Features(),
+			BaseY:       d.Targets(),
+			BaseAdvisor: e.Advisor,
+			Fit: func(x [][]float64, y []float64) (ml.Regressor, error) {
+				m := buildGB(*trees, *depth, *seed)
+				if err := m.Fit(x, y); err != nil {
+					return nil, err
+				}
+				return m, nil
+			},
+			JournalPath: filepath.Join(*state, e.Machine+".journal"),
+			ArtifactDir: *state,
+			Strategy:    kind,
+
+			DriftWindow: *window, DriftThreshold: *thresh,
+			AcquireBatch:   *batch,
+			GateMargin:     *margin,
+			RollbackWindow: *rollback,
+			Seed:           *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fleet.Add(e.Machine, ctrl)
+		fmt.Printf("Shard %s: %s advisor under retrain watch (journal %s)\n",
+			e.Machine, e.Advisor.Model.Name(), filepath.Join(*state, e.Machine+".journal"))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go fleet.Run(ctx)
+
+	srv := hardenedServer(*addr, newServeHandler(router, fleet))
+	fmt.Printf("Serving fleet %v on %s with closed-loop retraining\n", router.Machines(), *addr)
+	return serveUntilShutdown(ctx, srv, nil, *drain, func() error {
+		stop() // ensure the controllers' Run loops exit before journals close
+		return fleet.Close()
+	})
+}
+
+func parseStrategy(s string) (active.StrategyKind, error) {
+	switch s {
+	case "rs":
+		return active.RandomSampling, nil
+	case "us":
+		return active.UncertaintySampling, nil
+	case "qbc":
+		return active.QueryByCommittee, nil
+	default:
+		return 0, fmt.Errorf("-strategy must be rs, us, or qbc (got %q)", s)
+	}
+}

@@ -76,7 +76,7 @@ func runServe(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := hardenedServer(*addr, newServeHandler(router))
+	srv := hardenedServer(*addr, newServeHandler(router, nil))
 	fmt.Printf("Serving fleet %v on %s\n", router.Machines(), *addr)
 	return serveUntilShutdown(ctx, srv, nil, *drain, saveWarmSetOnDrain(router, *warmset))
 }
@@ -209,6 +209,17 @@ type batchResponse struct {
 	Results []batchEntry `json:"results"`
 }
 
+// observeRequest reports a configuration that actually ran and how long an
+// iteration took, feeding the retrain daemon's drift monitors.
+type observeRequest struct {
+	Machine string  `json:"machine,omitempty"`
+	O       int     `json:"o"`
+	V       int     `json:"v"`
+	Nodes   int     `json:"nodes"`
+	Tile    int     `json:"tile"`
+	Seconds float64 `json:"seconds"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
@@ -232,10 +243,55 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 }
 
 // newServeHandler builds the HTTP API over a guide.Router. Split from
-// runServe so tests drive the exact handler the daemon mounts.
-func newServeHandler(router *guide.Router) http.Handler {
+// runServe so tests drive the exact handler the daemon mounts. obs, when
+// non-nil, receives /v1/observe reports (the retrain daemon's drift
+// monitors); a plain `parcost serve` passes nil and the endpoint answers
+// 501 so clients learn observation ingest is not wired up (501, not 503:
+// the condition is configuration, not a transient fault, so the proxy
+// relays it instead of failing over).
+func newServeHandler(router *guide.Router, obs guide.Observer) http.Handler {
 	mux := http.NewServeMux()
 	metrics := guide.NewMetrics()
+
+	// Prometheus scrape endpoint. Deliberately NOT instrumented: scraping
+	// every 15s would swamp the latency histograms it exports.
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", guide.PrometheusContentType)
+		guide.WritePrometheus(w, metrics.Snapshot(), router.ShardStats())
+	})
+
+	mux.HandleFunc("POST /v1/observe", metrics.Instrument("observe", func(w http.ResponseWriter, r *http.Request) {
+		var req observeRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if obs == nil {
+			writeJSON(w, http.StatusNotImplemented, errorResponse{
+				Error: "observation ingest requires the retrain daemon (run `parcost retrain`)"})
+			return
+		}
+		// Resolve the machine like every other endpoint, so a defaulted
+		// single-shard fleet works and unknown machines fail loudly.
+		machineName, _, err := router.ResolveShard(req.Machine)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		o := guide.Observation{
+			Machine: machineName,
+			Config:  dataset.Config{O: req.O, V: req.V, Nodes: req.Nodes, TileSize: req.Tile},
+			Seconds: req.Seconds,
+		}
+		if err := o.Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		if err := obs.Observe(o); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted", "machine": machineName})
+	}))
 
 	mux.HandleFunc("GET /v1/healthz", metrics.Instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		resp := guide.HealthReport{

@@ -110,7 +110,7 @@ func TestServeEndToEnd(t *testing.T) {
 
 func testServeEndToEnd(t *testing.T, newFrontend frontendFactory) {
 	router, adv, oracle := testRouter(t)
-	base := newFrontend(t, newServeHandler(router))
+	base := newFrontend(t, newServeHandler(router, nil))
 
 	// healthz
 	resp, err := http.Get(base + "/v1/healthz")
@@ -256,7 +256,7 @@ func testServeBackCompatSingleArtifact(t *testing.T, newFrontend frontendFactory
 	if err := router.AddShard(entries[0].Machine, entries[0].Advisor, guide.WithOracle(oracle)); err != nil {
 		t.Fatal(err)
 	}
-	base := newFrontend(t, newServeHandler(router))
+	base := newFrontend(t, newServeHandler(router, nil))
 
 	for _, objName := range []string{"stq", "bq"} {
 		obj := guide.ShortestTime
@@ -369,7 +369,7 @@ func testServeFleetWire(t *testing.T, newFrontend frontendFactory, entries []gui
 			t.Fatal(err)
 		}
 	}
-	base := newFrontend(t, newServeHandler(router))
+	base := newFrontend(t, newServeHandler(router, nil))
 
 	// Routed queries for both machines from one process; answers must match
 	// each machine's own advisor.
@@ -484,7 +484,7 @@ func testServeFleetWire(t *testing.T, newFrontend frontendFactory, entries []gui
 // runServe does: serve traffic, save on shutdown, pre-sweep on next boot.
 func TestServeWarmSetAcrossRestart(t *testing.T) {
 	router, adv, oracle := testRouter(t)
-	srv := httptest.NewServer(newServeHandler(router))
+	srv := httptest.NewServer(newServeHandler(router, nil))
 	for _, p := range []dataset.Problem{{O: 99, V: 718}, {O: 146, V: 1096}} {
 		resp, body := postJSON(t, srv.URL+"/v1/recommend", recommendRequest{O: p.O, V: p.V, Objective: "stq"})
 		if resp.StatusCode != http.StatusOK {
@@ -506,7 +506,7 @@ func TestServeWarmSetAcrossRestart(t *testing.T) {
 	if err != nil || warmed != 2 {
 		t.Fatalf("LoadWarmSet = %d, %v; want 2, nil", warmed, err)
 	}
-	srv2 := httptest.NewServer(newServeHandler(restarted))
+	srv2 := httptest.NewServer(newServeHandler(restarted, nil))
 	defer srv2.Close()
 	if resp, _ := postJSON(t, srv2.URL+"/v1/recommend", recommendRequest{O: 99, V: 718, Objective: "stq"}); resp.StatusCode != http.StatusOK {
 		t.Fatal("warmed query failed")
@@ -527,7 +527,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 		t.Fatal(err)
 	}
 	mux := http.NewServeMux()
-	handler := newServeHandler(router)
+	handler := newServeHandler(router, nil)
 	started := make(chan struct{})
 	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
 		close(started)
@@ -594,7 +594,7 @@ func TestServeRejectsBadRequests(t *testing.T) {
 
 func testServeRejectsBadRequests(t *testing.T, newFrontend frontendFactory) {
 	router, _, _ := testRouter(t)
-	base := newFrontend(t, newServeHandler(router))
+	base := newFrontend(t, newServeHandler(router, nil))
 
 	cases := []struct {
 		name string
@@ -669,7 +669,7 @@ func testServeRejectsBadRequests(t *testing.T, newFrontend frontendFactory) {
 func TestServeDrainSurfacesWarmSetFailure(t *testing.T) {
 	router, _, _ := testRouter(t)
 	// Warm one key so there is something to save.
-	srv := httptest.NewServer(newServeHandler(router))
+	srv := httptest.NewServer(newServeHandler(router, nil))
 	if resp, body := postJSON(t, srv.URL+"/v1/recommend", recommendRequest{O: 99, V: 718, Objective: "stq"}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("warmup recommend: %d %s", resp.StatusCode, body)
 	}
@@ -684,7 +684,7 @@ func TestServeDrainSurfacesWarmSetFailure(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- serveUntilShutdown(ctx, &http.Server{Handler: newServeHandler(router)}, ln,
+		done <- serveUntilShutdown(ctx, &http.Server{Handler: newServeHandler(router, nil)}, ln,
 			5*time.Second, saveWarmSetOnDrain(router, unwritable))
 	}()
 	cancel()
@@ -709,7 +709,7 @@ func TestServeDrainSurfacesWarmSetFailure(t *testing.T) {
 	ctx2, cancel2 := context.WithCancel(context.Background())
 	done2 := make(chan error, 1)
 	go func() {
-		done2 <- serveUntilShutdown(ctx2, &http.Server{Handler: newServeHandler(router)}, ln2,
+		done2 <- serveUntilShutdown(ctx2, &http.Server{Handler: newServeHandler(router, nil)}, ln2,
 			5*time.Second, saveWarmSetOnDrain(router, writable))
 	}()
 	cancel2()
@@ -836,6 +836,7 @@ func TestTrainFlagValidation(t *testing.T) {
 		{"machines with data", []string{"-out", "x.json", "-machines", "aurora,frontier", "-data", "d.csv"}, "-data"},
 		{"machines empty entry", []string{"-out", "x.json", "-machines", "aurora,,frontier"}, "empty"},
 		{"machines duplicate", []string{"-out", "x.json", "-machines", "aurora,aurora"}, "twice"},
+		{"machines duplicate after trim", []string{"-out", "x.json", "-machines", "aurora, aurora"}, "twice"},
 		{"machines unknown", []string{"-out", "x.json", "-machines", "aurora,perlmutter"}, "perlmutter"},
 		{"zero gensize", []string{"-out", "x.json", "-gensize", "0"}, "-gensize"},
 	} {

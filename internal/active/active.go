@@ -14,6 +14,11 @@
 // curve of R²/MAE/MAPE on a held-out evaluation set. Optionally, the STQ and
 // BQ goals are tracked per round using the true-loss methodology in
 // internal/guide (Figures 5 and 6).
+//
+// Run drives a full offline campaign; Select exposes one acquisition round
+// over an index-stable pool, which is what the closed-loop retrain daemon
+// (internal/retrain) calls each cycle to decide which configurations are
+// worth measuring next.
 package active
 
 import (
@@ -154,9 +159,11 @@ func Run(s StrategyKind, poolX [][]float64, poolY []float64, evalX [][]float64, 
 		var sel []int // positions within unlabeled to query
 		switch s {
 		case UncertaintySampling:
-			sel = selectUncertainty(poolX, poolY, labeled, unlabeled, q, r)
+			lx, ly := ml.Subset(poolX, poolY, labeled)
+			sel = selectUncertainty(lx, ly, gather(poolX, unlabeled), q, r)
 		case QueryByCommittee:
-			sel = selectCommittee(poolX, poolY, labeled, unlabeled, q, cfg.Committee, r)
+			lx, ly := ml.Subset(poolX, poolY, labeled)
+			sel = selectCommittee(lx, ly, gather(poolX, unlabeled), q, cfg.Committee, r)
 		default:
 			sel = selectRandom(len(unlabeled), q, r)
 		}
@@ -189,28 +196,67 @@ func goalScores(model ml.Regressor, goals Goals, obj guide.Objective) stats.Scor
 	return sc
 }
 
+// Select picks the q pool points most worth measuring next, given what has
+// already been labeled. It is the single-round, index-stable form of the
+// strategies Run iterates: labeledX/labeledY are the measurements in hand,
+// poolX is the unmeasured candidate pool, and the returned values are
+// positions INTO poolX — the caller owns the pool's identity, so an
+// incremental consumer (the retrain daemon growing its labeled set across
+// cycles) can delete measured rows or append new candidates between calls
+// without any hidden index state going stale. committee <= 0 uses the
+// paper's default committee of 5; a strategy whose surrogate cannot be fit
+// (e.g. a degenerate labeled set) falls back to random selection rather
+// than failing the round.
+func Select(s StrategyKind, labeledX [][]float64, labeledY []float64, poolX [][]float64, q, committee int, seed uint64) []int {
+	if q > len(poolX) {
+		q = len(poolX)
+	}
+	if q <= 0 {
+		return nil
+	}
+	if committee <= 0 {
+		committee = 5
+	}
+	r := rng.New(seed)
+	if len(labeledX) == 0 {
+		return selectRandom(len(poolX), q, r)
+	}
+	switch s {
+	case UncertaintySampling:
+		return selectUncertainty(labeledX, labeledY, poolX, q, r)
+	case QueryByCommittee:
+		return selectCommittee(labeledX, labeledY, poolX, q, committee, r)
+	default:
+		return selectRandom(len(poolX), q, r)
+	}
+}
+
+// gather materializes the pool rows at the given indices.
+func gather(x [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		out[i] = x[j]
+	}
+	return out
+}
+
 // selectRandom returns q random positions in [0, n).
 func selectRandom(n, q int, r *rng.Source) []int {
 	return r.Sample(n, q)
 }
 
 // selectUncertainty fits a GP on the labeled set and returns the positions
-// of q high-uncertainty unlabeled points (Algorithm 1). It augments the raw
+// of q high-uncertainty pool points (Algorithm 1). It augments the raw
 // argsort-by-std selection with greedy diversity: picking the 50 globally
 // most-uncertain points in one batch would select a redundant cluster in the
 // same under-sampled corner, which barely improves the model. Instead we
 // greedily take the most-uncertain point, then down-weight the uncertainty
 // of remaining candidates by their RBF similarity to already-chosen points,
 // yielding an informative *and* diverse batch.
-func selectUncertainty(poolX [][]float64, poolY []float64, labeled, unlabeled []int, q int, r *rng.Source) []int {
-	lx, ly := ml.Subset(poolX, poolY, labeled)
+func selectUncertainty(lx [][]float64, ly []float64, ux [][]float64, q int, r *rng.Source) []int {
 	gp := kernel.NewGaussianProcess(kernel.RBF{Length: 1.0}, 1e-3).AutoLength(true)
 	if err := gp.Fit(lx, ly); err != nil {
-		return selectRandom(len(unlabeled), q, r)
-	}
-	ux := make([][]float64, len(unlabeled))
-	for i, idx := range unlabeled {
-		ux[i] = poolX[idx]
+		return selectRandom(len(ux), q, r)
 	}
 	_, std := gp.PredictStd(ux)
 
@@ -224,9 +270,9 @@ func selectUncertainty(poolX [][]float64, poolY []float64, labeled, unlabeled []
 	}
 
 	score := append([]float64(nil), std...)
-	chosen := make([]bool, len(unlabeled))
+	chosen := make([]bool, len(ux))
 	picks := make([]int, 0, q)
-	for len(picks) < q && len(picks) < len(unlabeled) {
+	for len(picks) < q && len(picks) < len(ux) {
 		bestIdx, bestVal := -1, math.Inf(-1)
 		for i := range score {
 			if chosen[i] {
@@ -295,27 +341,22 @@ func medianPairDistance(x [][]float64) float64 {
 }
 
 // selectCommittee trains a committee of GB models on bootstrap resamples of
-// the labeled set and returns the positions of the q highest-variance
-// unlabeled points (Algorithm 2).
-func selectCommittee(poolX [][]float64, poolY []float64, labeled, unlabeled []int, q, committee int, r *rng.Source) []int {
-	lx, ly := ml.Subset(poolX, poolY, labeled)
-	ux := make([][]float64, len(unlabeled))
-	for i, idx := range unlabeled {
-		ux[i] = poolX[idx]
-	}
+// the labeled set and returns the positions of the q highest-variance pool
+// points (Algorithm 2).
+func selectCommittee(lx [][]float64, ly []float64, ux [][]float64, q, committee int, r *rng.Source) []int {
 	preds := make([][]float64, committee)
 	for c := 0; c < committee; c++ {
 		bs := r.Bootstrap(len(lx))
 		bx, by := ml.Subset(lx, ly, bs)
 		gb := ensemble.NewGradientBoosting(100, 0.1, tree.Params{MaxDepth: 6}, r.Uint64())
 		if err := gb.Fit(bx, by); err != nil {
-			return selectRandom(len(unlabeled), q, r)
+			return selectRandom(len(ux), q, r)
 		}
 		preds[c] = gb.Predict(ux)
 	}
 	// Per-point variance across the committee.
-	variance := make([]float64, len(unlabeled))
-	for i := range unlabeled {
+	variance := make([]float64, len(ux))
+	for i := range ux {
 		col := make([]float64, committee)
 		for c := 0; c < committee; c++ {
 			col[c] = preds[c][i]

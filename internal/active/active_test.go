@@ -143,6 +143,56 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestSelectIndexStable pins the single-round API's contract: returned
+// positions index the caller's pool directly, are unique and in range, and
+// the same inputs select the same batch (the retrain daemon journals a
+// cycle's acquisitions and must re-derive them identically on resume).
+func TestSelectIndexStable(t *testing.T) {
+	px, py, _, _ := poolAndEval(machine.Aurora())
+	lx, ly := px[:80], py[:80]
+	pool := px[80:680]
+	for _, s := range []StrategyKind{RandomSampling, UncertaintySampling, QueryByCommittee} {
+		sel := Select(s, lx, ly, pool, 12, 3, 42)
+		if len(sel) != 12 {
+			t.Fatalf("%v: selected %d of 12", s, len(sel))
+		}
+		seen := map[int]bool{}
+		for _, i := range sel {
+			if i < 0 || i >= len(pool) || seen[i] {
+				t.Fatalf("%v: invalid or duplicate pool index %d", s, i)
+			}
+			seen[i] = true
+		}
+		again := Select(s, lx, ly, pool, 12, 3, 42)
+		for i := range sel {
+			if sel[i] != again[i] {
+				t.Fatalf("%v: selection not deterministic at %d: %d vs %d", s, i, sel[i], again[i])
+			}
+		}
+	}
+}
+
+func TestSelectEdgeCases(t *testing.T) {
+	px, py, _, _ := poolAndEval(machine.Aurora())
+	pool := px[:10]
+	// q larger than the pool clamps; q <= 0 and an empty pool select nothing.
+	if sel := Select(RandomSampling, px[10:60], py[10:60], pool, 50, 0, 1); len(sel) != len(pool) {
+		t.Fatalf("oversized q selected %d, want the whole pool (%d)", len(sel), len(pool))
+	}
+	if sel := Select(UncertaintySampling, px[10:60], py[10:60], pool, 0, 0, 1); sel != nil {
+		t.Fatalf("q=0 selected %v", sel)
+	}
+	if sel := Select(QueryByCommittee, px[10:60], py[10:60], nil, 5, 0, 1); sel != nil {
+		t.Fatalf("empty pool selected %v", sel)
+	}
+	// No labeled data yet: every strategy degrades to random rather than
+	// failing the round on an unfittable surrogate.
+	sel := Select(UncertaintySampling, nil, nil, pool, 4, 0, 1)
+	if len(sel) != 4 {
+		t.Fatalf("unlabeled US selected %d of 4", len(sel))
+	}
+}
+
 func TestSelectHelpers(t *testing.T) {
 	r := rng.New(1)
 	sel := selectRandom(100, 20, r)

@@ -30,14 +30,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // Handler mounts the proxy's HTTP API: the full /v1 serving contract
-// (recommend, batch, predict, healthz) plus the drain admin endpoint.
+// (recommend, batch, predict, healthz) plus the drain admin endpoint and a
+// Prometheus /metrics scrape of the proxy's own latency histograms.
 func (p *Proxy) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", p.metrics.Instrument("healthz", p.handleHealthz))
 	mux.HandleFunc("POST /v1/recommend", p.metrics.Instrument("recommend", p.handleSingle("/v1/recommend")))
 	mux.HandleFunc("POST /v1/predict", p.metrics.Instrument("predict", p.handleSingle("/v1/predict")))
+	mux.HandleFunc("POST /v1/observe", p.metrics.Instrument("observe", p.handleSingle("/v1/observe")))
 	mux.HandleFunc("POST /v1/batch", p.metrics.Instrument("batch", p.handleBatch))
 	mux.HandleFunc("POST /v1/admin/drain", p.metrics.Instrument("drain", p.handleDrain))
+	// Uninstrumented like the serve-side /metrics: scrapes must not swamp
+	// the histograms they export. The proxy has no local sweep caches, so
+	// only the latency families are emitted.
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", guide.PrometheusContentType)
+		guide.WritePrometheus(w, p.metrics.Snapshot(), nil)
+	})
 	return mux
 }
 
@@ -89,13 +98,19 @@ func (p *Proxy) roundTrip(ctx context.Context, method, url string, body []byte) 
 // attemptOut is one forwarding attempt's outcome. ok means the backend
 // answered below 500: 2xx is relayed as a success, and 4xx too — a
 // validation error is the client's to see, and retrying it elsewhere would
-// only duplicate work to get the same answer.
+// only duplicate work to get the same answer. 501 is the one 5xx relayed
+// verbatim: Not Implemented states a backend's deliberate configuration
+// (e.g. /v1/observe on a plain serve without the retrain daemon), so a
+// replica would answer the same and failing over just burns the budget.
 type attemptOut struct {
 	res upstream
 	err error
 }
 
-func (a attemptOut) ok() bool { return a.err == nil && a.res.status < http.StatusInternalServerError }
+func (a attemptOut) ok() bool {
+	return a.err == nil &&
+		(a.res.status < http.StatusInternalServerError || a.res.status == http.StatusNotImplemented)
+}
 
 // tryBackends runs the fault-tolerant forwarding loop over a key's failover
 // candidates: attempt the primary; retry the next replica (with backoff and
@@ -208,7 +223,8 @@ func (p *Proxy) degrade(w http.ResponseWriter, key string) {
 		Error: "all backends unavailable for this request; retry after the breaker window"})
 }
 
-// handleSingle forwards /v1/recommend and /v1/predict. The machine key is
+// handleSingle forwards the machine-keyed single-request endpoints
+// (/v1/recommend, /v1/predict, /v1/observe). The machine key is
 // sniffed from the body without full validation — the backend owns the
 // request schema, so its error bodies pass through verbatim and every
 // serve-side test of those contracts holds through the proxy.

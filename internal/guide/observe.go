@@ -1,0 +1,37 @@
+package guide
+
+import (
+	"fmt"
+
+	"parcost/internal/dataset"
+)
+
+// Observation is one measured outcome reported back to the serving tier: a
+// configuration that actually ran on a machine and the iteration seconds it
+// took. The /v1/observe endpoint ingests these and feeds them to an Observer
+// — in production the retrain daemon's drift monitors, which compare each
+// observation against the serving model's prediction and trip a retrain
+// cycle on sustained degradation.
+type Observation struct {
+	Machine string
+	Config  dataset.Config
+	Seconds float64
+}
+
+// Validate rejects observations that could not have come from a real run.
+func (o Observation) Validate() error {
+	c := o.Config
+	if c.O <= 0 || c.V <= 0 || c.Nodes <= 0 || c.TileSize <= 0 {
+		return fmt.Errorf("guide: observation config must be positive (got %v)", c)
+	}
+	if o.Seconds <= 0 {
+		return fmt.Errorf("guide: observation seconds must be positive (got %g)", o.Seconds)
+	}
+	return nil
+}
+
+// Observer ingests observations. Implementations must be goroutine-safe:
+// the serve handler calls Observe from concurrent requests.
+type Observer interface {
+	Observe(Observation) error
+}

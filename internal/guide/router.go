@@ -74,6 +74,47 @@ func (r *Router) AddShard(machine string, adv *Advisor, opts ...ServiceOption) e
 	return nil
 }
 
+// SwapShard hot-replaces a machine's shard with a freshly fitted advisor,
+// carrying the outgoing shard's warm set forward: the hottest warmLimit
+// cache keys of the old Service (warmLimit <= 0: all resident keys) are
+// pre-swept through the NEW service BEFORE it is installed, so promotion has
+// no cold-cache window — queries keep landing on the old shard until the new
+// one is warm, then cut over atomically. Returns how many keys were warmed
+// (a key whose sweep fails on the new advisor is skipped, not fatal).
+// Swapping a machine with no current shard is AddShard plus an empty warm
+// set. Retrain promotion and rollback are both this call, in opposite
+// directions.
+//
+// Two concurrent SwapShards on the same machine are last-install-wins; the
+// retrain controller serializes its own promote/rollback, so this only
+// matters for callers driving swaps by hand.
+func (r *Router) SwapShard(machine string, adv *Advisor, warmLimit int, opts ...ServiceOption) (int, error) {
+	if machine == "" {
+		return 0, fmt.Errorf("guide: SwapShard requires a machine name")
+	}
+	svc, err := NewService(adv, append(opts, withSharedSweeps(r.sweeps))...)
+	if err != nil {
+		return 0, fmt.Errorf("guide: shard %q: %w", machine, err)
+	}
+	r.mu.RLock()
+	old := r.shards[machine]
+	r.mu.RUnlock()
+	warmed := 0
+	if old != nil {
+		// Warm sweeps run on the incoming service (bounded by the shared
+		// fleet semaphore) while the outgoing one still answers queries.
+		for _, q := range old.cache.hotKeys(warmLimit) {
+			if _, err := svc.Recommend(q.Problem, q.Objective); err == nil {
+				warmed++
+			}
+		}
+	}
+	r.mu.Lock()
+	r.shards[machine] = svc
+	r.mu.Unlock()
+	return warmed, nil
+}
+
 // RemoveShard unregisters a machine's shard, reporting whether it existed.
 // In-flight queries on the removed Service complete normally.
 func (r *Router) RemoveShard(machine string) bool {

@@ -236,6 +236,142 @@ func TestRouterConcurrentAddRemove(t *testing.T) {
 // contract: a shard with zero sweeps contributes nothing to SweepMin
 // (min-of-mins over sweeping shards, not zero), and SweepMax is the
 // max-of-maxes.
+// TestRouterSwapShardCarriesWarmSet pins the promotion primitive: the
+// incoming service is pre-swept with the outgoing shard's hottest keys
+// BEFORE installation, so the first post-swap query for a warm key is a
+// cache hit on the new model, and the answer comes from the new advisor.
+func TestRouterSwapShardCarriesWarmSet(t *testing.T) {
+	r := NewRouter()
+	advOld, modelOld := fastAdvisor(5)
+	if err := r.AddShard("aurora", advOld); err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := problemN(0), problemN(1)
+	for _, p := range []dataset.Problem{p0, p1} {
+		if _, err := r.Recommend("aurora", p, ShortestTime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldCalls := modelOld.callCount()
+
+	advNew, modelNew := fastAdvisor(7)
+	warmed, err := r.SwapShard("aurora", advNew, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed != 2 {
+		t.Fatalf("warmed %d keys, want 2", warmed)
+	}
+	// Post-swap queries for the warm keys answer from the NEW advisor's
+	// cache: no further sweep on either model.
+	newCalls := modelNew.callCount()
+	for _, p := range []dataset.Problem{p0, p1} {
+		rec, err := r.Recommend("aurora", p, ShortestTime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.PredTime != 7 {
+			t.Fatalf("post-swap answer %v came from the old advisor", rec.PredTime)
+		}
+	}
+	if modelNew.callCount() != newCalls {
+		t.Fatal("warm keys re-swept after the swap")
+	}
+	if modelOld.callCount() != oldCalls {
+		t.Fatal("swap touched the outgoing model")
+	}
+
+	// warmLimit caps the carry; swapping an absent machine is AddShard.
+	advThird, _ := fastAdvisor(9)
+	if warmed, err = r.SwapShard("aurora", advThird, 1); err != nil || warmed != 1 {
+		t.Fatalf("warmLimit=1 swap: warmed=%d err=%v", warmed, err)
+	}
+	advFresh, _ := fastAdvisor(3)
+	if warmed, err = r.SwapShard("polaris", advFresh, 0); err != nil || warmed != 0 {
+		t.Fatalf("swap onto empty machine: warmed=%d err=%v", warmed, err)
+	}
+	if _, err := r.SwapShard("", advFresh, 0); err == nil {
+		t.Fatal("empty machine name accepted")
+	}
+	if _, err := r.SwapShard("aurora", nil, 0); err == nil {
+		t.Fatal("nil advisor accepted")
+	}
+}
+
+// TestRouterLoadWarmSetDuringShardChurn races warm-set loading against
+// concurrent AddShard/RemoveShard/SwapShard churn under -race. The retrain
+// daemon makes this interleaving routine — a restart pre-sweeps the warm set
+// while controllers may already be promoting candidates — so loading must
+// never panic or deadlock; keys whose shard vanished mid-load are simply
+// skipped.
+func TestRouterLoadWarmSetDuringShardChurn(t *testing.T) {
+	r, _, _ := twoShardRouter(t)
+	for i := 0; i < 6; i++ {
+		if _, err := r.Recommend("aurora", problemN(i), ShortestTime); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Recommend("frontier", problemN(i), Budget); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "warm.json")
+	if err := r.SaveWarmSet(path, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // churn aurora through add/remove
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				r.RemoveShard("aurora")
+			} else {
+				adv, _ := fastAdvisor(5)
+				if err := r.AddShard("aurora", adv); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	go func() { // hot-swap frontier like a promoting retrain controller
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			adv, _ := fastAdvisor(9)
+			if _, err := r.SwapShard("frontier", adv, 2); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if _, err := r.LoadWarmSet(path); err != nil {
+			t.Fatalf("LoadWarmSet under churn: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The fleet still answers once churn settles.
+	adv, _ := fastAdvisor(5)
+	_ = r.AddShard("aurora", adv)
+	if warmed, err := r.LoadWarmSet(path); err != nil || warmed == 0 {
+		t.Fatalf("post-churn load: warmed=%d err=%v", warmed, err)
+	}
+}
+
 func TestRouterAggregateStatsZeroSweepShard(t *testing.T) {
 	r, _, _ := twoShardRouter(t)
 	if _, err := r.Recommend("aurora", problemN(0), ShortestTime); err != nil {

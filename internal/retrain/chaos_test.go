@@ -1,0 +1,390 @@
+package retrain
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"parcost/internal/active"
+	"parcost/internal/ml"
+)
+
+// Chaos battery: fault-injection tests in the fleetproxy/faultinject style,
+// covering the ISSUE's hard scenarios — kill -9 mid-cycle with zero
+// duplicate measurements and uninterrupted serving, a gate-failing
+// candidate that must never be served, a post-swap regression that must
+// roll back, and measurement faults (hangs, error bursts, flakes) degrading
+// gracefully under the failure budget.
+
+// TestChaosKillResumeZeroDuplicates kills the controller mid-measurement
+// (simulated kill -9: the journal is abandoned unflushed-ly mid-cycle and a
+// torn half-record is stamped on its tail), resumes from the journal, and
+// verifies the resumed controller measures only what the first life never
+// measured — and that the incumbent's recommendations are bit-identical
+// before the crash and after the resume, i.e. no serving downtime.
+func TestChaosKillResumeZeroDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	m := newScriptedMeasurer()
+	m.onCall = func(n int) {
+		if n == 3 {
+			cancel1() // the "process" dies right after the 3rd measurement
+		}
+	}
+	cfg, router := testController(t, dir, m)
+	c1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NOT closed: a kill -9 never runs Close. c1 is simply abandoned.
+
+	tripCycle(t, c1, 200)
+	preCrash := recommendTime(t, router)
+	if err := c1.Advance(ctx1); err == nil {
+		t.Fatal("Advance survived the injected kill")
+	}
+	if got := m.calls; got != 3 {
+		t.Fatalf("first life made %d measurements, want 3", got)
+	}
+	// Stamp a torn half-record on the tail, as a crash mid-append would.
+	f, err := os.OpenFile(cfg.JournalPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":99,"kind":"measured","checksum":"de`)
+	f.Close()
+
+	// Second life: resume from the journal.
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	defer c2.Close()
+	// The incumbent (still the base model: nothing was promoted) serves
+	// bit-identically across the crash — zero downtime, zero drift.
+	if postResume := recommendTime(t, router); postResume != preCrash {
+		t.Fatalf("serving changed across resume: %+v vs %+v", postResume, preCrash)
+	}
+	if err := c2.Advance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Zero duplicates: every pool config was measured exactly once across
+	// both lives (3 + 13), and the cycle completed with a promotion.
+	for _, pc := range poolConfigs() {
+		if n := m.countFor(pc); n != 1 {
+			t.Fatalf("config %v measured %d times across crash+resume", pc, n)
+		}
+	}
+	if m.calls != 16 {
+		t.Fatalf("total measurements %d, want 16", m.calls)
+	}
+	if c2.Incumbent() == "base" {
+		t.Fatal("resumed cycle did not promote")
+	}
+	if got := recommendTime(t, router).PredTime; got != 200 {
+		t.Fatalf("post-resume promotion predicts %g, want 200", got)
+	}
+}
+
+// TestChaosResumeAfterPromotion: a crash landing between the promoted
+// record and its cycle_done marker must resume with the promotion standing
+// (the artifact is reloaded and served), not re-run the cycle.
+func TestChaosResumeAfterPromotion(t *testing.T) {
+	dir := t.TempDir()
+	m := newScriptedMeasurer()
+	cfg, router := testController(t, dir, m)
+	c1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tripCycle(t, c1, 200)
+	if err := c1.Advance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	promoted := c1.Incumbent()
+	if promoted == "base" {
+		t.Fatal("setup: no promotion")
+	}
+	// Abandon c1 (kill) and chop the trailing cycle_done record off the
+	// journal, leaving `promoted` as the last intact record.
+	data, err := os.ReadFile(cfg.JournalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	cut := len(data)
+	for i := len(data) - 2; i >= 0; i-- { // -2 skips the final newline
+		if data[i] == '\n' {
+			cut = i + 1
+			lines++
+			break
+		}
+	}
+	if lines != 1 {
+		t.Fatal("could not locate final record")
+	}
+	if err := os.WriteFile(cfg.JournalPath, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	defer c2.Close()
+	if got := c2.Incumbent(); got != promoted {
+		t.Fatalf("resumed incumbent %s, want the promoted candidate %s", got, promoted)
+	}
+	if got := recommendTime(t, router).PredTime; got != 200 {
+		t.Fatalf("resumed serving predicts %g, want the promoted 200", got)
+	}
+	if err := c2.Advance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// No re-measurement, no second promotion: Advance only closed the cycle.
+	if m.calls != 16 {
+		t.Fatalf("resume re-measured: %d calls, want 16", m.calls)
+	}
+	records := readRecords(t, cfg.JournalPath, "aurora")
+	last := records[len(records)-1]
+	if last.Kind != recCycleDone {
+		t.Fatalf("final record %s, want cycle_done", last.Kind)
+	}
+	promotions := 0
+	for _, rec := range records {
+		if rec.Kind == recPromoted {
+			promotions++
+		}
+	}
+	if promotions != 1 {
+		t.Fatalf("%d promotions journaled, want 1", promotions)
+	}
+}
+
+// TestChaosGateFailNeverServed injects a Fit that produces a worse model
+// than the incumbent; the gate must reject it, the router must keep serving
+// the incumbent untouched, and no candidate artifact may reach disk.
+func TestChaosGateFailNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	m := newScriptedMeasurer()
+	cfg, router := testController(t, dir, m)
+	// Poisoned trainer: fits on targets inflated 10× — confidently wrong.
+	cfg.Fit = func(x [][]float64, y []float64) (ml.Regressor, error) {
+		bad := make([]float64, len(y))
+		for i, v := range y {
+			bad[i] = v * 10
+		}
+		return knnFit(x, bad)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	preCycle := recommendTime(t, router)
+	tripCycle(t, c, 200)
+	if err := c.Advance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Incumbent(); got != "base" {
+		t.Fatalf("gate-failing candidate promoted: incumbent %s", got)
+	}
+	if got := recommendTime(t, router); got != preCycle {
+		t.Fatalf("serving changed despite gate failure: %+v vs %+v", got, preCycle)
+	}
+	// The journal shows the rejection; the artifact dir holds no candidate.
+	var sawGateFail, sawDiscard bool
+	for _, rec := range readRecords(t, cfg.JournalPath, "aurora") {
+		switch rec.Kind {
+		case recGate:
+			var p gatePayload
+			if err := decodePayload(rec, &p); err != nil {
+				t.Fatal(err)
+			}
+			if p.Pass {
+				t.Fatalf("gate passed a 10×-wrong candidate: %+v", p)
+			}
+			sawGateFail = true
+		case recPromoted:
+			t.Fatal("promotion journaled for a gate-failing candidate")
+		case recCycleDone:
+			var p cycleDonePayload
+			if err := decodePayload(rec, &p); err != nil {
+				t.Fatal(err)
+			}
+			if p.Outcome != outcomeDiscarded {
+				t.Fatalf("cycle outcome %s, want discarded", p.Outcome)
+			}
+			sawDiscard = true
+		}
+	}
+	if !sawGateFail || !sawDiscard {
+		t.Fatal("gate rejection not journaled")
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dir, "*-cycle*.json")); len(matches) != 0 {
+		t.Fatalf("gate-failing candidate persisted: %v", matches)
+	}
+}
+
+// TestChaosRegressionRollsBack promotes a candidate, then regresses the
+// world (runtime doubles again): the post-swap watch must trip and the
+// controller must atomically restore the prior advisor — including across a
+// kill between the watch verdict and the rollback itself.
+func TestChaosRegressionRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	m := newScriptedMeasurer()
+	cfg, router := testController(t, dir, m)
+	c1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preBase := recommendTime(t, router)
+	tripCycle(t, c1, 200)
+	if err := c1.Advance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Incumbent() == "base" {
+		t.Fatal("setup: no promotion")
+	}
+	// The world shifts under the fresh promotion: observations come in at
+	// double the new model's prediction, filling the rollback watch window.
+	observeN(t, c1, cfg.RollbackWindow, 400)
+
+	// Kill before the rollback executes; the verdict must survive replay.
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	defer c2.Close()
+	if err := c2.Advance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Incumbent(); got != "base" {
+		t.Fatalf("regressed promotion not rolled back: incumbent %s", got)
+	}
+	if got := recommendTime(t, router); got != preBase {
+		t.Fatalf("rollback did not restore base serving: %+v vs %+v", got, preBase)
+	}
+	var rb *rolledBackPayload
+	for _, rec := range readRecords(t, cfg.JournalPath, "aurora") {
+		if rec.Kind == recRolledBack {
+			var p rolledBackPayload
+			if err := decodePayload(rec, &p); err != nil {
+				t.Fatal(err)
+			}
+			rb = &p
+		}
+	}
+	if rb == nil {
+		t.Fatal("rollback not journaled")
+	}
+	if rb.Reason == "" {
+		t.Fatal("rollback journaled without a reason")
+	}
+}
+
+// TestChaosMeasurementFaultsDegrade scripts a hang, an error burst, and a
+// flake against the measurer: the hung config dies by attempt deadline, the
+// burst burns the failure budget so the rest of the batch is skipped (and
+// stays acquirable), the cycle still completes with what it has, and the
+// NEXT cycle acquires with the degraded random strategy.
+func TestChaosMeasurementFaultsDegrade(t *testing.T) {
+	dir := t.TempDir()
+	// Config 1: hang, hang (deadline ×2 → failed, attempts=2).
+	// Config 2: error, error (retry exhausted → failed, attempts=2).
+	// Config 3: error, OK (flaky: recovers on retry → measured).
+	// Then one more clean failure to exceed FailureBudget=2 → the rest of
+	// the batch is budget-skipped with attempts=0.
+	m := newScriptedMeasurer(
+		mHang, mHang,
+		mErr, mErr,
+		mErr, mOK,
+		mErr, mErr,
+	)
+	cfg, _ := testController(t, dir, m)
+	cfg.AttemptTimeout = 30 * time.Millisecond
+	// Primary strategy is uncertainty sampling, so the degraded fallback to
+	// random is visible in the acquire records.
+	cfg.Strategy = active.UncertaintySampling
+	// Gate cannot pass this cycle: demand more validation rows than the
+	// trip produced, so the cycle is discarded and we can watch the NEXT
+	// cycle acquire in degraded mode.
+	cfg.MinValidation = 100
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tripCycle(t, c, 200)
+	if err := c.Advance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Incumbent(); got != "base" {
+		t.Fatalf("cycle promoted despite an unpassable gate: %s", got)
+	}
+
+	// Re-trip: drift needs a fresh sustained run after the reset at trip.
+	tripCycle(t, c, 200)
+	if err := c.Advance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	records := readRecords(t, cfg.JournalPath, "aurora")
+	var acquires []acquirePayload
+	hardFails, skips, measured := map[uint64]int{}, map[uint64]int{}, map[uint64]int{}
+	for _, rec := range records {
+		switch rec.Kind {
+		case recAcquire:
+			var p acquirePayload
+			if err := decodePayload(rec, &p); err != nil {
+				t.Fatal(err)
+			}
+			acquires = append(acquires, p)
+		case recMeasureFailed:
+			var p measureFailedPayload
+			if err := decodePayload(rec, &p); err != nil {
+				t.Fatal(err)
+			}
+			if p.Attempts == 0 {
+				skips[p.Cycle]++
+			} else {
+				hardFails[p.Cycle]++
+				if p.Attempts != 2 {
+					t.Fatalf("failed config journaled %d attempts, want 2: %+v", p.Attempts, p)
+				}
+			}
+		case recMeasured:
+			var p measuredPayload
+			if err := decodePayload(rec, &p); err != nil {
+				t.Fatal(err)
+			}
+			measured[p.Cycle]++
+		}
+	}
+	// Cycle 1: hang + burst + one post-flake failure = 3 hard failures
+	// (budget 2 exceeded), the flake recovered, the other 12 skipped.
+	if hardFails[1] != 3 || measured[1] != 1 || skips[1] != 12 {
+		t.Fatalf("cycle 1: %d hard failures, %d measured, %d skips (want 3/1/12)",
+			hardFails[1], measured[1], skips[1])
+	}
+	// Cycle 2 acquires in degraded mode: random strategy, and the 12
+	// budget-skipped configs are back in the pool (only the 3 hard-failed
+	// and 1 measured are excluded from the 16).
+	if len(acquires) != 2 {
+		t.Fatalf("%d acquire records, want 2", len(acquires))
+	}
+	if acquires[0].Degraded || acquires[0].Strategy != active.UncertaintySampling.String() {
+		t.Fatalf("first cycle should acquire healthy with US: %+v", acquires[0])
+	}
+	if !acquires[1].Degraded || acquires[1].Strategy != active.RandomSampling.String() {
+		t.Fatalf("post-budget cycle not degraded to random: %+v", acquires[1])
+	}
+	if len(acquires[1].Configs) != 12 {
+		t.Fatalf("degraded cycle re-acquired %d configs, want the 12 skipped", len(acquires[1].Configs))
+	}
+}

@@ -1,0 +1,87 @@
+package retrain
+
+import "math"
+
+// driftEstimator watches the stream of observed-vs-predicted relative errors
+// for one shard and decides when the serving model has drifted enough to
+// justify a retrain cycle. Two conditions must hold simultaneously before it
+// trips: the window must be full (no verdicts on thin evidence right after a
+// reset) and the windowed mean relative error must have exceeded the
+// threshold on `sustain` consecutive observations — a single pathological
+// run or a transient load spike does not trigger acquisition, which costs
+// real measurements.
+type driftEstimator struct {
+	window    int
+	threshold float64
+	sustain   int
+
+	errs []float64 // ring buffer of relative errors
+	next int       // ring write position
+	full bool
+	hot  int // consecutive adds with windowed mean above threshold
+}
+
+func newDriftEstimator(window int, threshold float64, sustain int) *driftEstimator {
+	if window < 1 {
+		window = 1
+	}
+	if sustain < 1 {
+		sustain = 1
+	}
+	return &driftEstimator{
+		window: window, threshold: threshold, sustain: sustain,
+		errs: make([]float64, window),
+	}
+}
+
+// relErr is the drift signal: |observed − predicted| scaled by the observed
+// magnitude, floored to keep near-zero runtimes from exploding the ratio.
+func relErr(observed, predicted float64) float64 {
+	denom := math.Abs(observed)
+	if denom < 1e-9 {
+		denom = 1e-9
+	}
+	return math.Abs(observed-predicted) / denom
+}
+
+// add folds one relative error in and reports whether the estimator trips.
+// On trip the caller is expected to start a cycle and reset.
+func (d *driftEstimator) add(e float64) (tripped bool) {
+	d.errs[d.next] = e
+	d.next = (d.next + 1) % d.window
+	if d.next == 0 {
+		d.full = true
+	}
+	if !d.full {
+		d.hot = 0
+		return false
+	}
+	if d.mean() > d.threshold {
+		d.hot++
+	} else {
+		d.hot = 0
+	}
+	return d.hot >= d.sustain
+}
+
+// mean is the windowed mean relative error (only meaningful once full).
+func (d *driftEstimator) mean() float64 {
+	n := d.window
+	if !d.full {
+		n = d.next
+		if n == 0 {
+			return 0
+		}
+	}
+	sum := 0.0
+	for _, e := range d.errs[:n] {
+		sum += e
+	}
+	return sum / float64(n)
+}
+
+// reset clears all evidence. Called after a trip (the cycle will change the
+// model, stale errors describe the old one) and after promote/rollback.
+func (d *driftEstimator) reset() {
+	d.next, d.full, d.hot = 0, false, 0
+}

@@ -1,0 +1,68 @@
+package retrain
+
+import "testing"
+
+// TestDriftNoTripBeforeWindowFull: thin evidence never trips, no matter how
+// bad the errors are.
+func TestDriftNoTripBeforeWindowFull(t *testing.T) {
+	d := newDriftEstimator(8, 0.25, 1)
+	for i := 0; i < 7; i++ {
+		if d.add(10.0) {
+			t.Fatalf("tripped on observation %d with a %d-wide window", i+1, 8)
+		}
+	}
+	if !d.add(10.0) {
+		t.Fatal("full window of large errors did not trip")
+	}
+}
+
+// TestDriftSustainRequired: the mean must stay above threshold for the
+// configured number of consecutive adds; a single recovery resets the run.
+func TestDriftSustainRequired(t *testing.T) {
+	d := newDriftEstimator(2, 0.25, 3)
+	d.add(0.5)
+	d.add(0.5) // window full: hot=1
+	if d.add(0.5) {
+		t.Fatal("tripped at sustain 2 of 3")
+	}
+	// A good observation drags the windowed mean to the threshold (not
+	// above it): the consecutive run resets.
+	if d.add(0.0) {
+		t.Fatal("tripped while recovering")
+	}
+	// It must now take a full sustain run again.
+	if d.add(0.6) || d.add(0.6) {
+		t.Fatal("tripped before re-sustaining")
+	}
+	if !d.add(0.6) {
+		t.Fatal("did not trip on the third consecutive hot add")
+	}
+}
+
+// TestDriftReset clears all evidence: after reset the window must refill.
+func TestDriftReset(t *testing.T) {
+	d := newDriftEstimator(4, 0.25, 1)
+	for i := 0; i < 4; i++ {
+		d.add(1.0)
+	}
+	d.reset()
+	for i := 0; i < 3; i++ {
+		if d.add(1.0) {
+			t.Fatal("tripped before refilling the window after reset")
+		}
+	}
+	if !d.add(1.0) {
+		t.Fatal("did not trip once refilled")
+	}
+}
+
+// TestRelErrFloorsDenominator: near-zero observations do not explode the
+// ratio.
+func TestRelErrFloorsDenominator(t *testing.T) {
+	if e := relErr(0, 0); e != 0 {
+		t.Fatalf("relErr(0,0) = %g", e)
+	}
+	if e := relErr(100, 50); e != 0.5 {
+		t.Fatalf("relErr(100,50) = %g, want 0.5", e)
+	}
+}

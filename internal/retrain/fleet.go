@@ -1,0 +1,92 @@
+package retrain
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"parcost/internal/guide"
+)
+
+// Fleet routes observations to per-machine controllers and runs them as a
+// group. It implements guide.Observer, so the serve handler's /v1/observe
+// endpoint can feed a whole fleet's drift monitors through one value.
+type Fleet struct {
+	mu          sync.RWMutex
+	controllers map[string]*Controller
+}
+
+func NewFleet() *Fleet {
+	return &Fleet{controllers: make(map[string]*Controller)}
+}
+
+// Add registers a machine's controller. Last add wins, mirroring the
+// Router's shard semantics.
+func (f *Fleet) Add(machine string, c *Controller) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.controllers[machine] = c
+}
+
+// Machines lists the registered machines in sorted order.
+func (f *Fleet) Machines() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.controllers))
+	for m := range f.controllers {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Observe routes one observation to its machine's controller. An empty
+// machine name resolves only when the fleet has exactly one controller,
+// matching the Router's single-shard defaulting.
+func (f *Fleet) Observe(o guide.Observation) error {
+	f.mu.RLock()
+	c, ok := f.controllers[o.Machine]
+	if !ok && o.Machine == "" && len(f.controllers) == 1 {
+		for _, only := range f.controllers {
+			c, ok = only, true
+		}
+	}
+	f.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("retrain: no controller for machine %q", o.Machine)
+	}
+	return c.Observe(o)
+}
+
+// Run drives every controller until ctx is done.
+func (f *Fleet) Run(ctx context.Context) {
+	f.mu.RLock()
+	cs := make([]*Controller, 0, len(f.controllers))
+	for _, c := range f.controllers {
+		cs = append(cs, c)
+	}
+	f.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, c := range cs {
+		wg.Add(1)
+		go func(c *Controller) {
+			defer wg.Done()
+			c.Run(ctx)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// Close closes every controller, returning the first error.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var first error
+	for _, c := range f.controllers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

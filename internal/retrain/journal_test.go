@@ -1,0 +1,151 @@
+package retrain
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parcost/internal/dataset"
+)
+
+func testConfig(i int) dataset.Config {
+	return dataset.Config{O: 10 + i, V: 100 + i, Nodes: 10, TileSize: 40}
+}
+
+// TestJournalRoundTrip pins the append/replay contract: records come back
+// in order, with kinds, sequence numbers, and payloads intact.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "aurora.journal")
+	j, records, err := openJournal(path, "aurora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(records))
+	}
+	if err := j.append(recObserve, "", observePayload{Config: testConfig(1), Seconds: 2.5, Predicted: 2.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(recTrip, "", tripPayload{Cycle: 1, WindowErr: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, records, err := openJournal(path, "aurora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(records) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(records))
+	}
+	if records[0].Kind != recObserve || records[1].Kind != recTrip {
+		t.Fatalf("kinds = %s, %s", records[0].Kind, records[1].Kind)
+	}
+	var obs observePayload
+	if err := decodePayload(records[0], &obs); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Config != testConfig(1) || obs.Seconds != 2.5 || obs.Predicted != 2.0 {
+		t.Fatalf("observe payload round-tripped as %+v", obs)
+	}
+	// Appends resume the sequence.
+	if err := j2.append(recCycleDone, "", cycleDonePayload{Cycle: 1, Outcome: outcomeAborted}); err != nil {
+		t.Fatal(err)
+	}
+	if j2.seq != 3 {
+		t.Fatalf("seq after resume-append = %d, want 3", j2.seq)
+	}
+}
+
+// TestJournalTornTailTruncated: a half-written final record — the kill -9
+// signature — is dropped on open and the journal stays usable.
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.journal")
+	j, _, err := openJournal(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(recTrip, "", tripPayload{Cycle: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate a crash mid-append: garbage where the next record would be.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":2,"kind":"acquire","checksum":"dead`)
+	f.Close()
+	before, _ := os.ReadFile(path)
+
+	j2, records, err := openJournal(path, "m")
+	if err != nil {
+		t.Fatalf("torn tail should truncate, got %v", err)
+	}
+	if len(records) != 1 || records[0].Kind != recTrip {
+		t.Fatalf("replayed %v, want the one intact record", records)
+	}
+	// The torn bytes are gone from disk and appends continue from seq 1.
+	after, _ := os.ReadFile(path)
+	if len(after) >= len(before) {
+		t.Fatalf("torn tail not truncated: %d bytes before, %d after", len(before), len(after))
+	}
+	if err := j2.append(recCycleDone, "", cycleDonePayload{Cycle: 1, Outcome: outcomeAborted}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, records, err = openJournal(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || records[1].Seq != 2 {
+		t.Fatalf("post-truncate append replayed as %+v", records)
+	}
+}
+
+// TestJournalRejectsMidFileCorruption: a bad record with valid records
+// after it is data corruption, not a crash tail, and must refuse to load.
+func TestJournalRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.journal")
+	j, _, err := openJournal(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.append(recTrip, "", tripPayload{Cycle: 1})
+	j.append(recCycleDone, "", cycleDonePayload{Cycle: 1, Outcome: outcomeAborted})
+	j.Close()
+
+	data, _ := os.ReadFile(path)
+	// Flip a byte inside the SECOND line (the first record), leaving the
+	// final record intact.
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[1] = strings.Replace(lines[1], `"cycle":1`, `"cycle":9`, 1)
+	os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644)
+
+	if _, _, err := openJournal(path, "m"); err == nil {
+		t.Fatal("mid-file corruption loaded silently")
+	}
+}
+
+// TestJournalHeaderChecks: wrong machine or mangled header refuse to load.
+func TestJournalHeaderChecks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.journal")
+	j, _, err := openJournal(path, "aurora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, _, err := openJournal(path, "frontier"); err == nil ||
+		!strings.Contains(err.Error(), "aurora") {
+		t.Fatalf("cross-machine open: %v", err)
+	}
+	os.WriteFile(path, []byte("{\"format\":\"something-else\",\"version\":1}\n"), 0o644)
+	if _, _, err := openJournal(path, "aurora"); err == nil {
+		t.Fatal("foreign format loaded silently")
+	}
+}
