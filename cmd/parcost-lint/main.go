@@ -1,0 +1,47 @@
+// Command parcost-lint is the repo's determinism & crash-safety multichecker:
+// it runs every internal/lint analyzer (detrand, walltime, maprange, syncerr,
+// gomaxprocsdep) over the named package patterns and exits non-zero when any
+// invariant is violated. CI runs it as a blocking step over ./...; run it
+// locally the same way:
+//
+//	go run ./cmd/parcost-lint ./...
+//
+// or via scripts/lint.sh, which matches CI exactly. See the README's
+// "Determinism contract" section for what each analyzer enforces and how to
+// bless a call site.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parcost/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: parcost-lint [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings := lint.RunAnalyzers(pkgs, lint.All())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "parcost-lint: %d invariant violation(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

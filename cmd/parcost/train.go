@@ -10,6 +10,9 @@ import (
 	"parcost/internal/machine"
 )
 
+// now is the command clock; tests substitute a fake to pin TrainedAt stamps.
+var now = time.Now
+
 // runTrain fits the paper's GB model and writes the artifact that
 // stq/bq/predict/serve load, splitting training time from query time.
 //
@@ -106,7 +109,7 @@ func runTrain(args []string) error {
 			adv.Model.Name(), d.Len(), spec.Name, len(adv.Grid.Nodes), len(adv.Grid.TileSizes))
 	}
 	meta := guide.BundleMeta{
-		TrainedAt: time.Now().UTC().Format(time.RFC3339),
+		TrainedAt: now().UTC().Format(time.RFC3339),
 		Source:    fmt.Sprintf("simulated seed=%d trees=%d depth=%d", *seed, *trees, *depth),
 	}
 	if err := guide.SaveBundle(*out, entries, meta); err != nil {

@@ -1,12 +1,12 @@
 package ccsd
 
 import (
-	"runtime"
 	"sort"
 	"sync"
 
 	"parcost/internal/dataset"
 	"parcost/internal/machine"
+	"parcost/internal/mat"
 	"parcost/internal/rng"
 )
 
@@ -71,7 +71,7 @@ func Generate(spec machine.Spec, cfg GenConfig) *dataset.Dataset {
 		ok   bool
 	}
 	results := make([]result, len(candidates))
-	workers := runtime.GOMAXPROCS(0)
+	workers := mat.Workers()
 	var wg sync.WaitGroup
 	chunk := (len(candidates) + workers - 1) / workers
 	for w := 0; w < workers; w++ {

@@ -5,6 +5,7 @@ package dataset
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -169,14 +170,18 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// SaveCSV writes the dataset to a file path.
+// SaveCSV writes the dataset to a file path. Close is checked explicitly:
+// a full disk can surface the write failure only at close, and a silently
+// truncated dataset would corrupt every run trained from it.
 func (d *Dataset) SaveCSV(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return d.WriteCSV(f)
+	if err := d.WriteCSV(f); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
 }
 
 // ReadCSV parses a dataset written by WriteCSV.

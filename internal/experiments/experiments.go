@@ -153,9 +153,13 @@ func (r Table1Result) Render() string {
 	return s
 }
 
+// now is the package clock; tests substitute a fake to make timings
+// reproducible.
+var now = time.Now
+
 // timeit runs fn and returns its wall duration.
 func timeit(fn func()) time.Duration {
-	start := time.Now()
+	start := now()
 	fn()
-	return time.Since(start)
+	return now().Sub(start)
 }

@@ -46,7 +46,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"math/rand/v2"
 	"net/http"
 	"sort"
 	"strings"
@@ -54,6 +53,7 @@ import (
 	"time"
 
 	"parcost/internal/guide"
+	"parcost/internal/rng"
 )
 
 // Config configures a Proxy. Zero fields take the documented defaults.
@@ -193,6 +193,13 @@ type Proxy struct {
 	ring     *hashRing
 	backends map[string]*backendState
 
+	// Retry jitter draws from the sanctioned internal/rng rather than the
+	// global math/rand state. The fixed seed is deliberate: jitter only has
+	// to decorrelate THIS process's retries from its own backoff ladder, and
+	// a deterministic stream keeps fault-injection tests replayable.
+	jitterMu sync.Mutex
+	jitter   *rng.Source
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	probers  sync.WaitGroup
@@ -224,6 +231,7 @@ func New(cfg Config) (*Proxy, error) {
 		stale:     newStaleCache(cfg.StaleCacheSize),
 		reservoir: newLatencyReservoir(512),
 		backends:  make(map[string]*backendState, len(cfg.Backends)),
+		jitter:    rng.New(0x70726f7879), // "proxy"
 		stop:      make(chan struct{}),
 	}
 	urls := make([]string, 0, len(cfg.Backends))
@@ -340,7 +348,10 @@ func (p *Proxy) backoff(n int) time.Duration {
 	if d > time.Second {
 		d = time.Second
 	}
-	return d + time.Duration(rand.Int64N(int64(d)/2+1))
+	p.jitterMu.Lock()
+	j := p.jitter.Intn(int(d)/2 + 1)
+	p.jitterMu.Unlock()
+	return d + time.Duration(j)
 }
 
 // Drain migrates a backend out of the fleet: its warm set (hottest sweep
@@ -392,9 +403,18 @@ func (p *Proxy) Drain(ctx context.Context, backendURL string) (int, error) {
 		}
 		groups[succ] = append(groups[succ], k)
 	}
+	// Replay in sorted successor order so the warmed count's partial value
+	// on error — and which error is reported first — never depends on map
+	// iteration order.
+	succs := make([]string, 0, len(groups))
+	for succ := range groups {
+		succs = append(succs, succ)
+	}
+	sort.Strings(succs)
 	warmed := 0
 	var firstErr error
-	for succ, keys := range groups {
+	for _, succ := range succs {
+		keys := groups[succ]
 		data, err := guide.EncodeWarmSet(guide.WarmSet{Entries: keys})
 		if err != nil {
 			return warmed, err

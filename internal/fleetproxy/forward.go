@@ -142,12 +142,12 @@ func (p *Proxy) tryBackends(ctx context.Context, path string, body []byte, cands
 					return
 				}
 			}
-			start := time.Now()
+			start := p.cfg.Now()
 			out := attemptOut{}
 			out.res, out.err = p.roundTrip(ctx, http.MethodPost, b.url+path, body)
 			if out.ok() {
 				b.breaker.Success()
-				p.reservoir.add(time.Since(start))
+				p.reservoir.add(p.cfg.Now().Sub(start))
 			} else if ctx.Err() == nil { // a cancelled loser is not a backend failure
 				b.breaker.Failure()
 			}
@@ -282,7 +282,7 @@ func (p *Proxy) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if len(groups) <= 1 {
 		key := ""
 		for k := range groups {
-			key = k
+			key = k //parcost:bless maprange the len(groups) <= 1 guard means at most one iteration, which is order-independent
 		}
 		res, ok := p.tryBackends(r.Context(), "/v1/batch", body, p.candidates(key))
 		if !ok {

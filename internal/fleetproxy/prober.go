@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"sort"
 	"time"
 
 	"parcost/internal/guide"
@@ -40,9 +41,14 @@ func (p *Proxy) Start() {
 // to finish, keeping at most one outstanding probe per backend.
 func (p *Proxy) probeAll() {
 	p.mu.RLock()
-	backends := make([]*backendState, 0, len(p.backends))
-	for _, b := range p.backends {
-		backends = append(backends, b)
+	urls := make([]string, 0, len(p.backends))
+	for u := range p.backends {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	backends := make([]*backendState, 0, len(urls))
+	for _, u := range urls {
+		backends = append(backends, p.backends[u])
 	}
 	p.mu.RUnlock()
 
@@ -66,7 +72,7 @@ func (p *Proxy) probeOne(b *backendState) {
 		b.setProbe(false, 0, nil, p.cfg.Now())
 		return
 	}
-	start := time.Now()
+	start := p.cfg.Now()
 	resp, err := p.client.Do(req)
 	if err != nil {
 		b.setProbe(false, 0, nil, p.cfg.Now())
@@ -89,7 +95,7 @@ func (p *Proxy) probeOne(b *backendState) {
 	// the score from the backend's own latency histograms, falling back to
 	// probe round-trip time when it has served no traffic yet.
 	b.breaker.Success()
-	b.setProbe(true, healthScore(rep, time.Since(start)), &rep, p.cfg.Now())
+	b.setProbe(true, healthScore(rep, p.cfg.Now().Sub(start)), &rep, p.cfg.Now())
 }
 
 // healthScore converts a backend's latency histograms into a scalar
@@ -97,8 +103,17 @@ func (p *Proxy) probeOne(b *backendState) {
 // Faster backends score closer to 1 and win replica/hedge ordering in
 // candidates(); the monotone transform is all that matters, not the scale.
 func healthScore(rep guide.HealthReport, probeRTT time.Duration) float64 {
+	// Fold in sorted route order: float accumulation is not associative, so
+	// iterating the map directly would let the score's last bits depend on
+	// randomized map order.
+	routes := make([]string, 0, len(rep.Latency))
+	for name := range rep.Latency {
+		routes = append(routes, name)
+	}
+	sort.Strings(routes)
 	var totalMs, n float64
-	for _, snap := range rep.Latency {
+	for _, name := range routes {
+		snap := rep.Latency[name]
 		if snap.Count == 0 {
 			continue
 		}

@@ -146,9 +146,9 @@ func (c *sweepCache) do(q Query, sweep func() (Recommendation, error)) (Recommen
 		}()
 		c.sweeps <- struct{}{}
 		defer func() { <-c.sweeps }()
-		start := time.Now()
+		start := c.now()
 		call.rec, call.err = sweep()
-		sweepT = time.Since(start)
+		sweepT = c.now().Sub(start)
 	}()
 	close(call.done)
 

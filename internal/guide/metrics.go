@@ -90,11 +90,12 @@ func (h *latencyHistogram) snapshot() LatencySnapshot {
 type Metrics struct {
 	mu     sync.Mutex
 	routes map[string]*latencyHistogram
+	now    func() time.Time // injected clock; tests substitute a fake
 }
 
 // NewMetrics builds an empty route-metrics set.
 func NewMetrics() *Metrics {
-	return &Metrics{routes: make(map[string]*latencyHistogram)}
+	return &Metrics{routes: make(map[string]*latencyHistogram), now: time.Now}
 }
 
 // route returns (creating if needed) the named route's histogram.
@@ -134,8 +135,8 @@ func (m *Metrics) Snapshot() map[string]LatencySnapshot {
 func (m *Metrics) Instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	hist := m.route(name)
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := m.now()
 		h(w, r)
-		hist.observe(time.Since(start))
+		hist.observe(m.now().Sub(start))
 	}
 }

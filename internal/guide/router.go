@@ -262,9 +262,17 @@ func (r *Router) ShardStats() map[string]Stats {
 // max-of-maxes — a shard that has never swept contributes nothing, so an
 // idle shard cannot drag the fleet minimum to zero.
 func (r *Router) AggregateStats() Stats {
+	// merge folds float fields (SweepMean weighting), so accumulate in sorted
+	// shard order to keep the aggregate bit-identical across runs.
+	stats := r.ShardStats()
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var agg Stats
-	for _, st := range r.ShardStats() {
-		agg = agg.merge(st)
+	for _, name := range names {
+		agg = agg.merge(stats[name])
 	}
 	return agg
 }

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// DetRand enforces the sanctioned-RNG invariant: every stochastic component
+// draws from the seeded, splittable internal/rng, never from math/rand or
+// math/rand/v2 — their global sources are process-wide mutable state whose
+// draws depend on what every other goroutine has consumed, which is exactly
+// the schedule-dependence the bit-identical trace contract forbids. The one
+// blessed importer is internal/rng itself (its doc comment explains why it
+// exists instead of math/rand); _test.go files are out of scope.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid math/rand and math/rand/v2 outside internal/rng: all randomness flows through the seeded splittable parcost/internal/rng",
+	Run:  runDetRand,
+}
+
+func isRNGPackage(path string) bool {
+	return path == "internal/rng" || strings.HasSuffix(path, "/internal/rng")
+}
+
+func runDetRand(pass *Pass) error {
+	if isRNGPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import %q outside internal/rng: draw from a seeded parcost/internal/rng.Source instead (global math/rand state makes draws depend on goroutine schedule)", path)
+			}
+		}
+	}
+	return nil
+}

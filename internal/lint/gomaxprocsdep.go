@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GomaxprocsDep pins where parallelism-width reads may live. A value derived
+// from runtime.GOMAXPROCS or runtime.NumCPU that flows into loop bounds or
+// slice partitioning makes work division depend on the machine and moment —
+// which is fine only where tests pin the OUTPUT bit-identical at any width.
+// Those audited partitioners live in mat (blocked Cholesky, mulRange, and
+// the mat.Workers choke point), modelsel (the CV worker pool), and guide
+// (the fleet sweep semaphore and batch pools); everywhere else must take a
+// width from a blessed site (mat.Workers) or a caller instead of reading
+// runtime directly, so new schedule-dependent sizing cannot appear without
+// landing in a package whose determinism tests will catch it.
+var GomaxprocsDep = &Analyzer{
+	Name: "gomaxprocsdep",
+	Doc:  "confine runtime.GOMAXPROCS/NumCPU reads to the audited partitioning packages (mat, modelsel, guide); elsewhere take the width from mat.Workers or a parameter",
+	Run:  runGomaxprocsDep,
+}
+
+// gomaxprocsBlessedPkgs are the packages whose GOMAXPROCS-dependent
+// partitioning is pinned bit-identical by tests (chol_test GOMAXPROCS=1..8,
+// parallel-vs-serial trace parity, router/service race batteries). Matched
+// as path suffixes so golden tests can model them under any module name.
+var gomaxprocsBlessedPkgs = []string{
+	"internal/mat",
+	"internal/modelsel",
+	"internal/guide",
+}
+
+func isGomaxprocsBlessed(path string) bool {
+	for _, b := range gomaxprocsBlessedPkgs {
+		if path == b || strings.HasSuffix(path, "/"+b) {
+			return true
+		}
+	}
+	return false
+}
+
+var widthFuncs = map[string]bool{
+	"runtime.GOMAXPROCS": true,
+	"runtime.NumCPU":     true,
+}
+
+func runGomaxprocsDep(pass *Pass) error {
+	if isGomaxprocsBlessed(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if name := fullName(fn); widthFuncs[name] {
+				pass.Reportf(sel.Pos(), "%s outside the audited partitioning packages (mat, modelsel, guide): size worker pools via mat.Workers() or an injected width so schedule-dependent sizing stays at bit-identity-pinned call sites", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

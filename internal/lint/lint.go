@@ -1,0 +1,221 @@
+// Package lint is parcost's determinism & crash-safety analysis suite: a set
+// of go/analysis-style passes encoding the invariants every performance PR in
+// this repo leans on — bit-identical traces at any GOMAXPROCS, randomness
+// only through the seeded splittable internal/rng, wall clocks injected (never
+// read directly) outside tests, journal-before-effect with checked fsyncs, and
+// no output drawn from Go's randomized map iteration order.
+//
+// The suite is self-contained on the standard library (go/ast + go/types,
+// packages enumerated via `go list`), mirroring the golang.org/x/tools
+// go/analysis shape — Analyzer, Pass, Diagnostic — so the passes read like
+// any other vet-style checker and could be rebased onto x/tools verbatim.
+//
+// Blessing a call site. Package-level allowlists encode the standing
+// exemptions (internal/rng may import math/rand lore-wise never does; the
+// pinned GOMAXPROCS partitioners live in mat, modelsel, and guide). For the
+// rare site that is provably safe but outside those lists, a directive
+//
+//	//parcost:bless <analyzer> <reason>
+//
+// on the flagged line, or alone on the line above it, suppresses that one
+// diagnostic. The reason is mandatory: a directive without one is itself
+// reported, so every exemption carries its justification into review.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one invariant checker, run over every target package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and bless directives.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run reports the analyzer's diagnostics for one package via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one analyzed package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test files only; test files are out of scope
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file at pos is a _test.go file, which every
+// analyzer in the suite exempts: tests may sleep, time, and randomize freely.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.File(pos).Name(), "_test.go")
+}
+
+// A Finding is a resolved diagnostic: position rendered, analyzer attached.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// blessRe matches the blessing directive. The reason group is everything
+// after the analyzer name; an empty reason invalidates the directive.
+var blessRe = regexp.MustCompile(`^//parcost:bless\s+([a-z]+)\s*(.*)$`)
+
+// blessings indexes a package's directives: file name -> line -> analyzer
+// names blessed on that line.
+type blessings map[string]map[int]map[string]bool
+
+// collectBlessings scans a package's comments for directives. A trailing
+// directive blesses its own line; an own-line directive blesses the next
+// line (both are recorded, which is harmless). Directives missing a reason
+// are returned as findings so the omission fails the build.
+func collectBlessings(fset *token.FileSet, files []*ast.File) (blessings, []Finding) {
+	b := make(blessings)
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := blessRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Finding{
+						Analyzer: "bless",
+						Pos:      pos,
+						Message:  fmt.Sprintf("blessing directive for %q has no reason; write //parcost:bless %s <why this site is safe>", m[1], m[1]),
+					})
+					continue
+				}
+				lines := b[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					b[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := lines[line]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[line] = set
+					}
+					set[m[1]] = true
+				}
+			}
+		}
+	}
+	return b, bad
+}
+
+func (b blessings) blessed(analyzer string, pos token.Position) bool {
+	return b[pos.Filename][pos.Line][analyzer]
+}
+
+// RunAnalyzers applies every analyzer to every package, resolving blessing
+// directives, and returns the surviving findings sorted by position. An
+// analyzer returning an error is itself reported as a finding, so a broken
+// pass cannot silently pass the build.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		bless, bad := collectBlessings(pkg.Fset, pkg.Files)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if bless.blessed(a.Name, pos) {
+					return
+				}
+				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf("analyzer failed: %v", err),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// All returns the full suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{DetRand, WallTime, MapRange, SyncErr, GomaxprocsDep}
+}
+
+// ---- shared type-resolution helpers ----
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or nil
+// for builtins, conversions, and indirect calls through variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// fullName is (*types.Func).FullName with a nil guard: "time.Now",
+// "(*os.File).Sync", "(*encoding/json.Encoder).Encode".
+func fullName(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// usedIdent resolves an identifier to its object, following Uses then Defs.
+func usedIdent(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

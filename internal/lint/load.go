@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns under dir (a module root)
+// and type-checks them plus their dependencies, returning only the packages
+// the patterns named. It shells out to `go list` — the one authoritative
+// source of build-tag and module resolution — with CGO_ENABLED=0 so the
+// pure-Go file sets are selected and everything type-checks from source.
+// Test files are deliberately excluded: the suite's invariants bind non-test
+// code only.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	targetSet := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		if !t.Standard {
+			targetSet[t.ImportPath] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	typed := make(map[string]*types.Package, len(deps))
+	imp := mapImporter{typed: typed}
+	var out []*Package
+	// `go list -deps` emits packages in dependency order, so by the time a
+	// package type-checks every import is already in the map.
+	for _, lp := range deps {
+		if lp.ImportPath == "unsafe" {
+			typed["unsafe"] = types.Unsafe
+			continue
+		}
+		target := targetSet[lp.ImportPath]
+		if lp.Error != nil {
+			if target {
+				return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+			}
+			continue
+		}
+		if len(lp.GoFiles) == 0 {
+			continue // test-only package: nothing in scope
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		var info *types.Info
+		if target {
+			info = &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+				Implicits:  make(map[ast.Node]types.Object),
+			}
+		}
+		var firstErr error
+		cfg := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+			// Dependencies only contribute their exported shape; skipping
+			// their function bodies keeps a whole-repo load under a second.
+			IgnoreFuncBodies: !target,
+			Error: func(err error) {
+				if firstErr == nil {
+					firstErr = err
+				}
+			},
+		}
+		tpkg, _ := cfg.Check(lp.ImportPath, fset, files, info)
+		if firstErr != nil {
+			return nil, fmt.Errorf("lint: type-check %s: %w", lp.ImportPath, firstErr)
+		}
+		typed[lp.ImportPath] = tpkg
+		if target {
+			out = append(out, &Package{
+				Path:  lp.ImportPath,
+				Fset:  fset,
+				Files: files,
+				Types: tpkg,
+				Info:  info,
+			})
+		}
+	}
+	return out, nil
+}
+
+// goList runs `go list -e -json` (with -deps when deps is set) and decodes
+// the package stream.
+func goList(dir string, patterns []string, deps bool) ([]listedPkg, error) {
+	args := []string{"list", "-e"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, "-json=ImportPath,Name,Dir,GoFiles,Imports,Standard,Error")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %w\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	var pkgs []listedPkg
+	for {
+		var lp listedPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// mapImporter resolves imports from the already-type-checked set.
+type mapImporter struct {
+	typed map[string]*types.Package
+}
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.typed[path]; ok {
+		return pkg, nil
+	}
+	// Standard-library sources import their vendored x/ deps by the
+	// unprefixed path; go list reports them under vendor/.
+	if pkg, ok := m.typed["vendor/"+path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("lint: import %q not loaded (go list -deps should have listed it)", path)
+}
+
+// moduleRelPath trims the module prefix, so allowlists keyed on the
+// canonical "parcost/..." paths also match a package loaded under a
+// different module name in tests.
+func moduleRelPath(path string) string {
+	if i := strings.Index(path, "internal/"); i >= 0 {
+		return path[i:]
+	}
+	return path
+}

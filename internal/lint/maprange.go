@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapRange flags the classic nondeterministic-order bug: `for range` over a
+// map whose body lets the randomized iteration order reach an output — an
+// append to a slice that is never sorted, a fold into an accumulator (float
+// means, first-error-wins, last-write-wins), or bytes pushed at an encoder
+// or writer. Go randomizes map order per iteration on purpose; any of these
+// patterns makes traces, wire bytes, or error identity differ run to run.
+//
+// The blessed shape is collect-then-sort: appending keys (or values) to a
+// slice that the same function passes to sort.* or slices.Sort* is exempt,
+// because the sort re-establishes a canonical order before anything reads
+// the slice. Keyed writes like out[k] = v stay exempt too — map content is
+// order-independent even when insertion order is not.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flag map iteration whose order reaches outputs: unsorted appends, accumulator folds, or encoder/writer calls inside `for range m` bodies",
+	Run:  runMapRange,
+}
+
+// mapRangeSinkFuncs are package functions that serialize their arguments in
+// call order; calling one inside a map range emits in map order.
+var mapRangeSinkFuncs = map[string]bool{
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"(*encoding/json.Encoder).Encode": true,
+}
+
+// mapRangeSinkMethods are method names that push bytes at a stream.
+var mapRangeSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func runMapRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		// Every map-range statement is checked against its nearest enclosing
+		// function body, which scopes the collect-then-sort blessing.
+		collectMapRanges(f, pass, func(rs *ast.RangeStmt, body *ast.BlockStmt) {
+			checkMapRange(pass, rs, body)
+		})
+	}
+	return nil
+}
+
+// collectMapRanges visits every range statement over a map, reporting it
+// with the body of its nearest enclosing FuncDecl or FuncLit.
+func collectMapRanges(f *ast.File, pass *Pass, visit func(*ast.RangeStmt, *ast.BlockStmt)) {
+	var funcStack []*ast.BlockStmt
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil {
+				return false
+			}
+			funcStack = append(funcStack, n.Body)
+			ast.Inspect(n.Body, inspect)
+			funcStack = funcStack[:len(funcStack)-1]
+			return false
+		case *ast.FuncLit:
+			funcStack = append(funcStack, n.Body)
+			ast.Inspect(n.Body, inspect)
+			funcStack = funcStack[:len(funcStack)-1]
+			return false
+		case *ast.RangeStmt:
+			if len(funcStack) > 0 && isMapType(pass.TypesInfo.TypeOf(n.X)) {
+				visit(n, funcStack[len(funcStack)-1])
+			}
+		}
+		return true
+	}
+	ast.Inspect(f, inspect)
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange applies the sink rules to one map-range body.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	outer := func(id *ast.Ident) bool {
+		obj := usedIdent(pass.TypesInfo, id)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rs && isMapType(pass.TypesInfo.TypeOf(n.X)) {
+				return false // nested map range gets its own visit
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				root, indexed := lhsRootIdent(lhs)
+				if root == nil || root.Name == "_" || indexed || !outer(root) {
+					continue // keyed writes and loop-local targets are order-safe
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if rhs != nil && isSelfAppend(pass, root, rhs) {
+					if !sortBlessed(pass, funcBody, root) {
+						pass.Reportf(n.Pos(), "append to %s inside map iteration without a later sort: collect then sort.* / slices.Sort, or iterate sorted keys (map order is randomized)", root.Name)
+					}
+					continue
+				}
+				pass.Reportf(n.Pos(), "assignment to %s inside map iteration: the final value depends on randomized map order; iterate sorted keys instead", root.Name)
+			}
+		case *ast.IncDecStmt:
+			if root, indexed := lhsRootIdent(n.X); root != nil && !indexed && outer(root) {
+				pass.Reportf(n.Pos(), "%s mutated inside map iteration: order-dependent counter; iterate sorted keys instead", root.Name)
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.TypesInfo, n)
+			name := fullName(fn)
+			if mapRangeSinkFuncs[name] {
+				pass.Reportf(n.Pos(), "%s inside map iteration emits in randomized map order: iterate sorted keys instead", name)
+				return true
+			}
+			if fn != nil && mapRangeSinkMethods[fn.Name()] {
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if root, _ := lhsRootIdent(sel.X); root != nil && outer(root) {
+						pass.Reportf(n.Pos(), "%s.%s inside map iteration writes in randomized map order: iterate sorted keys instead", root.Name, fn.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lhsRootIdent unwraps an assignment target to its leftmost identifier,
+// reporting whether the path crossed an index expression (keyed writes are
+// exempt: m2[k] = v is content-deterministic whatever the visit order).
+func lhsRootIdent(e ast.Expr) (*ast.Ident, bool) {
+	indexed := false
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x, indexed
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			indexed = true
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, indexed
+		}
+	}
+}
+
+// isSelfAppend reports whether rhs is append(target, ...) growing the same
+// variable the LHS names.
+func isSelfAppend(pass *Pass, target *ast.Ident, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	root, _ := lhsRootIdent(call.Args[0])
+	if root == nil {
+		return false
+	}
+	return usedIdent(pass.TypesInfo, root) == usedIdent(pass.TypesInfo, target)
+}
+
+// sortBlessed reports whether the enclosing function passes the collected
+// slice to a sort.* or slices.* call — the canonical collect-then-sort
+// pattern that re-establishes deterministic order.
+func sortBlessed(pass *Pass, funcBody *ast.BlockStmt, collected *ast.Ident) bool {
+	obj := usedIdent(pass.TypesInfo, collected)
+	if obj == nil {
+		return false
+	}
+	blessed := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if blessed {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" && !strings.HasSuffix(p, "/slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root, _ := lhsRootIdent(arg); root != nil && usedIdent(pass.TypesInfo, root) == obj {
+				blessed = true
+				return false
+			}
+		}
+		return true
+	})
+	return blessed
+}

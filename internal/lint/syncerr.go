@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncErr enforces the crash-safety half of the journal-before-effect
+// discipline: durability errors must reach an error path. Three sinks are
+// policed in non-test code:
+//
+//   - (*os.File).Sync — an fsync whose error is dropped is not an fsync; a
+//     bare or deferred f.Sync() is an error.
+//   - (*encoding/json.Encoder).Encode as a bare statement — a journal or
+//     artifact line that failed to serialize must not be presumed written.
+//   - (*os.File).Close on a WRITABLE file (locally opened via os.Create or
+//     os.OpenFile with O_WRONLY/O_RDWR/O_APPEND) as a bare statement — the
+//     kernel may surface buffered write failures only at close, so dropping
+//     that error silently truncates the crash-safety story. `defer f.Close()`
+//     on a writable file is flagged too unless the function also checks a
+//     Close of the same file on its success path (the defer is then the
+//     sanctioned double-close cleanup backstop). Close on read-only files is
+//     always fine.
+//
+// An explicit `_ = f.Sync()` is visible, auditable discard and is exempt —
+// the analyzer polices silence, not judgment calls.
+var SyncErr = &Analyzer{
+	Name: "syncerr",
+	Doc:  "require checked errors from (*os.File).Sync, json.Encoder.Encode, and Close on writable files in non-test code",
+	Run:  runSyncErr,
+}
+
+func runSyncErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSyncErrFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkSyncErrFunc(pass *Pass, body *ast.BlockStmt) {
+	writable := writableFiles(pass, body)
+	checked := checkedCloses(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fullName(calleeFunc(pass.TypesInfo, call)) {
+			case "(*os.File).Sync":
+				pass.Reportf(n.Pos(), "unchecked (*os.File).Sync error: a dropped fsync error voids the durability guarantee; check it or assign `_ =` with a comment")
+			case "(*encoding/json.Encoder).Encode":
+				pass.Reportf(n.Pos(), "unchecked json.Encoder.Encode error: a failed encode must not be presumed written; check it or assign `_ =`")
+			case "(*os.File).Close":
+				if obj := closeReceiver(pass, call); obj != nil && writable[obj] {
+					pass.Reportf(n.Pos(), "unchecked Close error on writable file %s: write failures can surface only at close; return it (errors.Join on error paths) or assign `_ =` with a comment", obj.Name())
+				}
+			}
+		case *ast.DeferStmt:
+			switch fullName(calleeFunc(pass.TypesInfo, n.Call)) {
+			case "(*os.File).Sync":
+				pass.Reportf(n.Pos(), "deferred (*os.File).Sync discards its error: sync explicitly on the success path")
+			case "(*os.File).Close":
+				if obj := closeReceiver(pass, n.Call); obj != nil && writable[obj] && !checked[obj] {
+					pass.Reportf(n.Pos(), "deferred Close on writable file %s with no checked Close on the success path: close explicitly and check the error (keep a defer only as a double-close backstop)", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// closeReceiver resolves f in f.Close()/f.Sync() to its object when the
+// receiver is a plain identifier (the local-dataflow case the analyzer can
+// reason about).
+func closeReceiver(pass *Pass, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return usedIdent(pass.TypesInfo, id)
+}
+
+// writeFlagNames are the os.OpenFile flag identifiers that make a file
+// writable.
+var writeFlagNames = map[string]bool{"O_WRONLY": true, "O_RDWR": true, "O_APPEND": true}
+
+// writableFiles scans a function body for variables assigned from os.Create
+// or from os.OpenFile with a write flag, the local evidence that a later
+// Close can lose buffered-write errors.
+func writableFiles(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(lhs ast.Expr) {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+			if obj := usedIdent(pass.TypesInfo, id); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fullName(calleeFunc(pass.TypesInfo, call)) {
+		case "os.Create":
+			record(as.Lhs[0])
+		case "os.OpenFile":
+			if len(call.Args) >= 2 && hasWriteFlag(call.Args[1]) {
+				record(as.Lhs[0])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hasWriteFlag reports whether a flag expression mentions a write-mode os
+// flag constant anywhere (O_WRONLY|O_CREATE style compositions included).
+func hasWriteFlag(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && writeFlagNames[sel.Sel.Name] {
+			found = true
+		}
+		if id, ok := n.(*ast.Ident); ok && writeFlagNames[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkedCloses finds files whose Close error IS consumed somewhere in the
+// function — a Close call appearing outside a bare statement or defer (in a
+// return, assignment, or if-init). A deferred Close on such a file is the
+// blessed double-close backstop.
+func checkedCloses(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	bare := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				bare[call] = true
+			}
+		case *ast.DeferStmt:
+			bare[n.Call] = true
+		}
+		return true
+	})
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || bare[call] {
+			return true
+		}
+		if fullName(calleeFunc(pass.TypesInfo, call)) == "(*os.File).Close" {
+			if obj := closeReceiver(pass, call); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,7 @@
+// Package rng models parcost/internal/rng, the one package allowed to import
+// math/rand (the case study its doc comment contrasts against).
+package rng
+
+import "math/rand"
+
+var _ = rand.NewSource

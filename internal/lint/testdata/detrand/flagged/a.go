@@ -1,0 +1,5 @@
+package app
+
+import "math/rand" // want `import "math/rand" outside internal/rng`
+
+var _ = rand.Int

@@ -1,0 +1,8 @@
+package app
+
+// A _test.go file may use math/rand freely: tests are out of scope for every
+// analyzer in the suite. No want comments here — any diagnostic fails.
+
+import "math/rand"
+
+var _ = rand.ExpFloat64

@@ -1,0 +1,15 @@
+package mat
+
+import "runtime"
+
+// Modeled on mat.Workers: inside an audited partitioning package the
+// GOMAXPROCS read is the point — determinism tests pin the outputs at any
+// width. No diagnostics allowed.
+
+func workers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}

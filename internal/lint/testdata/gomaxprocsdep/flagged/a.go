@@ -1,0 +1,11 @@
+package worker
+
+import "runtime"
+
+func poolSize() int {
+	return runtime.GOMAXPROCS(0) // want `runtime.GOMAXPROCS outside the audited partitioning packages`
+}
+
+func fanout() int {
+	return runtime.NumCPU() // want `runtime.NumCPU outside the audited partitioning packages`
+}

@@ -1,0 +1,40 @@
+package app
+
+import "sort"
+
+// The blessed shapes: collect-then-sort, keyed writes, loop-local state, and
+// an explicitly blessed guarded single-entry extraction. None may be flagged.
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below before anything reads it
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k // keyed write: map content is order-independent
+	}
+	return out
+}
+
+func localOnly(m map[string]int) {
+	for _, v := range m {
+		doubled := v * 2 // loop-local target: nothing escapes the iteration
+		_ = doubled
+	}
+}
+
+func only(m map[string]int) string {
+	key := ""
+	if len(m) == 1 {
+		for k := range m {
+			key = k //parcost:bless maprange a single-entry map iterates order-independently
+		}
+	}
+	return key
+}

@@ -1,0 +1,45 @@
+package app
+
+import "fmt"
+
+// Each function is one way randomized map order can reach an output.
+
+func fold(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `assignment to sum inside map iteration`
+	}
+	return sum
+}
+
+func collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration without a later sort`
+	}
+	return keys
+}
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt.Printf inside map iteration emits in randomized map order`
+	}
+}
+
+func firstError(m map[string]error) error {
+	var first error
+	for _, err := range m {
+		if err != nil && first == nil {
+			first = err // want `assignment to first inside map iteration`
+		}
+	}
+	return first
+}
+
+func counter(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // want `n mutated inside map iteration`
+	}
+	return n
+}

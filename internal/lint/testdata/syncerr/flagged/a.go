@@ -1,0 +1,30 @@
+package app
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+func dropAll(path string, v any) {
+	f, _ := os.Create(path)
+	enc := json.NewEncoder(f)
+	enc.Encode(v) // want `unchecked json.Encoder.Encode error`
+	f.Sync()      // want `unchecked \(\*os.File\).Sync error`
+	f.Close()     // want `unchecked Close error on writable file f`
+}
+
+func deferredSync(f *os.File) {
+	defer f.Sync() // want `deferred \(\*os.File\).Sync discards its error`
+	_ = f
+}
+
+func deferredCloseOnly(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close on writable file f with no checked Close`
+	_, err = io.WriteString(f, "x")
+	return err
+}

@@ -1,0 +1,13 @@
+package mat
+
+import "time"
+
+// In a deterministic compute package the wall clock may not be touched at
+// all: calls and stored references are both errors.
+
+func elapsed() time.Duration {
+	start := time.Now()      // want `time.Now in deterministic package`
+	return time.Since(start) // want `time.Since in deterministic package`
+}
+
+var clock = time.Now // want `time.Now referenced in deterministic package`

@@ -1,0 +1,27 @@
+package serve
+
+import "time"
+
+// Serving-tier rules: direct wall-clock calls are errors, but storing
+// time.Now as an injected-clock default is the blessed pattern.
+
+type server struct {
+	now func() time.Time
+}
+
+func newServer() *server {
+	return &server{now: time.Now} // blessed: stored as a clock default
+}
+
+func (s *server) uptime(start time.Time) time.Duration {
+	return s.now().Sub(start) // calls through the injected clock are fine
+}
+
+func bad() {
+	time.Sleep(time.Millisecond) // want `direct time.Sleep call`
+	_ = time.Now()               // want `direct time.Now call`
+}
+
+func backoff() {
+	time.Sleep(time.Millisecond) //parcost:bless walltime fixture for the directive path: a blessed call must stay silent
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WallTime enforces the clock discipline. The deterministic compute packages
+// (mat, ml and subpackages, modelsel, dataset, stats, tensor) may not touch
+// the wall clock at all — not even store it — because any time-derived value
+// that reaches a model, a trace, or a cache admission decision makes results
+// depend on when and how fast the machine ran. Everywhere else (the serving
+// and retrain tiers), durations are real but must come through an injected
+// clock: the only sanctioned appearance of time.Now is as a VALUE — stored
+// into a clock field or variable default such as `c.Now = time.Now` or
+// `now: time.Now` — so tests can substitute a fake clock; calling
+// time.Now/time.Since/time.Sleep directly is an error. _test.go files are
+// exempt.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock reads in deterministic packages and direct time.Now/Since/Sleep calls elsewhere (inject a clock; reading time.Now as a stored default is the blessed form)",
+	Run:  runWallTime,
+}
+
+// deterministicPkgs are the compute packages whose outputs must be pure
+// functions of their inputs. Matched as path suffixes so the golden tests
+// can model them under any module name; "internal/ml" also covers its
+// subpackages (tree, ensemble, kernel, linmodel).
+var deterministicPkgs = []string{
+	"internal/mat",
+	"internal/ml",
+	"internal/modelsel",
+	"internal/dataset",
+	"internal/stats",
+	"internal/tensor",
+}
+
+func isDeterministicPackage(path string) bool {
+	for _, det := range deterministicPkgs {
+		if path == det || strings.HasSuffix(path, "/"+det) ||
+			strings.HasPrefix(path, det+"/") || strings.Contains(path, "/"+det+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClockFuncs are the time package entry points the analyzer polices.
+// Tickers and timers (time.After, time.NewTicker) are deliberately out of
+// scope: they schedule work, they do not put a wall-clock value into data.
+var wallClockFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Sleep": true,
+}
+
+func runWallTime(pass *Pass) error {
+	det := isDeterministicPackage(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		// Callee selectors are reported by the call case; remember them so
+		// the reference case does not double-report the same site.
+		callees := make(map[ast.Expr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				callees[ast.Unparen(call.Fun)] = true
+				fn := calleeFunc(pass.TypesInfo, call)
+				if name := fullName(fn); wallClockFuncs[name] {
+					if det {
+						pass.Reportf(call.Pos(), "%s in deterministic package %s: outputs here must be pure functions of their inputs (no wall clock, stored or read)", name, pass.Pkg.Path())
+					} else {
+						pass.Reportf(call.Pos(), "direct %s call: inject a clock instead (store time.Now into a clock field/var default and call through it so tests can substitute a fake)", name)
+					}
+				}
+			}
+			return true
+		})
+		if !det {
+			continue
+		}
+		// In deterministic packages even a bare reference — the clock-field
+		// bless pattern that serving code uses — is forbidden.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || callees[sel] {
+				return true
+			}
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+				if name := fullName(fn); wallClockFuncs[name] {
+					pass.Reportf(sel.Pos(), "%s referenced in deterministic package %s: no wall clock may be stored or read here", name, pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

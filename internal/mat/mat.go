@@ -12,6 +12,13 @@
 // factorization — the spectral-reuse primitive behind hyper-parameter sweeps
 // along ridge-alpha/GP-noise axes. These operations dominate every fit in the
 // ML stack; nothing else from a full BLAS/LAPACK is required.
+//
+// mat is one of the repo's deterministic compute packages: outputs are pure
+// functions of inputs (bit-identical at any GOMAXPROCS; no wall clock, no
+// unsanctioned randomness), an invariant enforced mechanically by
+// cmd/parcost-lint — see the README's "Determinism contract". It is also one
+// of the audited homes for GOMAXPROCS-dependent partitioning, and exports
+// Workers() as the choke point other packages size worker pools through.
 package mat
 
 import (
@@ -117,6 +124,20 @@ func Mul(a, b *Dense) *Dense {
 		mulRange(a, b, out, lo, hi)
 	})
 	return out
+}
+
+// Workers is the repo's one audited GOMAXPROCS read: every worker pool whose
+// output is bit-identity-pinned (pre-derived seeds, indexed writes, ordered
+// error selection) sizes itself here instead of calling runtime.GOMAXPROCS
+// directly, so the determinism argument has to be made once per pool, at a
+// call site the gomaxprocsdep analyzer can audit. See the README's
+// "Determinism contract".
+func Workers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
 }
 
 // parallelRows runs f over contiguous sub-ranges of [lo, hi), fanning out to

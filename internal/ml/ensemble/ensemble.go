@@ -10,9 +10,9 @@ package ensemble
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 
+	"parcost/internal/mat"
 	"parcost/internal/ml"
 	"parcost/internal/ml/tree"
 	"parcost/internal/rng"
@@ -100,7 +100,7 @@ func (f *RandomForest) Fit(x [][]float64, y []float64) error {
 		seeds[i] = base.Uint64()
 	}
 
-	workers := runtime.GOMAXPROCS(0)
+	workers := mat.Workers()
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	// The lowest-indexed failure wins so the reported error does not depend

@@ -7,6 +7,12 @@
 // A model is described by a Factory (building an ml.Regressor from a
 // hyper-parameter point) and a Space (the searchable axes). The registry in
 // registry.go exposes all nine paper models with sensible search spaces.
+//
+// modelsel is one of the repo's deterministic compute packages (pure
+// functions of inputs and seed, bit-identical traces at any worker count)
+// and an audited home for GOMAXPROCS-dependent pool sizing; both invariants
+// are enforced by cmd/parcost-lint — see the README's "Determinism
+// contract".
 package modelsel
 
 import (

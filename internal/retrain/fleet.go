@@ -49,7 +49,7 @@ func (f *Fleet) Observe(o guide.Observation) error {
 	c, ok := f.controllers[o.Machine]
 	if !ok && o.Machine == "" && len(f.controllers) == 1 {
 		for _, only := range f.controllers {
-			c, ok = only, true
+			c, ok = only, true //parcost:bless maprange the len == 1 guard means exactly one iteration, which is order-independent
 		}
 	}
 	f.mu.RUnlock()
@@ -62,9 +62,14 @@ func (f *Fleet) Observe(o guide.Observation) error {
 // Run drives every controller until ctx is done.
 func (f *Fleet) Run(ctx context.Context) {
 	f.mu.RLock()
-	cs := make([]*Controller, 0, len(f.controllers))
-	for _, c := range f.controllers {
-		cs = append(cs, c)
+	names := make([]string, 0, len(f.controllers))
+	for m := range f.controllers {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	cs := make([]*Controller, 0, len(names))
+	for _, m := range names {
+		cs = append(cs, f.controllers[m])
 	}
 	f.mu.RUnlock()
 	var wg sync.WaitGroup
@@ -78,13 +83,20 @@ func (f *Fleet) Run(ctx context.Context) {
 	wg.Wait()
 }
 
-// Close closes every controller, returning the first error.
+// Close closes every controller in machine order, returning the first error.
+// Sorted iteration pins WHICH error "first" means when several controllers
+// fail at once.
 func (f *Fleet) Close() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	names := make([]string, 0, len(f.controllers))
+	for m := range f.controllers {
+		names = append(names, m)
+	}
+	sort.Strings(names)
 	var first error
-	for _, c := range f.controllers {
-		if err := c.Close(); err != nil && first == nil {
+	for _, m := range names {
+		if err := f.controllers[m].Close(); err != nil && first == nil {
 			first = err
 		}
 	}

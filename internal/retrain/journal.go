@@ -6,6 +6,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -153,36 +154,30 @@ func openJournal(path, machine string) (*journal, []journalRecord, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
-		return nil, nil, err
+		return nil, nil, errors.Join(err, f.Close())
 	}
 	j := &journal{f: f}
 	if st.Size() == 0 {
 		// Fresh journal: write the header line.
 		head, err := json.Marshal(journalHeader{Format: journalFormat, Version: journalVersion, Machine: machine})
 		if err != nil {
-			f.Close()
-			return nil, nil, err
+			return nil, nil, errors.Join(err, f.Close())
 		}
 		if err := j.writeLine(head); err != nil {
-			f.Close()
-			return nil, nil, err
+			return nil, nil, errors.Join(err, f.Close())
 		}
 		return j, nil, nil
 	}
 	records, keep, err := replayJournal(f, machine)
 	if err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("retrain: journal %s: %w", path, err)
+		return nil, nil, errors.Join(fmt.Errorf("retrain: journal %s: %w", path, err), f.Close())
 	}
 	// Drop the torn tail (if any) and position for append.
 	if err := f.Truncate(keep); err != nil {
-		f.Close()
-		return nil, nil, err
+		return nil, nil, errors.Join(err, f.Close())
 	}
 	if _, err := f.Seek(keep, io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, err
+		return nil, nil, errors.Join(err, f.Close())
 	}
 	if n := len(records); n > 0 {
 		j.seq = records[n-1].Seq

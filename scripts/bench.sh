@@ -48,9 +48,19 @@ while [[ -e "$out" ]]; do
 done
 
 # BenchmarkProxy_Overhead and BenchmarkRetrain_HotSwap live in cmd/parcost;
-# the paper tables in the root.
-raw=$(go test -run '^$' -bench "$pattern" -benchtime=1x -benchmem . ./cmd/parcost)
+# the paper tables in the root. The $(...) capture would otherwise swallow a
+# compile failure or benchmark panic into an empty snapshot, so check the
+# exit status explicitly and fail loudly instead of recording garbage.
+if ! raw=$(go test -run '^$' -bench "$pattern" -benchtime=1x -benchmem . ./cmd/parcost 2>&1); then
+  echo "$raw"
+  echo "bench: go test -bench failed; no snapshot written" >&2
+  exit 1
+fi
 echo "$raw"
+if ! grep -q '^Benchmark' <<<"$raw"; then
+  echo "bench: no benchmarks matched pattern '$pattern'; no snapshot written" >&2
+  exit 1
+fi
 
 {
   echo '{'

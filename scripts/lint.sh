@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the exact lint gate CI runs: go vet, then the parcost-lint
+# determinism & crash-safety suite over the whole module. Exits non-zero on
+# any finding, so it can sit in a pre-push hook verbatim.
+#
+# Usage:
+#   scripts/lint.sh [packages...]    default: ./...
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+patterns=("$@")
+if [[ ${#patterns[@]} -eq 0 ]]; then
+  patterns=(./...)
+fi
+
+go vet "${patterns[@]}"
+go run ./cmd/parcost-lint "${patterns[@]}"
+echo "lint: clean"
