@@ -25,6 +25,7 @@ func runProxy(args []string) error {
 		addr            = fs.String("addr", ":8080", "listen address")
 		hedgeAfter      = fs.String("hedge-after", "95p", "hedge a slow request onto the next replica after: a latency percentile (\"95p\"), a fixed delay (\"250ms\"), or \"off\"")
 		retries         = fs.Int("retries", 2, "additional attempts on other replicas after a connection failure or 5xx")
+		retryBudget     = fs.Float64("retry-budget", 0.2, "fleet-wide retry/hedge tokens earned per initial request (caps brownout amplification; 0 disables the budget)")
 		timeout         = fs.Duration("timeout", 30*time.Second, "per-attempt upstream deadline")
 		breakerWindow   = fs.Duration("breaker-window", 10*time.Second, "how long a tripped circuit breaker rejects a backend before admitting trials")
 		breakerFailures = fs.Int("breaker-failures", 5, "consecutive failures that trip a backend's breaker open")
@@ -38,8 +39,8 @@ func runProxy(args []string) error {
 	if *backends == "" {
 		return fmt.Errorf("-backends is required")
 	}
-	if *retries < 0 || *breakerFailures < 1 || *staleCache < 0 {
-		return fmt.Errorf("-retries and -stale-cache must be non-negative and -breaker-failures positive")
+	if *retries < 0 || *breakerFailures < 1 || *staleCache < 0 || *retryBudget < 0 {
+		return fmt.Errorf("-retries, -retry-budget, and -stale-cache must be non-negative and -breaker-failures positive")
 	}
 	if *timeout <= 0 || *breakerWindow <= 0 || *probeEvery <= 0 || *drain <= 0 {
 		return fmt.Errorf("-timeout, -breaker-window, -probe-every, and -drain must be positive")
@@ -58,6 +59,7 @@ func runProxy(args []string) error {
 	cfg := fleetproxy.Config{
 		Backends:        list,
 		Retries:         *retries,
+		RetryBudget:     *retryBudget,
 		Hedge:           hedge,
 		RequestTimeout:  *timeout,
 		BreakerWindow:   *breakerWindow,
@@ -65,10 +67,13 @@ func runProxy(args []string) error {
 		ProbeInterval:   *probeEvery,
 		StaleCacheSize:  *staleCache,
 	}
-	// The flag's 0 genuinely means "no retries"/"no cache"; the Config zero
-	// value means "default".
+	// The flag's 0 genuinely means "no retries"/"no budget"/"no cache"; the
+	// Config zero value means "default".
 	if *retries == 0 {
 		cfg.Retries = -1
+	}
+	if *retryBudget == 0 {
+		cfg.RetryBudget = -1
 	}
 	if *staleCache == 0 {
 		cfg.StaleCacheSize = -1

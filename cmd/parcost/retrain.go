@@ -41,6 +41,7 @@ func runRetrain(args []string) error {
 		seed     = fs.Uint64("seed", 1, "RNG seed (acquisition, backoff jitter, base data)")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout on SIGINT/SIGTERM")
 	)
+	admCfg := admissionFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,11 +68,19 @@ func runRetrain(args []string) error {
 		return fmt.Errorf("state directory: %w", err)
 	}
 
+	adm, err := admCfg()
+	if err != nil {
+		return err
+	}
+
 	entries, _, err := guide.LoadFleet(*model)
 	if err != nil {
 		return err
 	}
-	router := guide.NewRouter()
+	// The retrain daemon serves the same /v1 surface as `parcost serve`, so
+	// it takes the same overload controls: shared sweep admission, per-client
+	// rate limits, and brownout shedding.
+	router := guide.NewRouter(guide.WithAdmission(adm))
 	fleet := retrain.NewFleet()
 	for _, e := range entries {
 		spec, err := machine.ByName(e.Machine)

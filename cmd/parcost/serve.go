@@ -6,13 +6,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"parcost/internal/admission"
 	"parcost/internal/dataset"
 	"parcost/internal/guide"
 	"parcost/internal/machine"
@@ -33,6 +36,7 @@ func runServe(args []string) error {
 		warmset = fs.String("warmset", "", "warm-set file: pre-sweep its keys at startup, save the hottest keys on shutdown")
 		drain   = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout on SIGINT/SIGTERM")
 	)
+	admCfg := admissionFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,11 +46,15 @@ func runServe(args []string) error {
 	if *cache < 0 || *cacheMB < 0 || *ttl < 0 || *drain <= 0 {
 		return fmt.Errorf("-cache, -cache-mb, and -ttl must be non-negative and -drain positive")
 	}
+	adm, err := admCfg()
+	if err != nil {
+		return err
+	}
 	entries, _, err := guide.LoadFleet(*model)
 	if err != nil {
 		return err
 	}
-	router := guide.NewRouter()
+	router := guide.NewRouter(guide.WithAdmission(adm))
 	shardOpts := []guide.ServiceOption{
 		guide.WithCacheSize(*cache),
 		guide.WithCacheBytes(int64(*cacheMB) << 20),
@@ -79,6 +87,33 @@ func runServe(args []string) error {
 	srv := hardenedServer(*addr, newServeHandler(router, nil))
 	fmt.Printf("Serving fleet %v on %s\n", router.Machines(), *addr)
 	return serveUntilShutdown(ctx, srv, nil, *drain, saveWarmSetOnDrain(router, *warmset))
+}
+
+// admissionFlags registers the overload-control flags shared by `parcost
+// serve` and `parcost retrain` and returns a closure that, after Parse,
+// validates them and builds the fleet's admission controller.
+func admissionFlags(fs *flag.FlagSet) func() (*admission.Controller, error) {
+	var (
+		sweepLimit = fs.Int("sweep-limit", 0, "concurrent sweep slots across the fleet (0 = number of CPUs)")
+		maxQueue   = fs.Int("max-queue", admission.DefaultMaxQueue, "max requests waiting for a sweep slot; arrivals past it are shed with 503")
+		rate       = fs.Float64("rate", 0, "per-client request rate limit in requests/second, keyed on the X-Parcost-Client header (0 = unlimited)")
+		rateBurst  = fs.Float64("rate-burst", 0, "per-client burst allowance for -rate (0 = same as -rate, min 1)")
+		brownout   = fs.Duration("brownout", 0, "queue-delay target, e.g. 500ms: delay sustained above it enters brownout mode (0 disables)")
+		brWindow   = fs.Duration("brownout-window", 0, "sustain interval for entering and leaving brownout (0 = 10x -brownout)")
+	)
+	return func() (*admission.Controller, error) {
+		if *sweepLimit < 0 || *maxQueue < 0 || *rate < 0 || *rateBurst < 0 || *brownout < 0 || *brWindow < 0 {
+			return nil, fmt.Errorf("-sweep-limit, -max-queue, -rate, -rate-burst, -brownout, and -brownout-window must be non-negative")
+		}
+		return guide.NewAdmissionController(admission.ControllerConfig{
+			Capacity:       *sweepLimit,
+			MaxQueue:       *maxQueue,
+			BrownoutTarget: *brownout,
+			BrownoutWindow: *brWindow,
+			Rate:           *rate,
+			Burst:          *rateBurst,
+		}), nil
+	}
 }
 
 // Hardened http.Server limits: without them a client that trickles header
@@ -180,6 +215,11 @@ type recommendResponse struct {
 	Tile        int     `json:"tile"`
 	PredSeconds float64 `json:"pred_seconds"`
 	PredValue   float64 `json:"pred_value"` // seconds (STQ) or node-hours (BQ)
+
+	// Degraded marks a brownout-mode stale answer: served from an expired
+	// cache entry instead of a fresh sweep. Mirrored in the
+	// X-Parcost-Degraded response header.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 type predictRequest struct {
@@ -203,6 +243,12 @@ type batchRequest struct {
 type batchEntry struct {
 	Result *recommendResponse `json:"result,omitempty"`
 	Error  string             `json:"error,omitempty"`
+
+	// Shed entries carry the machine-readable refusal reason and, when the
+	// server can estimate one, a retry hint in seconds — the batch envelope
+	// is 200, so per-entry sheds surface here instead of in a status code.
+	Reason     string `json:"reason,omitempty"`
+	RetryAfter int    `json:"retry_after,omitempty"`
 }
 
 type batchResponse struct {
@@ -222,6 +268,12 @@ type observeRequest struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+
+	// Set on overload sheds: the machine-readable refusal reason
+	// (queue_full, deadline_infeasible, brownout, rate_limited) and the
+	// Retry-After hint in seconds, mirroring the Retry-After header.
+	Reason     string `json:"reason,omitempty"`
+	RetryAfter int    `json:"retry_after,omitempty"`
 }
 
 // decodeJSON reads a size-capped JSON request body into dst, answering a
@@ -242,6 +294,87 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
+// Overload-control request headers. X-Parcost-Client keys the per-client
+// rate limiter; X-Parcost-Deadline-Ms propagates the caller's remaining
+// time budget into admission, so a sweep that cannot finish in time is
+// refused up front instead of computed for nobody. X-Parcost-Degraded marks
+// brownout-mode stale answers on the way out.
+const (
+	clientHeader   = "X-Parcost-Client"
+	deadlineHeader = "X-Parcost-Deadline-Ms"
+	degradedHeader = "X-Parcost-Degraded"
+)
+
+// clientKey identifies the caller for rate limiting: the X-Parcost-Client
+// header when present, else the connection's remote host (so an anonymous
+// greedy client is still one bucket, not a limiter bypass).
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get(clientHeader); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// requestContext derives the handler context from the caller's deadline
+// header: a positive X-Parcost-Deadline-Ms bounds the request's context,
+// which admission then judges sweeps against. An unparseable or
+// non-positive value is a client error.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	h := r.Header.Get(deadlineHeader)
+	if h == "" {
+		return r.Context(), func() {}, nil
+	}
+	ms, err := strconv.Atoi(h)
+	if err != nil || ms <= 0 {
+		return nil, nil, fmt.Errorf("%s must be a positive integer of milliseconds (got %q)", deadlineHeader, h)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
+// writeShed maps an admission refusal onto the wire: 429 for rate limiting,
+// 503 for queue-full/deadline/brownout sheds, each with a Retry-After
+// header and a structured body naming the reason. Returns false when err is
+// not a shed (the caller handles it as a plain error). A caller that
+// disconnected gets nothing written — there is nobody to read it.
+func writeShed(w http.ResponseWriter, r *http.Request, err error) bool {
+	var shed *admission.ShedError
+	if !errors.As(err, &shed) {
+		return false
+	}
+	if shed.Reason == admission.ReasonAbandoned {
+		// The request's context ended while it was queued. If the caller
+		// hung up, any body is unreadable; if its deadline header expired,
+		// the answer is already too late. Either way: drop, don't compute.
+		if r.Context().Err() == nil {
+			writeRetryable(w, http.StatusServiceUnavailable, shed)
+		}
+		return true
+	}
+	status := http.StatusServiceUnavailable
+	if shed.Reason == admission.ReasonRateLimited {
+		status = http.StatusTooManyRequests
+	}
+	writeRetryable(w, status, shed)
+	return true
+}
+
+// writeRetryable answers one shed with its Retry-After header and body.
+func writeRetryable(w http.ResponseWriter, status int, shed *admission.ShedError) {
+	secs := shed.RetryAfterSeconds()
+	if secs > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, status, errorResponse{
+		Error:      shed.Error(),
+		Reason:     string(shed.Reason),
+		RetryAfter: secs,
+	})
+}
+
 // newServeHandler builds the HTTP API over a guide.Router. Split from
 // runServe so tests drive the exact handler the daemon mounts. obs, when
 // non-nil, receives /v1/observe reports (the retrain daemon's drift
@@ -249,18 +382,51 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 // 501 so clients learn observation ingest is not wired up (501, not 503:
 // the condition is configuration, not a transient fault, so the proxy
 // relays it instead of failing over).
+//
+// Overload control rides the router's admission controller: the per-client
+// rate limiter fronts every query endpoint, request deadlines propagate
+// from X-Parcost-Deadline-Ms into admission, and sheds answer 429/503 with
+// Retry-After (see writeShed).
 func newServeHandler(router *guide.Router, obs guide.Observer) http.Handler {
 	mux := http.NewServeMux()
 	metrics := guide.NewMetrics()
+	adm := router.Admission()
+
+	// rateLimited fronts the query endpoints with the per-client token
+	// buckets. healthz/metrics stay unlimited: shedding observability while
+	// overloaded would blind the operator exactly when they need to see.
+	rateLimited := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if ok, retry := adm.Limiter.Allow(clientKey(r)); !ok {
+				writeRetryable(w, http.StatusTooManyRequests, &admission.ShedError{
+					Reason: admission.ReasonRateLimited, RetryAfter: retry,
+				})
+				return
+			}
+			h(w, r)
+		}
+	}
 
 	// Prometheus scrape endpoint. Deliberately NOT instrumented: scraping
 	// every 15s would swamp the latency histograms it exports.
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", guide.PrometheusContentType)
 		guide.WritePrometheus(w, metrics.Snapshot(), router.ShardStats())
+		admission.WritePrometheus(w, adm.Health())
+		// The retrain daemon's observer carries its own metric families
+		// (retrain cycles, promotions, rollbacks, gate failures).
+		if pw, ok := obs.(interface{ WritePrometheus(io.Writer) }); ok {
+			pw.WritePrometheus(w)
+		}
 	})
 
-	mux.HandleFunc("POST /v1/observe", metrics.Instrument("observe", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/observe", metrics.Instrument("observe", rateLimited(func(w http.ResponseWriter, r *http.Request) {
+		if adm.BrownoutActive() {
+			// Observation ingest triggers drift checks and possible refits —
+			// precisely the optional work a browned-out server must refuse.
+			writeRetryable(w, http.StatusServiceUnavailable, adm.ShedBrownout())
+			return
+		}
 		var req observeRequest
 		if !decodeJSON(w, r, &req) {
 			return
@@ -291,13 +457,19 @@ func newServeHandler(router *guide.Router, obs guide.Observer) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted", "machine": machineName})
-	}))
+	})))
 
 	mux.HandleFunc("GET /v1/healthz", metrics.Instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
+		status := "ok"
+		if adm.BrownoutActive() {
+			status = "brownout"
+		}
+		health := adm.Health()
 		resp := guide.HealthReport{
-			Status:    "ok",
+			Status:    status,
 			Aggregate: guide.HealthFromStats(router.AggregateStats()),
 			Latency:   metrics.Snapshot(),
+			Admission: &health,
 		}
 		stats := router.ShardStats()
 		for _, name := range router.Machines() {
@@ -346,20 +518,38 @@ func newServeHandler(router *guide.Router, obs guide.Observer) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]int{"warmed": warmed})
 	}))
 
-	mux.HandleFunc("POST /v1/recommend", metrics.Instrument("recommend", func(w http.ResponseWriter, r *http.Request) {
-		var req recommendRequest
-		if !decodeJSON(w, r, &req) {
-			return
-		}
-		resp, err := recommendOne(router, req)
+	mux.HandleFunc("POST /v1/recommend", metrics.Instrument("recommend", rateLimited(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel, err := requestContext(r)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
+		defer cancel()
+		var req recommendRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := recommendOne(ctx, router, req)
+		if err != nil {
+			if writeShed(w, r, err) {
+				return
+			}
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		if resp.Degraded {
+			w.Header().Set(degradedHeader, "stale")
+		}
 		writeJSON(w, http.StatusOK, resp)
-	}))
+	})))
 
-	mux.HandleFunc("POST /v1/batch", metrics.Instrument("batch", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/batch", metrics.Instrument("batch", rateLimited(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel, err := requestContext(r)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		defer cancel()
 		var req batchRequest
 		if !decodeJSON(w, r, &req) {
 			return
@@ -387,21 +577,28 @@ func newServeHandler(router *guide.Router, obs guide.Observer) http.Handler {
 				Query:   guide.Query{Problem: dataset.Problem{O: q.O, V: q.V}, Objective: obj},
 			}
 		}
-		results := router.RecommendBatch(queries)
+		results := router.RecommendBatchCtx(ctx, queries)
 		resp := batchResponse{Results: make([]batchEntry, len(results))}
 		for i, res := range results {
 			if res.Err != nil {
-				resp.Results[i] = batchEntry{Error: res.Err.Error()}
+				entry := batchEntry{Error: res.Err.Error()}
+				var shed *admission.ShedError
+				if errors.As(res.Err, &shed) {
+					entry.Reason = string(shed.Reason)
+					entry.RetryAfter = shed.RetryAfterSeconds()
+				}
+				resp.Results[i] = entry
 				continue
 			}
 			rr := toRecommendResponse(req.Queries[i], res.Rec)
 			rr.Machine = res.Machine // resolved shard name, not the (possibly empty) request field
+			rr.Degraded = res.Stale
 			resp.Results[i] = batchEntry{Result: &rr}
 		}
 		writeJSON(w, http.StatusOK, resp)
-	}))
+	})))
 
-	mux.HandleFunc("POST /v1/predict", metrics.Instrument("predict", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/predict", metrics.Instrument("predict", rateLimited(func(w http.ResponseWriter, r *http.Request) {
 		var req predictRequest
 		if !decodeJSON(w, r, &req) {
 			return
@@ -423,16 +620,17 @@ func newServeHandler(router *guide.Router, obs guide.Observer) http.Handler {
 			PredSeconds:   secs,
 			PredNodeHours: float64(cfg.Nodes) * secs / 3600,
 		})
-	}))
+	})))
 
 	return mux
 }
 
-// recommendOne validates and answers a single recommend request. The
+// recommendOne validates and answers a single recommend request under the
+// caller's context (deadline and disconnect propagate into admission). The
 // response echoes the machine name resolved atomically with the shard
 // lookup, so a defaulted query reports the shard that actually answered
 // even if the fleet composition changes mid-request.
-func recommendOne(router *guide.Router, req recommendRequest) (recommendResponse, error) {
+func recommendOne(ctx context.Context, router *guide.Router, req recommendRequest) (recommendResponse, error) {
 	obj, err := parseObjective(req.Objective)
 	if err != nil {
 		return recommendResponse{}, err
@@ -444,12 +642,13 @@ func recommendOne(router *guide.Router, req recommendRequest) (recommendResponse
 	if err != nil {
 		return recommendResponse{}, err
 	}
-	rec, err := svc.Recommend(dataset.Problem{O: req.O, V: req.V}, obj)
+	rec, stale, err := svc.RecommendCtx(ctx, dataset.Problem{O: req.O, V: req.V}, obj)
 	if err != nil {
 		return recommendResponse{}, err
 	}
 	out := toRecommendResponse(req, rec)
 	out.Machine = machineName
+	out.Degraded = stale
 	return out, nil
 }
 

@@ -396,8 +396,8 @@ func testServeFleetWire(t *testing.T, newFrontend frontendFactory, entries []gui
 
 	// The two shards must answer DIFFERENTLY (different machines, different
 	// models) — otherwise routing could be silently collapsed.
-	ra, _ := recommendOne(router, recommendRequest{Machine: "aurora", O: p.O, V: p.V, Objective: "stq"})
-	rf, _ := recommendOne(router, recommendRequest{Machine: "frontier", O: p.O, V: p.V, Objective: "stq"})
+	ra, _ := recommendOne(context.Background(), router, recommendRequest{Machine: "aurora", O: p.O, V: p.V, Objective: "stq"})
+	rf, _ := recommendOne(context.Background(), router, recommendRequest{Machine: "frontier", O: p.O, V: p.V, Objective: "stq"})
 	if ra.PredSeconds == rf.PredSeconds {
 		t.Fatal("aurora and frontier shards returned identical predictions; routing suspect")
 	}

@@ -1,0 +1,298 @@
+// Package admission is the serving fleet's overload-control engine: it
+// decides, for every request, whether doing the work now is better than
+// refusing it cheaply, and it makes every refusal explicit.
+//
+// Four cooperating mechanisms compose into a Controller:
+//
+//   - Queue: a bounded, deadline-aware admission queue in front of the
+//     CPU-bound sweep slots. It replaces an unbounded semaphore wait with a
+//     FIFO of bounded depth; a request whose deadline cannot be met given
+//     the measured sweep-time estimate is rejected BEFORE it occupies a
+//     slot, and a caller that disconnects while queued is removed without
+//     the sweep ever starting.
+//   - Brownout: a CoDel-style queue-delay trigger. Sustained standing delay
+//     above the target flips the server into brownout mode (serve cache
+//     hits and stale answers, shed sweep-requiring misses); sustained
+//     recovery below the exit target flips it back, hysteretically, so the
+//     server does not flap at the boundary.
+//   - RateLimiter: per-client token buckets keyed on an opaque client
+//     string (the serving tier keys on the X-Parcost-Client header), so one
+//     greedy client cannot monopolize the admission queue.
+//   - RetryBudget: a clock-free shared token bucket for retries and hedges
+//     (used by fleetproxy), so a fleet-wide brownout cannot amplify into a
+//     retry storm.
+//
+// Every refusal is a *ShedError carrying a machine-readable Reason and a
+// Retry-After hint, so the HTTP layer can answer 429/503 with structured
+// bodies instead of hanging or dropping connections. All state is
+// clock-injected (walltime lint discipline): nothing here reads the wall
+// clock directly, which keeps the overload soak tests deterministic.
+package admission
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Reason classifies why a request was refused or abandoned.
+type Reason string
+
+const (
+	// ReasonQueueFull: the bounded admission queue was at capacity.
+	ReasonQueueFull Reason = "queue_full"
+	// ReasonDeadline: the request's deadline cannot be met given the
+	// measured sweep-time estimate and its queue position.
+	ReasonDeadline Reason = "deadline_infeasible"
+	// ReasonBrownout: the server is in brownout mode and the request needs
+	// a fresh sweep.
+	ReasonBrownout Reason = "brownout"
+	// ReasonRateLimited: the per-client token bucket was empty.
+	ReasonRateLimited Reason = "rate_limited"
+	// ReasonAbandoned: the caller's context ended while the request was
+	// queued; the slot was released (or never taken) and no sweep ran.
+	ReasonAbandoned Reason = "abandoned"
+)
+
+// ShedError is the structured refusal every admission mechanism returns.
+// RetryAfter, when positive, is the hint surfaced in the Retry-After header;
+// Err, when non-nil, is the underlying cause (the context error for
+// ReasonAbandoned) and participates in errors.Is/As chains.
+type ShedError struct {
+	Reason     Reason
+	RetryAfter time.Duration
+	Err        error
+}
+
+func (e *ShedError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("admission: request shed (%s): %v", e.Reason, e.Err)
+	}
+	return fmt.Sprintf("admission: request shed (%s)", e.Reason)
+}
+
+func (e *ShedError) Unwrap() error { return e.Err }
+
+// RetryAfterSeconds renders the hint for a Retry-After header: at least 1
+// second whenever a hint exists, 0 when there is none.
+func (e *ShedError) RetryAfterSeconds() int {
+	if e.RetryAfter <= 0 {
+		return 0
+	}
+	s := int((e.RetryAfter + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ControllerConfig parameterizes NewController. Zero values take the
+// documented defaults; brownout and rate limiting are opt-in.
+type ControllerConfig struct {
+	// Capacity is the number of concurrent sweep slots (default 1). The
+	// serving tier passes its worker width here (guide sizes it to
+	// GOMAXPROCS); admission itself stays schedule-agnostic.
+	Capacity int
+	// MaxQueue bounds how many requests may wait for a slot (default
+	// DefaultMaxQueue). Arrivals past the bound shed with ReasonQueueFull.
+	MaxQueue int
+
+	// BrownoutTarget arms the brownout trigger: standing queue delay at or
+	// above it for BrownoutWindow enters brownout. 0 disables brownout.
+	BrownoutTarget time.Duration
+	// BrownoutWindow is the sustain interval for entering AND (below the
+	// exit target) leaving brownout (default 10 × BrownoutTarget).
+	BrownoutWindow time.Duration
+
+	// Rate enables per-client token buckets at this many requests/second
+	// with Burst capacity (defaults: Burst = max(1, Rate), MaxClients =
+	// DefaultMaxClients). 0 disables rate limiting.
+	Rate       float64
+	Burst      float64
+	MaxClients int
+
+	// Now overrides the clock (tests; default time.Now).
+	Now func() time.Time
+}
+
+// DefaultMaxQueue bounds the admission queue when no bound is configured.
+// It is sized for the worst legitimate burst (a large batch fanned across
+// workers), not for overload: sustained arrivals past it are the storms the
+// queue exists to shed.
+const DefaultMaxQueue = 1024
+
+// DefaultMaxClients bounds the rate limiter's resident per-client buckets.
+const DefaultMaxClients = 1024
+
+// Controller bundles the admission mechanisms one serving process uses.
+// Queue is always non-nil; Brownout and Limiter are nil when not configured
+// (their methods are nil-safe, reporting "allowed" / "inactive").
+type Controller struct {
+	Queue    *Queue
+	Brownout *Brownout
+	Limiter  *RateLimiter
+}
+
+// NewController wires a Controller from config: the queue's grant delays
+// feed the brownout trigger, so standing queue delay is the one signal that
+// flips the server into brownout.
+func NewController(cfg ControllerConfig) *Controller {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = DefaultMaxQueue
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Controller{}
+	if cfg.BrownoutTarget > 0 {
+		window := cfg.BrownoutWindow
+		if window <= 0 {
+			window = 10 * cfg.BrownoutTarget
+		}
+		c.Brownout = NewBrownout(cfg.BrownoutTarget, window, cfg.Now)
+	}
+	var onDelay func(time.Duration)
+	if c.Brownout != nil {
+		onDelay = c.Brownout.Observe
+	}
+	c.Queue = NewQueue(cfg.Capacity, cfg.MaxQueue, cfg.Now, onDelay)
+	if cfg.Rate > 0 {
+		burst := cfg.Burst
+		if burst <= 0 {
+			burst = cfg.Rate
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		maxClients := cfg.MaxClients
+		if maxClients <= 0 {
+			maxClients = DefaultMaxClients
+		}
+		c.Limiter = NewRateLimiter(cfg.Rate, burst, maxClients, cfg.Now)
+	}
+	return c
+}
+
+// BrownoutActive reports whether the server is currently in brownout mode.
+func (c *Controller) BrownoutActive() bool { return c != nil && c.Brownout.Active() }
+
+// AllowSweep decides whether a cache miss may start a fresh sweep. Outside
+// brownout the answer is always yes (the Queue then bounds how many run and
+// wait). In brownout, misses shed while the queue has standing work; once
+// the backlog drains, probe sweeps are admitted again — their near-zero
+// grant delays are exactly the recovery signal that lets the brownout
+// trigger exit, so brownout cannot latch on forever after load subsides.
+func (c *Controller) AllowSweep() bool {
+	if c == nil || !c.Brownout.Active() {
+		return true
+	}
+	depth, active, capacity, _ := c.Queue.occupancy()
+	return depth == 0 && active < capacity
+}
+
+// ShedBrownout records one brownout refusal and returns its structured
+// error. The Retry-After hint is the brownout window: the earliest the
+// trigger could possibly have flipped back.
+func (c *Controller) ShedBrownout() *ShedError {
+	retry := time.Second
+	if c != nil && c.Brownout != nil {
+		c.Brownout.shed()
+		if w := c.Brownout.Window(); w > retry {
+			retry = w
+		}
+	}
+	return &ShedError{Reason: ReasonBrownout, RetryAfter: retry}
+}
+
+// Health is the Controller's observability snapshot, embedded in
+// /v1/healthz and rendered on /metrics.
+type Health struct {
+	QueueDepth     int     `json:"queue_depth"`
+	QueueBound     int     `json:"queue_bound"`
+	ActiveSweeps   int     `json:"active_sweeps"`
+	SweepSlots     int     `json:"sweep_slots"`
+	EstSweepMs     float64 `json:"est_sweep_ms"`
+	Admitted       uint64  `json:"admitted"`
+	ShedQueueFull  uint64  `json:"shed_queue_full"`
+	ShedDeadline   uint64  `json:"shed_deadline"`
+	ShedBrownout   uint64  `json:"shed_brownout"`
+	ShedRateLimit  uint64  `json:"shed_rate_limited"`
+	CanceledQueued uint64  `json:"canceled_queued"`
+
+	Brownout        bool   `json:"brownout"`
+	BrownoutEntries uint64 `json:"brownout_entries"`
+	BrownoutExits   uint64 `json:"brownout_exits"`
+}
+
+// Health snapshots the controller's state across its mechanisms.
+func (c *Controller) Health() Health {
+	if c == nil {
+		return Health{}
+	}
+	qs := c.Queue.Stats()
+	h := Health{
+		QueueDepth:     qs.Depth,
+		QueueBound:     qs.MaxQueue,
+		ActiveSweeps:   qs.Active,
+		SweepSlots:     qs.Capacity,
+		EstSweepMs:     float64(qs.EstSweep) / float64(time.Millisecond),
+		Admitted:       qs.Admitted,
+		ShedQueueFull:  qs.QueueFull,
+		ShedDeadline:   qs.DeadlineRejected,
+		CanceledQueued: qs.Canceled,
+	}
+	if c.Brownout != nil {
+		bs := c.Brownout.Stats()
+		h.Brownout = bs.Active
+		h.BrownoutEntries = bs.Entries
+		h.BrownoutExits = bs.Exits
+		h.ShedBrownout = bs.Sheds
+	}
+	if c.Limiter != nil {
+		_, limited := c.Limiter.Counts()
+		h.ShedRateLimit = limited
+	}
+	return h
+}
+
+// WritePrometheus renders a Health snapshot in Prometheus text exposition
+// format (parcost_admission_* and parcost_brownout_* families). Output
+// order is fixed, so scrapes are deterministic.
+func WritePrometheus(w io.Writer, h Health) {
+	gauge := func(metric, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", metric, help, metric, metric, promNum(v))
+	}
+	gauge("parcost_admission_queue_depth", "Requests waiting for a sweep slot.", float64(h.QueueDepth))
+	gauge("parcost_admission_active_sweeps", "Sweep slots currently occupied.", float64(h.ActiveSweeps))
+	gauge("parcost_admission_est_sweep_seconds", "EWMA sweep-time estimate driving deadline admission.", h.EstSweepMs/1e3)
+
+	fmt.Fprint(w, "# HELP parcost_admission_admitted_total Requests granted a sweep slot.\n# TYPE parcost_admission_admitted_total counter\n")
+	fmt.Fprintf(w, "parcost_admission_admitted_total %d\n", h.Admitted)
+
+	fmt.Fprint(w, "# HELP parcost_admission_shed_total Requests refused, by reason.\n# TYPE parcost_admission_shed_total counter\n")
+	fmt.Fprintf(w, "parcost_admission_shed_total{reason=%q} %d\n", ReasonQueueFull, h.ShedQueueFull)
+	fmt.Fprintf(w, "parcost_admission_shed_total{reason=%q} %d\n", ReasonDeadline, h.ShedDeadline)
+	fmt.Fprintf(w, "parcost_admission_shed_total{reason=%q} %d\n", ReasonBrownout, h.ShedBrownout)
+	fmt.Fprintf(w, "parcost_admission_shed_total{reason=%q} %d\n", ReasonRateLimited, h.ShedRateLimit)
+
+	fmt.Fprint(w, "# HELP parcost_admission_canceled_total Callers that disconnected while queued (no sweep started).\n# TYPE parcost_admission_canceled_total counter\n")
+	fmt.Fprintf(w, "parcost_admission_canceled_total %d\n", h.CanceledQueued)
+
+	active := 0.0
+	if h.Brownout {
+		active = 1
+	}
+	gauge("parcost_brownout_active", "1 while the server is in brownout mode.", active)
+	fmt.Fprint(w, "# HELP parcost_brownout_transitions_total Brownout state transitions, by direction.\n# TYPE parcost_brownout_transitions_total counter\n")
+	fmt.Fprintf(w, "parcost_brownout_transitions_total{direction=\"enter\"} %d\n", h.BrownoutEntries)
+	fmt.Fprintf(w, "parcost_brownout_transitions_total{direction=\"exit\"} %d\n", h.BrownoutExits)
+}
+
+// promNum renders a float the way Prometheus clients do: shortest exact
+// representation.
+func promNum(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,150 @@
+package admission
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestControllerDefaults(t *testing.T) {
+	c := NewController(ControllerConfig{})
+	if c.Queue == nil {
+		t.Fatal("controller without a queue")
+	}
+	st := c.Queue.Stats()
+	if st.Capacity != 1 || st.MaxQueue != DefaultMaxQueue {
+		t.Fatalf("capacity=%d maxQueue=%d, want 1/%d", st.Capacity, st.MaxQueue, DefaultMaxQueue)
+	}
+	if c.Brownout != nil || c.Limiter != nil {
+		t.Fatal("brownout/limiter enabled without configuration")
+	}
+	if c.BrownoutActive() {
+		t.Fatal("brownout active with no trigger configured")
+	}
+	if !c.AllowSweep() {
+		t.Fatal("sweep refused outside brownout")
+	}
+}
+
+func TestControllerBrownoutGatesSweeps(t *testing.T) {
+	clk := newFakeClock()
+	c := NewController(ControllerConfig{
+		Capacity: 1, MaxQueue: 4,
+		BrownoutTarget: boTarget, BrownoutWindow: boWindow,
+		Now: clk.Now,
+	})
+	// Standing delay sustained for the window flips brownout on.
+	c.Brownout.Observe(boTarget)
+	clk.Advance(boWindow)
+	c.Brownout.Observe(boTarget)
+	if !c.BrownoutActive() {
+		t.Fatal("brownout did not engage")
+	}
+
+	// Queue idle: probe sweeps are allowed (the recovery path).
+	if !c.AllowSweep() {
+		t.Fatal("probe sweep refused with an idle queue")
+	}
+
+	// Slot occupied: sweep-requiring work sheds.
+	rel, err := c.Queue.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if c.AllowSweep() {
+		t.Fatal("sweep allowed in brownout with every slot busy")
+	}
+	shed := c.ShedBrownout()
+	if shed.Reason != ReasonBrownout {
+		t.Fatalf("reason=%s, want brownout", shed.Reason)
+	}
+	if shed.RetryAfter < boWindow {
+		t.Fatalf("RetryAfter=%v, want >= window %v", shed.RetryAfter, boWindow)
+	}
+	rel(0)
+
+	// Probe grants at zero delay drive the hysteretic exit.
+	clk.Advance(boWindow)
+	c.Brownout.Observe(0)
+	clk.Advance(boWindow)
+	c.Brownout.Observe(0)
+	if c.BrownoutActive() {
+		t.Fatal("brownout latched after recovery")
+	}
+	h := c.Health()
+	if h.BrownoutEntries != 1 || h.BrownoutExits != 1 || h.ShedBrownout != 1 {
+		t.Fatalf("entries=%d exits=%d sheds=%d, want 1/1/1", h.BrownoutEntries, h.BrownoutExits, h.ShedBrownout)
+	}
+}
+
+func TestShedErrorRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+		{3 * time.Second, 3},
+	}
+	for _, c := range cases {
+		e := &ShedError{Reason: ReasonQueueFull, RetryAfter: c.d}
+		if got := e.RetryAfterSeconds(); got != c.want {
+			t.Fatalf("RetryAfterSeconds(%v)=%d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestControllerHealthAndPrometheus(t *testing.T) {
+	clk := newFakeClock()
+	c := NewController(ControllerConfig{
+		Capacity: 2, MaxQueue: 8,
+		BrownoutTarget: boTarget,
+		Rate:           5, Burst: 5,
+		Now: clk.Now,
+	})
+	rel, err := c.Queue.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	rel(20 * time.Millisecond)
+	for i := 0; i < 6; i++ {
+		c.Limiter.Allow("hog")
+	}
+
+	h := c.Health()
+	if h.SweepSlots != 2 || h.QueueBound != 8 {
+		t.Fatalf("slots=%d bound=%d, want 2/8", h.SweepSlots, h.QueueBound)
+	}
+	if h.Admitted != 1 || h.EstSweepMs != 20 {
+		t.Fatalf("admitted=%d est=%vms, want 1/20", h.Admitted, h.EstSweepMs)
+	}
+	if h.ShedRateLimit != 1 {
+		t.Fatalf("ShedRateLimit=%d, want 1", h.ShedRateLimit)
+	}
+
+	var sb strings.Builder
+	WritePrometheus(&sb, h)
+	out := sb.String()
+	for _, want := range []string{
+		"parcost_admission_queue_depth 0\n",
+		"parcost_admission_active_sweeps 0\n",
+		"parcost_admission_est_sweep_seconds 0.02\n",
+		"parcost_admission_admitted_total 1\n",
+		`parcost_admission_shed_total{reason="queue_full"} 0`,
+		`parcost_admission_shed_total{reason="deadline_infeasible"} 0`,
+		`parcost_admission_shed_total{reason="brownout"} 0`,
+		`parcost_admission_shed_total{reason="rate_limited"} 1`,
+		"parcost_admission_canceled_total 0\n",
+		"parcost_brownout_active 0\n",
+		`parcost_brownout_transitions_total{direction="enter"} 0`,
+		`parcost_brownout_transitions_total{direction="exit"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// Brownout is a CoDel-style overload trigger driven by standing queue
+// delay. Instantaneous queue depth is a poor load signal (a burst fills and
+// drains in one sweep-length); what distinguishes real overload is delay
+// that STAYS high. The state machine is hysteretic:
+//
+//	              delay >= target sustained for window
+//	NORMAL ─────────────────────────────────────────────▶ BROWNOUT
+//	   ▲                                                     │
+//	   └─────────────────────────────────────────────────────┘
+//	              delay < target/2 sustained for window
+//
+// One sample below target resets the entry clock; one sample at or above
+// the exit threshold resets the exit clock — so the server neither enters
+// on a transient spike nor exits on a single lucky fast grant, and it
+// cannot flap at the boundary (the exit threshold is half the entry
+// target).
+//
+// In brownout the serving tier keeps answering cache hits, serves expired
+// entries as explicitly degraded answers, and sheds sweep-requiring misses
+// with 429/503 + Retry-After. A nil *Brownout is valid and permanently
+// inactive, so callers need no feature flag.
+type Brownout struct {
+	target time.Duration
+	exit   time.Duration
+	window time.Duration
+	now    func() time.Time
+
+	mu         sync.Mutex
+	active     bool
+	aboveSince time.Time // first of the current run of samples >= target
+	belowSince time.Time // first of the current run of samples < exit
+	entries    uint64
+	exits      uint64
+	sheds      uint64
+}
+
+// NewBrownout builds a trigger entering brownout after queue delay >= target
+// sustained for window, and leaving after delay < target/2 sustained for
+// window. now must be non-nil.
+func NewBrownout(target, window time.Duration, now func() time.Time) *Brownout {
+	return &Brownout{target: target, exit: target / 2, window: window, now: now}
+}
+
+// Observe feeds one queue-delay sample (a grant's time spent waiting).
+func (b *Brownout) Observe(delay time.Duration) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.active {
+		if delay < b.target {
+			b.aboveSince = time.Time{}
+			return
+		}
+		if b.aboveSince.IsZero() {
+			b.aboveSince = now
+			return
+		}
+		if now.Sub(b.aboveSince) >= b.window {
+			b.active = true
+			b.entries++
+			b.aboveSince = time.Time{}
+			b.belowSince = time.Time{}
+		}
+		return
+	}
+	if delay >= b.exit {
+		b.belowSince = time.Time{}
+		return
+	}
+	if b.belowSince.IsZero() {
+		b.belowSince = now
+		return
+	}
+	if now.Sub(b.belowSince) >= b.window {
+		b.active = false
+		b.exits++
+		b.aboveSince = time.Time{}
+		b.belowSince = time.Time{}
+	}
+}
+
+// Active reports whether the server is in brownout mode. Nil-safe.
+func (b *Brownout) Active() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.active
+}
+
+// Window returns the configured sustain interval. Nil-safe.
+func (b *Brownout) Window() time.Duration {
+	if b == nil {
+		return 0
+	}
+	return b.window
+}
+
+// shed counts one request refused because of brownout.
+func (b *Brownout) shed() {
+	b.mu.Lock()
+	b.sheds++
+	b.mu.Unlock()
+}
+
+// BrownoutStats is a point-in-time snapshot of the trigger.
+type BrownoutStats struct {
+	Active  bool
+	Entries uint64 // NORMAL → BROWNOUT transitions
+	Exits   uint64 // BROWNOUT → NORMAL transitions
+	Sheds   uint64 // requests refused while active
+}
+
+// Stats snapshots the trigger's state and transition counts. Nil-safe.
+func (b *Brownout) Stats() BrownoutStats {
+	if b == nil {
+		return BrownoutStats{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BrownoutStats{Active: b.active, Entries: b.entries, Exits: b.exits, Sheds: b.sheds}
+}

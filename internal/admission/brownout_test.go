@@ -1,0 +1,127 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+const (
+	boTarget = 10 * time.Millisecond
+	boWindow = 50 * time.Millisecond
+)
+
+func TestBrownoutEntersOnSustainedDelay(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBrownout(boTarget, boWindow, clk.Now)
+
+	b.Observe(boTarget) // arms the entry clock
+	if b.Active() {
+		t.Fatal("entered on a single sample")
+	}
+	clk.Advance(boWindow - time.Millisecond)
+	b.Observe(boTarget)
+	if b.Active() {
+		t.Fatal("entered before the window elapsed")
+	}
+	clk.Advance(time.Millisecond)
+	b.Observe(boTarget)
+	if !b.Active() {
+		t.Fatal("did not enter after delay >= target sustained for window")
+	}
+	if st := b.Stats(); st.Entries != 1 || st.Exits != 0 {
+		t.Fatalf("entries=%d exits=%d, want 1/0", st.Entries, st.Exits)
+	}
+}
+
+func TestBrownoutSingleGoodSampleResetsEntryClock(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBrownout(boTarget, boWindow, clk.Now)
+
+	b.Observe(boTarget)
+	clk.Advance(boWindow / 2)
+	b.Observe(boTarget / 2) // below target: a transient spike, not overload
+	clk.Advance(boWindow)
+	b.Observe(boTarget) // re-arms; the old run must not count
+	if b.Active() {
+		t.Fatal("entered despite an interrupting below-target sample")
+	}
+}
+
+// enterBrownout drives b into brownout mode.
+func enterBrownout(t *testing.T, clk *fakeClock, b *Brownout) {
+	t.Helper()
+	b.Observe(boTarget)
+	clk.Advance(boWindow)
+	b.Observe(boTarget)
+	if !b.Active() {
+		t.Fatal("setup: failed to enter brownout")
+	}
+}
+
+func TestBrownoutExitsHysteretically(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBrownout(boTarget, boWindow, clk.Now)
+	enterBrownout(t, clk, b)
+
+	// Delay between exit (target/2) and target: still brownout, forever.
+	b.Observe(boTarget/2 + time.Millisecond)
+	clk.Advance(10 * boWindow)
+	b.Observe(boTarget/2 + time.Millisecond)
+	if !b.Active() {
+		t.Fatal("exited above the exit threshold (hysteresis violated)")
+	}
+
+	// Sustained recovery below target/2 exits.
+	b.Observe(0)
+	clk.Advance(boWindow)
+	b.Observe(0)
+	if b.Active() {
+		t.Fatal("did not exit after sustained recovery")
+	}
+	if st := b.Stats(); st.Entries != 1 || st.Exits != 1 {
+		t.Fatalf("entries=%d exits=%d, want 1/1", st.Entries, st.Exits)
+	}
+}
+
+func TestBrownoutSlowSampleResetsExitClock(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBrownout(boTarget, boWindow, clk.Now)
+	enterBrownout(t, clk, b)
+
+	b.Observe(0)
+	clk.Advance(boWindow / 2)
+	b.Observe(boTarget) // one slow grant: recovery run is broken
+	clk.Advance(boWindow)
+	b.Observe(0) // re-arms the exit clock; old run must not count
+	if !b.Active() {
+		t.Fatal("exited despite an interrupting slow sample")
+	}
+}
+
+func TestBrownoutReentersAfterExit(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBrownout(boTarget, boWindow, clk.Now)
+	enterBrownout(t, clk, b)
+
+	b.Observe(0)
+	clk.Advance(boWindow)
+	b.Observe(0)
+	enterBrownout(t, clk, b)
+	if st := b.Stats(); st.Entries != 2 || st.Exits != 1 {
+		t.Fatalf("entries=%d exits=%d, want 2/1", st.Entries, st.Exits)
+	}
+}
+
+func TestBrownoutNilIsInactive(t *testing.T) {
+	var b *Brownout
+	b.Observe(time.Hour) // must not panic
+	if b.Active() {
+		t.Fatal("nil brownout reported active")
+	}
+	if b.Window() != 0 {
+		t.Fatal("nil brownout reported a window")
+	}
+	if st := b.Stats(); st != (BrownoutStats{}) {
+		t.Fatalf("nil brownout stats = %+v, want zero", st)
+	}
+}

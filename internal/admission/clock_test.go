@@ -1,0 +1,32 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// fakeClock is a settable test clock shared by the unit tests, so hysteresis
+// windows and token refills are driven explicitly instead of by sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// newFakeClock anchors at the real current time so test contexts built with
+// context.WithDeadline (which expire on the REAL clock) stay consistent with
+// queue-side deadline math done on the fake one.
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Now()}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

@@ -1,0 +1,73 @@
+package admission
+
+import (
+	"context"
+	"time"
+
+	"parcost/internal/rng"
+)
+
+// Deterministic open-loop load driver for the overload soak tests. An
+// OPEN-loop schedule fixes arrival times in advance and never waits for
+// responses — exactly the traffic shape that exposes overload bugs, because
+// a slow server keeps receiving arrivals instead of back-pressuring the
+// generator. The schedule is a pure function of its seed (inter-arrival
+// gaps and key choices come from internal/rng), so a soak run is replayable
+// bit-for-bit and an admitted request's answer can be compared against an
+// unloaded run of the same schedule.
+
+// Arrival is one scheduled request: an offset from schedule start and a key
+// index the harness maps onto its query space.
+type Arrival struct {
+	At  time.Duration
+	Key int
+}
+
+// NewSchedule generates n arrivals at mean rate perSecond over keys
+// [0, keys), with exponentially distributed inter-arrival gaps (Poisson
+// arrivals — real traffic's burstiness, not a metronome). Deterministic for
+// a fixed seed.
+func NewSchedule(seed uint64, perSecond float64, n, keys int) []Arrival {
+	if n <= 0 || perSecond <= 0 || keys <= 0 {
+		return nil
+	}
+	r := rng.New(seed)
+	out := make([]Arrival, n)
+	at := time.Duration(0)
+	for i := range out {
+		at += time.Duration(r.Exponential(perSecond) * float64(time.Second))
+		out[i] = Arrival{At: at, Key: r.Intn(keys)}
+	}
+	return out
+}
+
+// Replay drives a schedule open-loop: launch(a) fires at each arrival's
+// offset (in sequence; launch must not block — spawn a goroutine per
+// request). sleep paces between arrivals and is injected so tests choose
+// real pacing or a fake; SleepPacer returns the real one. Replay returns
+// early if ctx ends, reporting how many arrivals were launched.
+func Replay(ctx context.Context, sched []Arrival, sleep func(time.Duration), launch func(Arrival)) int {
+	elapsed := time.Duration(0)
+	for i, a := range sched {
+		if d := a.At - elapsed; d > 0 {
+			sleep(d)
+			elapsed = a.At
+		}
+		if ctx.Err() != nil {
+			return i
+		}
+		launch(a)
+	}
+	return len(sched)
+}
+
+// SleepPacer returns a real-time pacer for Replay, built on a timer (the
+// serving tier's clock discipline injects wall-clock reads, and a timer
+// schedules work without putting a clock value into data).
+func SleepPacer() func(time.Duration) {
+	return func(d time.Duration) {
+		if d > 0 {
+			<-time.After(d)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package admission
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestScheduleDeterministicForSeed(t *testing.T) {
+	a := NewSchedule(42, 100, 500, 8)
+	b := NewSchedule(42, 100, 500, 8)
+	if len(a) != 500 {
+		t.Fatalf("len=%d, want 500", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := NewSchedule(43, 100, 500, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical schedule")
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	sched := NewSchedule(7, 200, 2000, 16)
+	prev := time.Duration(0)
+	for i, a := range sched {
+		if a.At < prev {
+			t.Fatalf("arrival %d at %v before predecessor %v (non-monotonic)", i, a.At, prev)
+		}
+		prev = a.At
+		if a.Key < 0 || a.Key >= 16 {
+			t.Fatalf("arrival %d key %d out of [0,16)", i, a.Key)
+		}
+	}
+	// 2000 arrivals at 200/s should span ~10s; exponential gaps concentrate
+	// tightly at this n, so a wide tolerance still catches rate bugs.
+	span := sched[len(sched)-1].At
+	if span < 7*time.Second || span > 13*time.Second {
+		t.Fatalf("schedule spans %v, want ~10s", span)
+	}
+}
+
+func TestScheduleDegenerateInputs(t *testing.T) {
+	if s := NewSchedule(1, 0, 10, 4); s != nil {
+		t.Fatal("zero rate produced a schedule")
+	}
+	if s := NewSchedule(1, 100, 0, 4); s != nil {
+		t.Fatal("zero arrivals produced a schedule")
+	}
+	if s := NewSchedule(1, 100, 10, 0); s != nil {
+		t.Fatal("zero keys produced a schedule")
+	}
+}
+
+func TestReplayPacesOpenLoop(t *testing.T) {
+	sched := []Arrival{
+		{At: 10 * time.Millisecond, Key: 0},
+		{At: 10 * time.Millisecond, Key: 1}, // same instant: no sleep between
+		{At: 35 * time.Millisecond, Key: 2},
+	}
+	var slept []time.Duration
+	var launched []int
+	n := Replay(context.Background(), sched,
+		func(d time.Duration) { slept = append(slept, d) },
+		func(a Arrival) { launched = append(launched, a.Key) })
+	if n != 3 {
+		t.Fatalf("launched %d, want 3", n)
+	}
+	wantSleeps := []time.Duration{10 * time.Millisecond, 25 * time.Millisecond}
+	if len(slept) != len(wantSleeps) {
+		t.Fatalf("sleeps %v, want %v", slept, wantSleeps)
+	}
+	for i := range wantSleeps {
+		if slept[i] != wantSleeps[i] {
+			t.Fatalf("sleep %d = %v, want %v", i, slept[i], wantSleeps[i])
+		}
+	}
+	for i, k := range launched {
+		if k != i {
+			t.Fatalf("launch order %v, want keys in schedule order", launched)
+		}
+	}
+}
+
+func TestReplayStopsOnContextCancel(t *testing.T) {
+	sched := NewSchedule(1, 1000, 100, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	launched := 0
+	n := Replay(ctx, sched, func(time.Duration) {}, func(Arrival) {
+		launched++
+		if launched == 10 {
+			cancel()
+		}
+	})
+	if n != 10 || launched != 10 {
+		t.Fatalf("launched %d (returned %d), want replay to stop at 10 on cancel", launched, n)
+	}
+}

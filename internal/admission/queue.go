@@ -1,0 +1,243 @@
+package admission
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+)
+
+// Queue is the bounded, deadline-aware admission queue in front of the
+// sweep slots. It replaces a bare counting semaphore with three guarantees
+// an overloaded server needs:
+//
+//   - Bounded waiting: at most maxQueue requests wait for a slot; arrivals
+//     past the bound shed immediately with ReasonQueueFull instead of
+//     growing an unbounded backlog of work nobody will wait for.
+//   - Deadline admission: a request whose context deadline cannot be met —
+//     given the EWMA sweep-time estimate and its position in line — is
+//     rejected with ReasonDeadline BEFORE it takes a slot or queue space,
+//     so capacity is never spent computing answers that will arrive too
+//     late to be read.
+//   - Cancellation: a caller whose context ends while waiting is unlinked
+//     from the queue (counted in Stats.Canceled) and its sweep never
+//     starts; if the cancellation races a grant, the granted slot is handed
+//     straight to the next waiter.
+//
+// Grants are strict FIFO. Each grant's queueing delay is reported to the
+// optional onDelay observer — the Brownout trigger in production — making
+// standing queue delay the load signal rather than instantaneous depth.
+type Queue struct {
+	capacity int
+	maxQueue int
+	now      func() time.Time
+	onDelay  func(time.Duration) // called outside the lock; may be nil
+
+	mu               sync.Mutex
+	active           int
+	waiters          *list.List // of *waiter, front = next to be granted
+	est              time.Duration
+	admitted         uint64
+	queueFull        uint64
+	deadlineRejected uint64
+	canceled         uint64
+}
+
+// waiter is one parked Acquire call. granted is set under the Queue lock
+// before ch is closed, so a cancellation that races the grant can tell
+// whether it owns a slot that must be passed on.
+type waiter struct {
+	ch       chan struct{}
+	enqueued time.Time
+	granted  bool
+}
+
+// NewQueue builds a queue with capacity concurrent slots and at most
+// maxQueue waiting requests. now must be non-nil; onDelay may be nil.
+func NewQueue(capacity, maxQueue int, now func() time.Time, onDelay func(time.Duration)) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Queue{
+		capacity: capacity,
+		maxQueue: maxQueue,
+		now:      now,
+		onDelay:  onDelay,
+		waiters:  list.New(),
+	}
+}
+
+// sweepEWMAShift is the EWMA smoothing for the sweep-time estimate:
+// est += (sample - est) / 2^sweepEWMAShift. 1/8 tracks drift (a retrained
+// model with a different grid cost) within a handful of sweeps without
+// letting one outlier swing deadline admission.
+const sweepEWMAShift = 3
+
+// Acquire blocks until a sweep slot is granted or the request is shed. On
+// success it returns a release func that MUST be called exactly once when
+// the sweep finishes; pass the sweep's duration (or <= 0 after a panic or
+// error) to feed the estimate that drives deadline admission. On failure
+// the returned error is always a *ShedError.
+func (q *Queue) Acquire(ctx context.Context) (release func(time.Duration), err error) {
+	q.mu.Lock()
+	if err := ctx.Err(); err != nil {
+		q.mu.Unlock()
+		return nil, &ShedError{Reason: ReasonAbandoned, Err: err}
+	}
+	// Fast path: a free slot and nobody ahead in line (FIFO fairness —
+	// a late arrival must not leapfrog parked waiters).
+	if q.active < q.capacity && q.waiters.Len() == 0 {
+		if shed := q.deadlineShedLocked(ctx, 0); shed != nil {
+			q.mu.Unlock()
+			return nil, shed
+		}
+		q.active++
+		q.admitted++
+		q.mu.Unlock()
+		if q.onDelay != nil {
+			q.onDelay(0)
+		}
+		return q.release, nil
+	}
+	if q.waiters.Len() >= q.maxQueue {
+		q.queueFull++
+		shed := &ShedError{Reason: ReasonQueueFull, RetryAfter: q.retryAfterLocked()}
+		q.mu.Unlock()
+		return nil, shed
+	}
+	if shed := q.deadlineShedLocked(ctx, q.waiters.Len()); shed != nil {
+		q.mu.Unlock()
+		return nil, shed
+	}
+	w := &waiter{ch: make(chan struct{}), enqueued: q.now()}
+	el := q.waiters.PushBack(w)
+	q.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		q.mu.Lock()
+		delay := q.now().Sub(w.enqueued)
+		q.admitted++
+		q.mu.Unlock()
+		if q.onDelay != nil {
+			q.onDelay(delay)
+		}
+		return q.release, nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		q.canceled++
+		if w.granted {
+			// Lost the race with a grant: the slot is ours now, so pass it
+			// on rather than leaking it.
+			q.grantOrFreeLocked()
+		} else {
+			q.waiters.Remove(el)
+		}
+		q.mu.Unlock()
+		return nil, &ShedError{Reason: ReasonAbandoned, Err: ctx.Err()}
+	}
+}
+
+// release returns a slot: the next waiter (if any) inherits it directly,
+// else the slot frees. d > 0 records one sweep duration into the estimate.
+func (q *Queue) release(d time.Duration) {
+	q.mu.Lock()
+	if d > 0 {
+		if q.est == 0 {
+			q.est = d
+		} else {
+			q.est += (d - q.est) >> sweepEWMAShift
+		}
+	}
+	q.grantOrFreeLocked()
+	q.mu.Unlock()
+}
+
+func (q *Queue) grantOrFreeLocked() {
+	if el := q.waiters.Front(); el != nil {
+		w := el.Value.(*waiter)
+		q.waiters.Remove(el)
+		w.granted = true
+		close(w.ch)
+		return // slot transferred, active count unchanged
+	}
+	q.active--
+}
+
+// deadlineShedLocked rejects a request whose context deadline cannot be met.
+// The wait model is deliberately simple: with `ahead` waiters in front and
+// every slot busy, roughly (ahead+1)/capacity sweep-lengths pass before this
+// request starts, plus its own sweep. No estimate yet (est == 0) admits
+// everything — the first sweeps calibrate it.
+func (q *Queue) deadlineShedLocked(ctx context.Context, ahead int) *ShedError {
+	dl, ok := ctx.Deadline()
+	if !ok || q.est <= 0 {
+		return nil
+	}
+	needed := q.est
+	if q.active >= q.capacity {
+		needed += time.Duration(float64(q.est) * float64(ahead+1) / float64(q.capacity))
+	}
+	if q.now().Add(needed).After(dl) {
+		q.deadlineRejected++
+		return &ShedError{Reason: ReasonDeadline, RetryAfter: needed}
+	}
+	return nil
+}
+
+// retryAfterLocked hints when a shed caller should try again: the time to
+// drain the current backlog at the estimated sweep rate, clamped to [1s, 60s].
+func (q *Queue) retryAfterLocked() time.Duration {
+	est := q.est
+	if est <= 0 {
+		return time.Second
+	}
+	d := time.Duration(float64(est) * float64(q.waiters.Len()+1) / float64(q.capacity))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// occupancy reports depth, active slots, capacity, and the queue bound.
+func (q *Queue) occupancy() (depth, active, capacity, maxQueue int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waiters.Len(), q.active, q.capacity, q.maxQueue
+}
+
+// QueueStats is a point-in-time snapshot of the queue's behavior.
+type QueueStats struct {
+	Depth    int // requests currently waiting
+	Active   int // slots currently occupied
+	Capacity int // concurrent sweep slots
+	MaxQueue int // waiting bound
+
+	EstSweep time.Duration // EWMA sweep-time estimate
+
+	Admitted         uint64 // requests granted a slot
+	QueueFull        uint64 // shed: queue at bound
+	DeadlineRejected uint64 // shed: deadline infeasible
+	Canceled         uint64 // abandoned while queued (caller disconnect/deadline)
+}
+
+// Stats snapshots the queue counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueStats{
+		Depth:    q.waiters.Len(),
+		Active:   q.active,
+		Capacity: q.capacity,
+		MaxQueue: q.maxQueue,
+		EstSweep: q.est,
+		Admitted: q.admitted, QueueFull: q.queueFull,
+		DeadlineRejected: q.deadlineRejected, Canceled: q.canceled,
+	}
+}

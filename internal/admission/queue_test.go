@@ -1,0 +1,299 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitDepth blocks until the queue reports the wanted waiter depth (the
+// test's only way to know a concurrent Acquire has parked).
+func waitDepth(t *testing.T, q *Queue, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Stats().Depth != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d (now %d)", want, q.Stats().Depth)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestQueueFastPathAndRelease(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQueue(2, 4, clk.Now, nil)
+
+	rel1, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire 1: %v", err)
+	}
+	rel2, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire 2: %v", err)
+	}
+	if st := q.Stats(); st.Active != 2 || st.Admitted != 2 {
+		t.Fatalf("active=%d admitted=%d, want 2/2", st.Active, st.Admitted)
+	}
+	rel1(10 * time.Millisecond)
+	rel2(10 * time.Millisecond)
+	st := q.Stats()
+	if st.Active != 0 {
+		t.Fatalf("active=%d after release, want 0", st.Active)
+	}
+	if st.EstSweep != 10*time.Millisecond {
+		t.Fatalf("EstSweep=%v, want 10ms (first sample seeds the EWMA)", st.EstSweep)
+	}
+}
+
+func TestQueueEWMAEstimate(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQueue(1, 4, clk.Now, nil)
+	for _, d := range []time.Duration{8 * time.Millisecond, 16 * time.Millisecond} {
+		rel, err := q.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("Acquire: %v", err)
+		}
+		rel(d)
+	}
+	// est = 8ms, then est += (16ms-8ms)>>3 = 9ms.
+	if got := q.Stats().EstSweep; got != 9*time.Millisecond {
+		t.Fatalf("EstSweep=%v, want 9ms", got)
+	}
+}
+
+func TestQueueFullShedsWithRetryAfter(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQueue(1, 1, clk.Now, nil)
+
+	rel, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire holder: %v", err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r, err := q.Acquire(context.Background())
+		if err == nil {
+			r(0)
+		}
+		got <- err
+	}()
+	waitDepth(t, q, 1)
+
+	_, err = q.Acquire(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ReasonQueueFull {
+		t.Fatalf("err=%v, want ShedError{queue_full}", err)
+	}
+	if shed.RetryAfterSeconds() < 1 {
+		t.Fatalf("RetryAfterSeconds=%d, want >= 1", shed.RetryAfterSeconds())
+	}
+	if st := q.Stats(); st.QueueFull != 1 {
+		t.Fatalf("QueueFull=%d, want 1", st.QueueFull)
+	}
+
+	rel(0) // hand the slot to the parked waiter
+	if err := <-got; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	if st := q.Stats(); st.Active != 0 || st.Depth != 0 {
+		t.Fatalf("active=%d depth=%d after drain, want 0/0", st.Active, st.Depth)
+	}
+}
+
+func TestQueueFIFOGrantOrder(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQueue(1, 8, clk.Now, nil)
+
+	rel, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire holder: %v", err)
+	}
+	order := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		go func() {
+			r, err := q.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			r(0)
+		}()
+		waitDepth(t, q, i+1) // park strictly in order so FIFO is testable
+	}
+	rel(0)
+	for want := 0; want < 3; want++ {
+		if got := <-order; got != want {
+			t.Fatalf("grant order: got waiter %d, want %d", got, want)
+		}
+	}
+}
+
+func TestQueueDeadlineInfeasibleShedsBeforeSlot(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQueue(1, 8, clk.Now, nil)
+
+	// Calibrate the estimate: one 100ms sweep.
+	rel, _ := q.Acquire(context.Background())
+	rel(100 * time.Millisecond)
+
+	ctx, cancel := context.WithDeadline(context.Background(), clk.Now().Add(10*time.Millisecond))
+	defer cancel()
+	_, err := q.Acquire(ctx)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ReasonDeadline {
+		t.Fatalf("err=%v, want ShedError{deadline_infeasible}", err)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter=%v, want > 0", shed.RetryAfter)
+	}
+	st := q.Stats()
+	if st.DeadlineRejected != 1 {
+		t.Fatalf("DeadlineRejected=%d, want 1", st.DeadlineRejected)
+	}
+	if st.Active != 0 {
+		t.Fatalf("active=%d, want 0 (the shed request must never take a slot)", st.Active)
+	}
+
+	// A feasible deadline still admits.
+	ctx2, cancel2 := context.WithDeadline(context.Background(), clk.Now().Add(time.Second))
+	defer cancel2()
+	rel2, err := q.Acquire(ctx2)
+	if err != nil {
+		t.Fatalf("feasible deadline refused: %v", err)
+	}
+	rel2(0)
+}
+
+func TestQueueDeadlineAccountsForQueuePosition(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQueue(1, 8, clk.Now, nil)
+
+	rel, _ := q.Acquire(context.Background())
+	rel(100 * time.Millisecond)
+
+	// Occupy the slot: the next arrival's wait model now includes the
+	// holder's remaining sweep, so a deadline that would admit on the fast
+	// path is infeasible from position 1.
+	hold, _ := q.Acquire(context.Background())
+	defer hold(0)
+
+	ctx, cancel := context.WithDeadline(context.Background(), clk.Now().Add(150*time.Millisecond))
+	defer cancel()
+	_, err := q.Acquire(ctx)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ReasonDeadline {
+		t.Fatalf("err=%v, want ShedError{deadline_infeasible} from queue position", err)
+	}
+}
+
+func TestQueueNoEstimateAdmitsEverything(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQueue(1, 8, clk.Now, nil)
+	// est == 0 admits a deadline the calibrated companion test sheds: with
+	// no estimate there is nothing to judge infeasibility against.
+	ctx, cancel := context.WithDeadline(context.Background(), clk.Now().Add(50*time.Millisecond))
+	defer cancel()
+	rel, err := q.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("uncalibrated queue refused: %v", err)
+	}
+	rel(0)
+}
+
+func TestQueueCancelWhileQueued(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQueue(1, 8, clk.Now, nil)
+
+	rel, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire holder: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := q.Acquire(ctx)
+		got <- err
+	}()
+	waitDepth(t, q, 1)
+	cancel()
+
+	err = <-got
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ReasonAbandoned {
+		t.Fatalf("err=%v, want ShedError{abandoned}", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v must wrap context.Canceled", err)
+	}
+	st := q.Stats()
+	if st.Canceled != 1 {
+		t.Fatalf("Canceled=%d, want 1", st.Canceled)
+	}
+	if st.Depth != 0 {
+		t.Fatalf("Depth=%d, want 0 (canceled waiter must be unlinked)", st.Depth)
+	}
+
+	// The slot was never leaked: releasing the holder frees it fully.
+	rel(0)
+	if st := q.Stats(); st.Active != 0 {
+		t.Fatalf("active=%d after release, want 0", st.Active)
+	}
+	rel2, err := q.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire after cancel: %v", err)
+	}
+	rel2(0)
+}
+
+func TestQueuePreCanceledContext(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQueue(1, 8, clk.Now, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := q.Acquire(ctx)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ReasonAbandoned {
+		t.Fatalf("err=%v, want ShedError{abandoned} for pre-canceled ctx", err)
+	}
+	if st := q.Stats(); st.Active != 0 || st.Admitted != 0 {
+		t.Fatalf("active=%d admitted=%d, want 0/0", st.Active, st.Admitted)
+	}
+}
+
+func TestQueueDelayObserverSeesGrantDelay(t *testing.T) {
+	clk := newFakeClock()
+	var delays []time.Duration
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	record := func(d time.Duration) {
+		<-mu
+		delays = append(delays, d)
+		mu <- struct{}{}
+	}
+	q := NewQueue(1, 8, clk.Now, record)
+
+	rel, _ := q.Acquire(context.Background()) // fast path → delay 0
+	got := make(chan struct{})
+	go func() {
+		r, err := q.Acquire(context.Background())
+		if err != nil {
+			t.Errorf("queued Acquire: %v", err)
+		} else {
+			r(0)
+		}
+		close(got)
+	}()
+	waitDepth(t, q, 1)
+	clk.Advance(25 * time.Millisecond)
+	rel(0)
+	<-got
+
+	<-mu
+	defer func() { mu <- struct{}{} }()
+	if len(delays) != 2 || delays[0] != 0 || delays[1] != 25*time.Millisecond {
+		t.Fatalf("observed delays %v, want [0s 25ms]", delays)
+	}
+}

@@ -1,0 +1,92 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRateLimiterBurstThenRefill(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(1, 2, 16, clk.Now)
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("alice"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, retry := l.Allow("alice")
+	if ok {
+		t.Fatal("request past the burst allowed")
+	}
+	if retry != time.Second {
+		t.Fatalf("retryAfter=%v, want 1s at rate 1/s with an empty bucket", retry)
+	}
+
+	clk.Advance(time.Second) // one token accrues
+	if ok, _ := l.Allow("alice"); !ok {
+		t.Fatal("refilled token refused")
+	}
+	if ok, _ := l.Allow("alice"); ok {
+		t.Fatal("second request allowed after a single-token refill")
+	}
+
+	allowed, limited := l.Counts()
+	if allowed != 3 || limited != 2 {
+		t.Fatalf("allowed=%d limited=%d, want 3/2", allowed, limited)
+	}
+}
+
+func TestRateLimiterIsolatesClients(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(1, 1, 16, clk.Now)
+	if ok, _ := l.Allow("greedy"); !ok {
+		t.Fatal("first greedy request refused")
+	}
+	if ok, _ := l.Allow("greedy"); ok {
+		t.Fatal("greedy client not limited")
+	}
+	// The greedy client's empty bucket must not affect anyone else.
+	if ok, _ := l.Allow("polite"); !ok {
+		t.Fatal("polite client limited by greedy client's bucket")
+	}
+}
+
+func TestRateLimiterLRUEviction(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(1, 1, 2, clk.Now)
+	l.Allow("a") // a's bucket is now empty
+	l.Allow("b")
+	l.Allow("c") // evicts a (LRU)
+
+	// Evicted client returns with a fresh full bucket: the memory bound
+	// trades forgiveness for a hard cap.
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("evicted client did not restart with a full bucket")
+	}
+}
+
+func TestRateLimiterRefillCapsAtBurst(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(1, 2, 16, clk.Now)
+	l.Allow("a")
+	clk.Advance(time.Hour) // refill must cap at burst, not bank an hour
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatalf("request %d refused after long idle", i)
+		}
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("idle time banked tokens past the burst cap")
+	}
+}
+
+func TestRateLimiterNilAllowsEverything(t *testing.T) {
+	var l *RateLimiter
+	ok, retry := l.Allow("anyone")
+	if !ok || retry != 0 {
+		t.Fatalf("nil limiter: ok=%v retry=%v, want true/0", ok, retry)
+	}
+	if a, lim := l.Counts(); a != 0 || lim != 0 {
+		t.Fatalf("nil limiter counts = %d/%d, want 0/0", a, lim)
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"sync"
 	"time"
 
+	"parcost/internal/admission"
 	"parcost/internal/guide"
 	"parcost/internal/rng"
 )
@@ -65,6 +66,16 @@ type Config struct {
 	// (default 2). Each retry targets the next backend in the key's failover
 	// order after backoff with jitter.
 	Retries int
+
+	// RetryBudget bounds fleet-wide retry amplification: retries AND hedges
+	// draw from one token bucket that earns RetryBudget tokens per initial
+	// proxied request (default 0.2, i.e. at most ~20% extra backend load in
+	// steady state, plus a small startup burst). When a brownout makes every
+	// backend slow or failing, the per-request retry ladder would otherwise
+	// multiply offered QPS by 1+Retries exactly when the fleet can least
+	// afford it. Negative disables the budget (unbounded, pre-budget
+	// behavior).
+	RetryBudget float64
 
 	// RetryBackoff is the base backoff before the first retry, doubling per
 	// subsequent retry with up to 50% added jitter (default 10ms).
@@ -111,6 +122,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Retries < 0 {
 		c.Retries = 0
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 0.2
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 10 * time.Millisecond
@@ -188,6 +202,7 @@ type Proxy struct {
 	metrics   *guide.Metrics
 	stale     *staleCache
 	reservoir *latencyReservoir
+	budget    *admission.RetryBudget // nil when RetryBudget < 0 (unbounded)
 
 	mu       sync.RWMutex
 	ring     *hashRing
@@ -218,6 +233,11 @@ func normalizeBackend(s string) string {
 	return s
 }
 
+// retryBudgetBurst is the retry budget's startup credit: enough tokens to
+// ride out a brief blip without waiting for deposits, small enough that a
+// sustained outage exhausts it within a handful of requests.
+const retryBudgetBurst = 10
+
 // New builds a Proxy over the configured backends.
 func New(cfg Config) (*Proxy, error) {
 	cfg.applyDefaults()
@@ -233,6 +253,9 @@ func New(cfg Config) (*Proxy, error) {
 		backends:  make(map[string]*backendState, len(cfg.Backends)),
 		jitter:    rng.New(0x70726f7879), // "proxy"
 		stop:      make(chan struct{}),
+	}
+	if cfg.RetryBudget > 0 {
+		p.budget = admission.NewRetryBudget(cfg.RetryBudget, retryBudgetBurst)
 	}
 	urls := make([]string, 0, len(cfg.Backends))
 	for _, raw := range cfg.Backends {

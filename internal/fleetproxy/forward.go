@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"parcost/internal/admission"
 	"parcost/internal/guide"
 )
 
@@ -42,10 +43,14 @@ func (p *Proxy) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/admin/drain", p.metrics.Instrument("drain", p.handleDrain))
 	// Uninstrumented like the serve-side /metrics: scrapes must not swamp
 	// the histograms they export. The proxy has no local sweep caches, so
-	// only the latency families are emitted.
+	// only the latency families are emitted — plus the retry-budget gauge
+	// and counters when the budget is enabled.
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", guide.PrometheusContentType)
 		guide.WritePrometheus(w, p.metrics.Snapshot(), nil)
+		if p.budget != nil {
+			admission.WriteBudgetPrometheus(w, p.budget.Stats())
+		}
 	})
 	return mux
 }
@@ -114,12 +119,20 @@ func (a attemptOut) ok() bool {
 
 // tryBackends runs the fault-tolerant forwarding loop over a key's failover
 // candidates: attempt the primary; retry the next replica (with backoff and
-// jitter) on connection failure or 5xx, up to the retry budget; hedge one
-// duplicate onto the next replica when the in-flight attempt outlives the
-// hedge threshold. First sub-500 answer wins and cancels the rest. Returns
-// ok=false when every admitted candidate failed (or none were admitted) —
-// the caller chooses the degradation policy.
+// jitter) on connection failure or 5xx, up to the per-request retry cap;
+// hedge one duplicate onto the next replica when the in-flight attempt
+// outlives the hedge threshold. First sub-500 answer wins and cancels the
+// rest. Returns ok=false when every admitted candidate failed (or none were
+// admitted) — the caller chooses the degradation policy.
+//
+// Every extra attempt — sequential retry or hedge — additionally withdraws
+// from the shared fleet-wide retry budget, which earns tokens only from
+// initial requests. Under a fleet-wide brownout the per-request ladder would
+// multiply offered backend QPS by 1+Retries (and hedges on top); the budget
+// caps that amplification at ~RetryBudget extra load regardless of how many
+// requests are failing at once.
 func (p *Proxy) tryBackends(ctx context.Context, path string, body []byte, cands []*backendState) (upstream, bool) {
+	p.budget.Deposit() // each initial request earns a fraction of a retry token
 	if len(cands) == 0 {
 		return upstream{}, false
 	}
@@ -156,7 +169,7 @@ func (p *Proxy) tryBackends(ctx context.Context, path string, body []byte, cands
 	}
 
 	launch(0)
-	budget := 1 + p.cfg.Retries // sequential attempts; a hedge is extra
+	maxSeq := 1 + p.cfg.Retries // sequential attempts; a hedge is extra
 	launched := 1
 	retries := 0
 	var hedge <-chan time.Time
@@ -170,7 +183,7 @@ func (p *Proxy) tryBackends(ctx context.Context, path string, body []byte, cands
 			if out.ok() {
 				return out.res, true
 			}
-			if launched < budget && next < len(cands) {
+			if launched < maxSeq && next < len(cands) && p.budget.Withdraw() {
 				retries++
 				launch(p.backoff(retries))
 				launched++
@@ -179,8 +192,8 @@ func (p *Proxy) tryBackends(ctx context.Context, path string, body []byte, cands
 			}
 		case <-hedge:
 			hedge = nil
-			if next < len(cands) {
-				launch(0) // hedged duplicate: no backoff, no budget charge
+			if next < len(cands) && p.budget.Withdraw() {
+				launch(0) // hedged duplicate: no backoff, no sequential-cap charge
 			}
 		case <-ctx.Done():
 			return upstream{}, false
@@ -391,9 +404,11 @@ type BackendHealth struct {
 // the standard shape (so fleet clients and the serve-side health checks read
 // it unchanged), plus per-backend proxy state. Latency histograms are the
 // PROXY's own route timings — the per-backend ones remain on each backend.
+// RetryBudget is present only when the shared retry budget is enabled.
 type ProxyHealth struct {
 	guide.HealthReport
-	Backends []BackendHealth `json:"backends"`
+	Backends    []BackendHealth        `json:"backends"`
+	RetryBudget *admission.BudgetStats `json:"retry_budget,omitempty"`
 }
 
 // handleHealthz aggregates health across backends: each reachable backend's
@@ -436,6 +451,10 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:  "ok",
 		Latency: p.metrics.Snapshot(),
 	}}
+	if p.budget != nil {
+		bs := p.budget.Stats()
+		resp.RetryBudget = &bs
+	}
 	shardAt := make(map[string]int)
 	now := p.cfg.Now()
 	for i, b := range backends {

@@ -2,19 +2,22 @@ package guide
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 	"unsafe"
 
+	"parcost/internal/admission"
 	"parcost/internal/dataset"
 )
 
 // sweepCache is the serving cache engine shared by Service and Router: a
-// bounded LRU of sweep results with coalesced concurrent misses and a
-// semaphore bounding CPU-bound sweeps. It was extracted from Service so every
-// shard of a fleet runs the same tested machinery instead of bespoke
-// bookkeeping per wrapper.
+// bounded LRU of sweep results with coalesced concurrent misses and an
+// admission-controlled bound on CPU-bound sweeps. It was extracted from
+// Service so every shard of a fleet runs the same tested machinery instead
+// of bespoke bookkeeping per wrapper.
 //
 // Bounds compose, and an entry is admitted only while ALL configured bounds
 // hold:
@@ -29,14 +32,21 @@ import (
 //     expired entry is dropped when its key is next queried (counted in
 //     Stats.Expired) and re-swept.
 //
+// Sweeps run behind the shared admission.Controller: its Queue bounds both
+// concurrency and waiting (deadline-infeasible or over-bound requests shed
+// with structured errors, queued callers that disconnect are unlinked
+// without sweeping), and its Brownout trigger flips misses into sheds —
+// with resident-but-expired entries served as explicitly stale answers —
+// while the server is overloaded.
+//
 // A cache with no bound configured (maxEntries == 0 && maxBytes == 0) is
 // disabled: every query sweeps. This preserves WithCacheSize(0)'s contract.
 type sweepCache struct {
 	maxEntries int
 	maxBytes   int64
 	ttl        time.Duration
-	sweeps     chan struct{}    // bounds concurrent sweeps; shared across Router shards
-	now        func() time.Time // injectable clock for TTL tests
+	adm        *admission.Controller // bounds sweeps; shared across Router shards
+	now        func() time.Time      // injectable clock for TTL tests
 
 	// Guarded by mu. The mutex is never held across a sweep: misses
 	// register an inflight entry and release it, so hits stay O(1) while a
@@ -49,6 +59,13 @@ type sweepCache struct {
 	hits     uint64
 	misses   uint64
 	expired  uint64
+
+	// Shed accounting (see Stats): how this shard's misses were refused.
+	shedQueueFull  uint64
+	shedDeadline   uint64
+	shedBrownout   uint64
+	canceledQueued uint64
+	staleServed    uint64
 
 	// Per-sweep wall-time accounting (miss path only; hits and coalesced
 	// waits are not sweeps).
@@ -80,14 +97,14 @@ type inflightCall struct {
 // is exact up to the map allowance.
 const entryBytes = int64(unsafe.Sizeof(cacheEntry{})+unsafe.Sizeof(list.Element{})+unsafe.Sizeof(Query{})) + 16
 
-// newSweepCache builds a cache with the given bounds sharing the given sweep
-// semaphore.
-func newSweepCache(maxEntries int, maxBytes int64, ttl time.Duration, sweeps chan struct{}) *sweepCache {
+// newSweepCache builds a cache with the given bounds sharing the given
+// admission controller.
+func newSweepCache(maxEntries int, maxBytes int64, ttl time.Duration, adm *admission.Controller) *sweepCache {
 	c := &sweepCache{
 		maxEntries: maxEntries,
 		maxBytes:   maxBytes,
 		ttl:        ttl,
-		sweeps:     sweeps,
+		adm:        adm,
 		now:        time.Now,
 		entries:    make(map[Query]*list.Element),
 		lru:        list.New(),
@@ -100,8 +117,12 @@ func newSweepCache(maxEntries int, maxBytes int64, ttl time.Duration, sweeps cha
 func (c *sweepCache) enabled() bool { return c.maxEntries > 0 || c.maxBytes > 0 }
 
 // do answers one query: cache hit, coalesced wait on an in-flight sweep, or
-// a fresh sweep under the semaphore. sweep runs WITHOUT the cache lock held.
-func (c *sweepCache) do(q Query, sweep func() (Recommendation, error)) (Recommendation, error) {
+// a fresh sweep behind admission control. sweep runs WITHOUT the cache lock
+// held. stale is true only for a resident-but-expired entry served during
+// brownout — the degraded-answer contract — and such answers are never
+// re-inserted as fresh. A shed returns a *admission.ShedError; a caller
+// whose ctx ends while coalesced or queued gets its context error.
+func (c *sweepCache) do(ctx context.Context, q Query, sweep func() (Recommendation, error)) (rec Recommendation, stale bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[q]; ok {
 		e := el.Value.(*cacheEntry)
@@ -110,7 +131,17 @@ func (c *sweepCache) do(q Query, sweep func() (Recommendation, error)) (Recommen
 			c.hits++
 			rec := e.rec
 			c.mu.Unlock()
-			return rec, nil
+			return rec, false, nil
+		}
+		if c.adm.BrownoutActive() {
+			// Brownout: a stale answer NOW beats a shed, and re-sweeping is
+			// exactly the work brownout exists to refuse. The entry stays
+			// resident for the next degraded hit.
+			c.lru.MoveToFront(el)
+			c.staleServed++
+			rec := e.rec
+			c.mu.Unlock()
+			return rec, true, nil
 		}
 		// Stale under TTL: drop it and fall through to the miss path so the
 		// caller re-sweeps against the current model.
@@ -121,18 +152,54 @@ func (c *sweepCache) do(q Query, sweep func() (Recommendation, error)) (Recommen
 		// Another goroutine is already sweeping this key; share its result.
 		c.hits++
 		c.mu.Unlock()
-		<-call.done
-		return call.rec, call.err
+		select {
+		case <-call.done:
+			return call.rec, false, call.err
+		case <-ctx.Done():
+			return Recommendation{}, false, ctx.Err()
+		}
+	}
+	if !c.adm.AllowSweep() {
+		c.shedBrownout++
+		c.mu.Unlock()
+		return Recommendation{}, false, c.adm.ShedBrownout()
 	}
 	call := &inflightCall{done: make(chan struct{})}
 	c.inflight[q] = call
 	c.misses++
 	c.mu.Unlock()
 
-	// The sweep itself runs under the semaphore, so total CPU-bound grid
+	// Admission before work: the bounded queue grants a sweep slot, sheds
+	// requests whose deadline the measured sweep time cannot meet, and
+	// unlinks this caller if ctx ends while it waits — the sweep never
+	// starts on a disconnected caller's behalf. A refusal is broadcast to
+	// every coalesced waiter (they would have shared the sweep; they share
+	// its refusal) and the key is unregistered so the next arrival retries.
+	release, aerr := c.adm.Queue.Acquire(ctx)
+	if aerr != nil {
+		call.err = aerr
+		close(call.done)
+		c.mu.Lock()
+		delete(c.inflight, q)
+		var shed *admission.ShedError
+		if errors.As(aerr, &shed) {
+			switch shed.Reason {
+			case admission.ReasonQueueFull:
+				c.shedQueueFull++
+			case admission.ReasonDeadline:
+				c.shedDeadline++
+			case admission.ReasonAbandoned:
+				c.canceledQueued++
+			}
+		}
+		c.mu.Unlock()
+		return Recommendation{}, false, aerr
+	}
+
+	// The sweep itself runs in the granted slot, so total CPU-bound grid
 	// sweeps stay bounded no matter how many callers, batches, or Router
 	// shards are in flight (cache hits and coalesced waits never take a
-	// token). A panicking sweep must still release the waiters with an
+	// slot). A panicking sweep must still release the waiters with an
 	// error and unregister the key — otherwise every later query for it
 	// would block forever — and then propagate to this caller.
 	var panicked any
@@ -144,19 +211,22 @@ func (c *sweepCache) do(q Query, sweep func() (Recommendation, error)) (Recommen
 				call.err = fmt.Errorf("guide: sweep for %v/%v panicked: %v", q.Problem, q.Objective, r)
 			}
 		}()
-		c.sweeps <- struct{}{}
-		defer func() { <-c.sweeps }()
 		start := c.now()
 		call.rec, call.err = sweep()
 		sweepT = c.now().Sub(start)
 	}()
+	if panicked != nil {
+		release(0) // a panic's duration must not poison the estimate
+	} else {
+		release(sweepT)
+	}
 	close(call.done)
 
 	c.mu.Lock()
 	delete(c.inflight, q)
 	if panicked == nil {
-		// Record the sweep's wall time (semaphore wait excluded, so the
-		// numbers reflect sweep cost, not queueing under load).
+		// Record the sweep's wall time (queueing excluded, so the numbers
+		// reflect sweep cost, not waiting under load).
 		c.sweepCount++
 		c.sweepTotal += sweepT
 		if c.sweepCount == 1 || sweepT < c.sweepMin {
@@ -173,7 +243,7 @@ func (c *sweepCache) do(q Query, sweep func() (Recommendation, error)) (Recommen
 	if panicked != nil {
 		panic(panicked)
 	}
-	return call.rec, call.err
+	return call.rec, false, call.err
 }
 
 // insertLocked adds a sweep result, evicting least-recently-used entries
@@ -243,7 +313,10 @@ func (c *sweepCache) stats() Stats {
 	st := Stats{
 		Hits: c.hits, Misses: c.misses, Expired: c.expired,
 		Size: c.lru.Len(), Bytes: c.bytes,
-		SweepCount: c.sweepCount, SweepMin: c.sweepMin, SweepMax: c.sweepMax,
+		ShedQueueFull: c.shedQueueFull, ShedDeadline: c.shedDeadline,
+		ShedBrownout: c.shedBrownout, CanceledQueued: c.canceledQueued,
+		StaleServed: c.staleServed,
+		SweepCount:  c.sweepCount, SweepMin: c.sweepMin, SweepMax: c.sweepMax,
 	}
 	if c.sweepCount > 0 {
 		st.SweepMean = c.sweepTotal / time.Duration(c.sweepCount)

@@ -1,6 +1,10 @@
 package guide
 
-import "time"
+import (
+	"time"
+
+	"parcost/internal/admission"
+)
 
 // Health wire schema of /v1/healthz, shared by the single-process serve
 // handler and the fleet proxy. The proxy decodes each backend's report,
@@ -20,6 +24,15 @@ type CacheHealth struct {
 	SweepMinMs   float64 `json:"sweep_min_ms"`
 	SweepMeanMs  float64 `json:"sweep_mean_ms"`
 	SweepMaxMs   float64 `json:"sweep_max_ms"`
+
+	// Overload accounting: how misses were refused and how many degraded
+	// (stale) answers brownout mode served. Omitted from the wire when zero
+	// so pre-overload-control backends merge cleanly.
+	ShedQueueFull  uint64 `json:"shed_queue_full,omitempty"`
+	ShedDeadline   uint64 `json:"shed_deadline,omitempty"`
+	ShedBrownout   uint64 `json:"shed_brownout,omitempty"`
+	CanceledQueued uint64 `json:"canceled_queued,omitempty"`
+	StaleServed    uint64 `json:"stale_served,omitempty"`
 }
 
 // HealthFromStats renders a Stats snapshot in wire form.
@@ -27,10 +40,15 @@ func HealthFromStats(st Stats) CacheHealth {
 	return CacheHealth{
 		CacheHits: st.Hits, CacheMisses: st.Misses, CacheExpired: st.Expired,
 		CacheSize: st.Size, CacheBytes: st.Bytes,
-		Sweeps:      st.SweepCount,
-		SweepMinMs:  float64(st.SweepMin) / float64(time.Millisecond),
-		SweepMeanMs: float64(st.SweepMean) / float64(time.Millisecond),
-		SweepMaxMs:  float64(st.SweepMax) / float64(time.Millisecond),
+		Sweeps:         st.SweepCount,
+		SweepMinMs:     float64(st.SweepMin) / float64(time.Millisecond),
+		SweepMeanMs:    float64(st.SweepMean) / float64(time.Millisecond),
+		SweepMaxMs:     float64(st.SweepMax) / float64(time.Millisecond),
+		ShedQueueFull:  st.ShedQueueFull,
+		ShedDeadline:   st.ShedDeadline,
+		ShedBrownout:   st.ShedBrownout,
+		CanceledQueued: st.CanceledQueued,
+		StaleServed:    st.StaleServed,
 	}
 }
 
@@ -44,7 +62,12 @@ func (a CacheHealth) Merge(b CacheHealth) CacheHealth {
 		CacheHits: a.CacheHits + b.CacheHits, CacheMisses: a.CacheMisses + b.CacheMisses,
 		CacheExpired: a.CacheExpired + b.CacheExpired,
 		CacheSize:    a.CacheSize + b.CacheSize, CacheBytes: a.CacheBytes + b.CacheBytes,
-		Sweeps: a.Sweeps + b.Sweeps,
+		Sweeps:         a.Sweeps + b.Sweeps,
+		ShedQueueFull:  a.ShedQueueFull + b.ShedQueueFull,
+		ShedDeadline:   a.ShedDeadline + b.ShedDeadline,
+		ShedBrownout:   a.ShedBrownout + b.ShedBrownout,
+		CanceledQueued: a.CanceledQueued + b.CanceledQueued,
+		StaleServed:    a.StaleServed + b.StaleServed,
 	}
 	switch {
 	case a.Sweeps == 0:
@@ -70,14 +93,18 @@ type ShardHealth struct {
 }
 
 // HealthReport is the /v1/healthz response body. Status is "ok" when every
-// shard (and, behind a proxy, every backend) is reachable, "degraded"
-// otherwise. The aggregate's min/mean/max follow Stats aggregation: shards
-// with zero sweeps contribute nothing to the extremes. Latency holds the
-// per-endpoint request histograms (log-spaced cumulative buckets) covering
-// the full handler — decode, cache or sweep, encode.
+// shard (and, behind a proxy, every backend) is reachable, "brownout" while
+// the admission controller is actively shedding sweep-requiring traffic, and
+// "degraded" otherwise. The aggregate's min/mean/max follow Stats
+// aggregation: shards with zero sweeps contribute nothing to the extremes.
+// Latency holds the per-endpoint request histograms (log-spaced cumulative
+// buckets) covering the full handler — decode, cache or sweep, encode.
+// Admission, when present, is the overload-control block: queue occupancy,
+// shed counters by reason, and brownout state.
 type HealthReport struct {
 	Status    string                     `json:"status"`
 	Machines  []ShardHealth              `json:"machines"`
 	Aggregate CacheHealth                `json:"aggregate"`
 	Latency   map[string]LatencySnapshot `json:"latency"`
+	Admission *admission.Health          `json:"admission,omitempty"`
 }

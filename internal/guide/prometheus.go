@@ -88,6 +88,11 @@ func writeShards(w io.Writer, shards map[string]Stats) {
 	gauge("parcost_sweep_cache_entries", "Resident sweep-cache entries.", func(s Stats) int64 { return int64(s.Size) })
 	gauge("parcost_sweep_cache_bytes", "Approximate resident sweep-cache bytes.", func(s Stats) int64 { return s.Bytes })
 	counter("parcost_grid_sweeps_total", "Completed grid sweeps, including errored ones.", func(s Stats) uint64 { return s.SweepCount })
+	counter("parcost_sweep_shed_queue_full_total", "Misses refused because the admission queue was full.", func(s Stats) uint64 { return s.ShedQueueFull })
+	counter("parcost_sweep_shed_deadline_total", "Misses refused as deadline-infeasible before taking a slot.", func(s Stats) uint64 { return s.ShedDeadline })
+	counter("parcost_sweep_shed_brownout_total", "Misses refused while brownout mode was active.", func(s Stats) uint64 { return s.ShedBrownout })
+	counter("parcost_sweep_canceled_queued_total", "Queued callers that disconnected before their sweep started.", func(s Stats) uint64 { return s.CanceledQueued })
+	counter("parcost_stale_served_total", "Brownout-mode degraded answers served from expired entries.", func(s Stats) uint64 { return s.StaleServed })
 
 	// Per-sweep wall time. The zero-sweep contract holds on the wire too: a
 	// shard that has never swept emits no series here rather than a

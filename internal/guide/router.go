@@ -1,6 +1,7 @@
 package guide
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -8,21 +9,24 @@ import (
 	"sort"
 	"sync"
 
+	"parcost/internal/admission"
 	"parcost/internal/dataset"
 )
 
 // Router serves a fleet of per-machine advisors behind one Recommend API.
 // Each shard is a full Service (bounded sweep cache, coalesced misses), and
-// every shard shares ONE sweep semaphore owned by the Router, so the fleet's
-// total CPU-bound grid sweeps stay bounded no matter how queries distribute
-// across machines.
+// every shard shares ONE admission controller owned by the Router — a
+// bounded, deadline-aware queue in front of the fleet's sweep slots plus
+// optional brownout shedding — so the fleet's total CPU-bound grid sweeps
+// stay bounded no matter how queries distribute across machines, and
+// overload is refused with structured errors instead of unbounded queueing.
 //
 // Shards can be added and removed while queries are in flight (hot
 // retrain-in-place: fit a new advisor, AddShard over the old name). A
 // removed shard's in-flight sweeps complete on the detached Service;
 // subsequent queries for its machine fail with an unknown-machine error.
 type Router struct {
-	sweeps chan struct{} // fleet-wide sweep semaphore, shared by every shard
+	adm *admission.Controller // fleet-wide admission, shared by every shard
 
 	mu     sync.RWMutex
 	shards map[string]*Service
@@ -34,12 +38,23 @@ type RouterOption func(*Router)
 // WithSweepLimit bounds the fleet's total concurrent grid sweeps to n
 // (default GOMAXPROCS). The bound spans every shard: a batch hammering one
 // machine cannot starve the CPU out from under the others past this limit.
+// Overridden by WithAdmission, which sets the full controller.
 func WithSweepLimit(n int) RouterOption {
 	return func(r *Router) {
 		if n < 1 {
 			n = 1
 		}
-		r.sweeps = make(chan struct{}, n)
+		r.adm = admission.NewController(admission.ControllerConfig{Capacity: n})
+	}
+}
+
+// WithAdmission installs a fully configured admission controller (queue
+// bound, brownout trigger, rate limiter) as the fleet-wide overload policy.
+func WithAdmission(adm *admission.Controller) RouterOption {
+	return func(r *Router) {
+		if adm != nil {
+			r.adm = adm
+		}
 	}
 }
 
@@ -49,22 +64,27 @@ func NewRouter(opts ...RouterOption) *Router {
 	for _, opt := range opts {
 		opt(r)
 	}
-	if r.sweeps == nil {
-		r.sweeps = make(chan struct{}, runtime.GOMAXPROCS(0))
+	if r.adm == nil {
+		r.adm = admission.NewController(admission.ControllerConfig{
+			Capacity: runtime.GOMAXPROCS(0),
+		})
 	}
 	return r
 }
 
+// Admission returns the fleet-wide admission controller.
+func (r *Router) Admission() *admission.Controller { return r.adm }
+
 // AddShard registers (or hot-replaces) the Service answering queries for a
-// machine. The shard is built with the Router's shared sweep semaphore; the
-// given options configure its oracle and cache bounds. Replacing an existing
-// shard swaps atomically: queries either see the old Service or the new one,
-// never a gap.
+// machine. The shard is built with the Router's shared admission controller;
+// the given options configure its oracle and cache bounds. Replacing an
+// existing shard swaps atomically: queries either see the old Service or the
+// new one, never a gap.
 func (r *Router) AddShard(machine string, adv *Advisor, opts ...ServiceOption) error {
 	if machine == "" {
 		return fmt.Errorf("guide: AddShard requires a machine name")
 	}
-	svc, err := NewService(adv, append(opts, withSharedSweeps(r.sweeps))...)
+	svc, err := NewService(adv, append(opts, withSharedAdmission(r.adm))...)
 	if err != nil {
 		return fmt.Errorf("guide: shard %q: %w", machine, err)
 	}
@@ -92,7 +112,7 @@ func (r *Router) SwapShard(machine string, adv *Advisor, warmLimit int, opts ...
 	if machine == "" {
 		return 0, fmt.Errorf("guide: SwapShard requires a machine name")
 	}
-	svc, err := NewService(adv, append(opts, withSharedSweeps(r.sweeps))...)
+	svc, err := NewService(adv, append(opts, withSharedAdmission(r.adm))...)
 	if err != nil {
 		return 0, fmt.Errorf("guide: shard %q: %w", machine, err)
 	}
@@ -102,7 +122,9 @@ func (r *Router) SwapShard(machine string, adv *Advisor, warmLimit int, opts ...
 	warmed := 0
 	if old != nil {
 		// Warm sweeps run on the incoming service (bounded by the shared
-		// fleet semaphore) while the outgoing one still answers queries.
+		// fleet admission queue) while the outgoing one still answers
+		// queries; under brownout they shed like any other miss, which is
+		// the right priority — warming is deferrable work.
 		for _, q := range old.cache.hotKeys(warmLimit) {
 			if _, err := svc.Recommend(q.Problem, q.Objective); err == nil {
 				warmed++
@@ -175,11 +197,19 @@ func (r *Router) machinesLocked() []string {
 // Recommend answers one STQ/BQ query routed to a machine's shard. An empty
 // machine resolves only in a one-shard fleet (see Shard).
 func (r *Router) Recommend(machine string, p dataset.Problem, obj Objective) (Recommendation, error) {
+	rec, _, err := r.RecommendCtx(context.Background(), machine, p, obj)
+	return rec, err
+}
+
+// RecommendCtx routes one query under the caller's context: the deadline
+// participates in admission and cancellation unlinks a queued sweep. stale
+// reports a brownout-degraded answer (see Service.RecommendCtx).
+func (r *Router) RecommendCtx(ctx context.Context, machine string, p dataset.Problem, obj Objective) (Recommendation, bool, error) {
 	svc, err := r.Shard(machine)
 	if err != nil {
-		return Recommendation{}, err
+		return Recommendation{}, false, err
 	}
-	return svc.Recommend(p, obj)
+	return svc.RecommendCtx(ctx, p, obj)
 }
 
 // RoutedQuery is one fleet batch item: a query plus the machine whose model
@@ -191,19 +221,27 @@ type RoutedQuery struct {
 
 // RoutedResult pairs a routed query with its answer. Machine is the
 // RESOLVED shard name — for a query whose empty machine defaulted to a
-// one-shard fleet, it names that shard, not "".
+// one-shard fleet, it names that shard, not "". Stale marks a
+// brownout-degraded answer.
 type RoutedResult struct {
 	RoutedQuery
-	Rec Recommendation
-	Err error
+	Rec   Recommendation
+	Stale bool
+	Err   error
 }
 
 // RecommendBatch answers a mixed-machine query list concurrently, returning
 // results in input order. Shards are resolved once up front (so a
 // mid-batch RemoveShard affects at most later batches, not this one's
 // routing), then items fan across a bounded worker pool; sweeps themselves
-// are additionally bounded by the fleet-wide semaphore.
+// are additionally bounded by the fleet-wide admission queue.
 func (r *Router) RecommendBatch(queries []RoutedQuery) []RoutedResult {
+	return r.RecommendBatchCtx(context.Background(), queries)
+}
+
+// RecommendBatchCtx is RecommendBatch under a caller context: the deadline
+// and cancellation propagate into every entry's admission.
+func (r *Router) RecommendBatchCtx(ctx context.Context, queries []RoutedQuery) []RoutedResult {
 	out := make([]RoutedResult, len(queries))
 	svcs := make([]*Service, len(queries))
 	for i, rq := range queries {
@@ -229,7 +267,7 @@ func (r *Router) RecommendBatch(queries []RoutedQuery) []RoutedResult {
 			defer wg.Done()
 			for i := range jobs {
 				q := out[i].Query
-				out[i].Rec, out[i].Err = svcs[i].Recommend(q.Problem, q.Objective)
+				out[i].Rec, out[i].Stale, out[i].Err = svcs[i].RecommendCtx(ctx, q.Problem, q.Objective)
 			}
 		}()
 	}

@@ -1,11 +1,13 @@
 package guide
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"parcost/internal/admission"
 	"parcost/internal/dataset"
 )
 
@@ -20,10 +22,15 @@ import (
 //     goroutine sweeps, the rest wait for its result (no duplicated work,
 //     no thundering herd on a cold cache).
 //   - RecommendBatch fans a query list across a bounded worker pool.
+//   - Sweeps run behind an admission.Controller: a bounded, deadline-aware
+//     queue in front of the sweep slots, plus optional brownout-mode
+//     shedding. RecommendCtx threads the caller's context down into
+//     admission, so deadlines propagate and a disconnected caller's queued
+//     sweep never starts.
 //
 // Services can stand alone or serve as shards of a Router, in which case the
-// Router supplies one shared sweep semaphore so the whole fleet's CPU-bound
-// sweeps stay bounded together.
+// Router supplies one shared admission controller so the whole fleet's
+// CPU-bound sweeps stay bounded together.
 //
 // The underlying model's Predict must be goroutine-safe; every model family
 // in this library predicts from immutable fitted state with per-call
@@ -37,7 +44,8 @@ type Service struct {
 	maxEntries int
 	maxBytes   int64
 	ttl        time.Duration
-	sweeps     chan struct{} // non-nil when a Router shares its semaphore
+	adm        *admission.Controller // non-nil when a Router shares its controller
+	clock      func() time.Time      // non-nil overrides the cache clock
 }
 
 // DefaultCacheSize bounds the per-problem sweep cache unless overridden.
@@ -91,10 +99,28 @@ func WithTTL(d time.Duration) ServiceOption {
 	}
 }
 
-// withSharedSweeps wires the Router's fleet-wide sweep semaphore into a
-// shard. Unexported: standalone Services size their own semaphore.
-func withSharedSweeps(sem chan struct{}) ServiceOption {
-	return func(s *Service) { s.sweeps = sem }
+// WithClock overrides the cache's TTL clock (tests and deterministic
+// deployments; default time.Now).
+func WithClock(now func() time.Time) ServiceOption {
+	return func(s *Service) { s.clock = now }
+}
+
+// withSharedAdmission wires the Router's fleet-wide admission controller
+// into a shard. Unexported: standalone Services build their own.
+func withSharedAdmission(adm *admission.Controller) ServiceOption {
+	return func(s *Service) { s.adm = adm }
+}
+
+// NewAdmissionController builds an admission controller for the serving
+// tier, defaulting Capacity to the process's usable parallelism when the
+// config leaves it unset. The GOMAXPROCS read lives here — in the audited
+// partitioning package — so command-line frontends can build flag-driven
+// controllers without sizing worker pools themselves.
+func NewAdmissionController(cfg admission.ControllerConfig) *admission.Controller {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = runtime.GOMAXPROCS(0)
+	}
+	return admission.NewController(cfg)
 }
 
 // NewService wraps a fitted Advisor for concurrent serving.
@@ -106,37 +132,67 @@ func NewService(adv *Advisor, opts ...ServiceOption) (*Service, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
-	if s.sweeps == nil {
-		s.sweeps = make(chan struct{}, runtime.GOMAXPROCS(0))
+	if s.adm == nil {
+		s.adm = admission.NewController(admission.ControllerConfig{
+			Capacity: runtime.GOMAXPROCS(0),
+		})
 	}
-	s.cache = newSweepCache(s.maxEntries, s.maxBytes, s.ttl, s.sweeps)
+	s.cache = newSweepCache(s.maxEntries, s.maxBytes, s.ttl, s.adm)
+	if s.clock != nil {
+		s.cache.now = s.clock
+	}
 	return s, nil
 }
 
 // Advisor returns the wrapped advisor (shared, read-only).
 func (s *Service) Advisor() *Advisor { return s.adv }
 
-// Recommend answers one STQ/BQ query, serving repeats from the cache.
+// Admission returns the controller bounding this service's sweeps (the
+// Router's shared controller when the service is a shard).
+func (s *Service) Admission() *admission.Controller { return s.adm }
+
+// Recommend answers one STQ/BQ query, serving repeats from the cache. It is
+// RecommendCtx without a caller deadline; use RecommendCtx on request paths
+// so disconnects and deadlines propagate into admission.
 func (s *Service) Recommend(p dataset.Problem, obj Objective) (Recommendation, error) {
+	rec, _, err := s.RecommendCtx(context.Background(), p, obj)
+	return rec, err
+}
+
+// RecommendCtx answers one STQ/BQ query under the caller's context. The
+// context's deadline participates in admission (a sweep that cannot finish
+// in time is refused up front with a *admission.ShedError) and its
+// cancellation unlinks a queued request without sweeping. stale reports a
+// brownout-mode degraded answer: a resident-but-expired cache entry served
+// in place of the sweep the server is currently refusing.
+func (s *Service) RecommendCtx(ctx context.Context, p dataset.Problem, obj Objective) (rec Recommendation, stale bool, err error) {
 	q := Query{Problem: p, Objective: obj}
-	return s.cache.do(q, func() (Recommendation, error) {
+	return s.cache.do(ctx, q, func() (Recommendation, error) {
 		return s.adv.Recommend(p, obj, s.oracle)
 	})
 }
 
-// BatchResult pairs one batch query's answer with its error.
+// BatchResult pairs one batch query's answer with its error. Stale marks a
+// brownout-degraded answer (see RecommendCtx).
 type BatchResult struct {
 	Query Query
 	Rec   Recommendation
+	Stale bool
 	Err   error
 }
 
 // RecommendBatch answers a list of queries concurrently, returning results
 // in input order. Worker goroutines are cheap waiters; the underlying grid
-// sweeps are bounded by the sweep semaphore shared with Recommend (and, for
-// Router shards, with every other shard of the fleet), so concurrent batch
-// calls cannot multiply CPU-bound sweeps past it.
+// sweeps are bounded by the admission controller shared with Recommend
+// (and, for Router shards, with every other shard of the fleet), so
+// concurrent batch calls cannot multiply CPU-bound sweeps past it.
 func (s *Service) RecommendBatch(queries []Query) []BatchResult {
+	return s.RecommendBatchCtx(context.Background(), queries)
+}
+
+// RecommendBatchCtx is RecommendBatch under a caller context: the deadline
+// and cancellation propagate into every entry's admission.
+func (s *Service) RecommendBatchCtx(ctx context.Context, queries []Query) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(queries) {
@@ -153,8 +209,8 @@ func (s *Service) RecommendBatch(queries []Query) []BatchResult {
 			defer wg.Done()
 			for i := range jobs {
 				q := queries[i]
-				rec, err := s.Recommend(q.Problem, q.Objective)
-				out[i] = BatchResult{Query: q, Rec: rec, Err: err}
+				rec, stale, err := s.RecommendCtx(ctx, q.Problem, q.Objective)
+				out[i] = BatchResult{Query: q, Rec: rec, Stale: stale, Err: err}
 			}
 		}()
 	}
@@ -172,9 +228,9 @@ func (s *Service) PredictTime(c dataset.Config) float64 {
 }
 
 // Stats is a point-in-time snapshot of a cache's behavior and sweep latency:
-// how often queries hit the cache, what is resident, and how long the grid
-// sweeps behind the misses took (wall time of the sweep itself, excluding
-// semaphore queueing).
+// how often queries hit the cache, what is resident, how misses were shed
+// under overload, and how long the grid sweeps behind the misses took (wall
+// time of the sweep itself, excluding admission queueing).
 //
 // Zero-sweep contract: SweepMin/SweepMean/SweepMax are all zero until the
 // first sweep completes (SweepCount == 0 means "no data", NOT "sweeps take
@@ -187,6 +243,16 @@ type Stats struct {
 	Expired uint64 // TTL-expired entries dropped and re-swept (subset of Misses' causes)
 	Size    int    // resident cache entries
 	Bytes   int64  // approximate resident bytes (Size × entryBytes)
+
+	// Overload accounting. CanceledQueued counts callers that disconnected
+	// while queued for a sweep slot — distinct from Expired (TTL aging) and
+	// from eviction, and no sweep ever ran on their behalf. StaleServed
+	// counts brownout-mode degraded answers from expired entries.
+	ShedQueueFull  uint64
+	ShedDeadline   uint64
+	ShedBrownout   uint64
+	CanceledQueued uint64
+	StaleServed    uint64
 
 	SweepCount uint64 // completed grid sweeps (including ones that errored)
 	SweepMin   time.Duration
@@ -202,7 +268,12 @@ func (a Stats) merge(b Stats) Stats {
 	out := Stats{
 		Hits: a.Hits + b.Hits, Misses: a.Misses + b.Misses, Expired: a.Expired + b.Expired,
 		Size: a.Size + b.Size, Bytes: a.Bytes + b.Bytes,
-		SweepCount: a.SweepCount + b.SweepCount,
+		ShedQueueFull:  a.ShedQueueFull + b.ShedQueueFull,
+		ShedDeadline:   a.ShedDeadline + b.ShedDeadline,
+		ShedBrownout:   a.ShedBrownout + b.ShedBrownout,
+		CanceledQueued: a.CanceledQueued + b.CanceledQueued,
+		StaleServed:    a.StaleServed + b.StaleServed,
+		SweepCount:     a.SweepCount + b.SweepCount,
 	}
 	switch {
 	case a.SweepCount == 0:
@@ -220,8 +291,8 @@ func (a Stats) merge(b Stats) Stats {
 	return out
 }
 
-// CacheStats reports cache hits, misses, TTL expiries, resident entries and
-// bytes, and per-sweep wall-time min/mean/max.
+// CacheStats reports cache hits, misses, TTL expiries, shed and stale-serve
+// counts, resident entries and bytes, and per-sweep wall-time min/mean/max.
 func (s *Service) CacheStats() Stats {
 	return s.cache.stats()
 }

@@ -3,7 +3,9 @@ package retrain
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
+	"strconv"
 	"sync"
 
 	"parcost/internal/guide"
@@ -57,6 +59,51 @@ func (f *Fleet) Observe(o guide.Observation) error {
 		return fmt.Errorf("retrain: no controller for machine %q", o.Machine)
 	}
 	return c.Observe(o)
+}
+
+// MetricsByMachine snapshots every controller's lifetime retraining
+// counters, keyed by machine.
+func (f *Fleet) MetricsByMachine() map[string]Metrics {
+	f.mu.RLock()
+	cs := make(map[string]*Controller, len(f.controllers))
+	for m, c := range f.controllers {
+		cs[m] = c
+	}
+	f.mu.RUnlock()
+	out := make(map[string]Metrics, len(cs))
+	for m, c := range cs {
+		out[m] = c.ControllerMetrics() // map build: insertion order is irrelevant
+	}
+	return out
+}
+
+// WritePrometheus emits the per-machine retraining counters in Prometheus
+// text format. The serve-side /metrics endpoint detects this method on its
+// observer, so mounting a Fleet as the observer publishes retraining
+// activity on the same scrape as the serving metrics. Machines are emitted
+// in sorted order so scrapes are byte-stable.
+func (f *Fleet) WritePrometheus(w io.Writer) {
+	metrics := f.MetricsByMachine()
+	machines := make([]string, 0, len(metrics))
+	for m := range metrics {
+		machines = append(machines, m)
+	}
+	sort.Strings(machines)
+	families := []struct {
+		name, help string
+		value      func(Metrics) uint64
+	}{
+		{"parcost_retrain_cycles_total", "Retraining cycles tripped by sustained drift.", func(m Metrics) uint64 { return m.Cycles }},
+		{"parcost_retrain_promotions_total", "Candidate advisors promoted into the serving router.", func(m Metrics) uint64 { return m.Promotions }},
+		{"parcost_retrain_rollbacks_total", "Promotions rolled back by the post-swap watch window.", func(m Metrics) uint64 { return m.Rollbacks }},
+		{"parcost_retrain_gate_failures_total", "Validation-gate evaluations that rejected a candidate.", func(m Metrics) uint64 { return m.GateFailures }},
+	}
+	for _, fam := range families {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", fam.name, fam.help, fam.name)
+		for _, m := range machines {
+			fmt.Fprintf(w, "%s{machine=%s} %d\n", fam.name, strconv.Quote(m), fam.value(metrics[m]))
+		}
+	}
 }
 
 // Run drives every controller until ctx is done.

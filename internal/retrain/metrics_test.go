@@ -1,0 +1,132 @@
+package retrain
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestControllerMetricsLifecycle walks one controller through every counted
+// transition — a gate-failed cycle, a promoted cycle, and a watched rollback
+// — checking the counters at each step, then reopens the journal and checks
+// replay rebuilds the same counters.
+func TestControllerMetricsLifecycle(t *testing.T) {
+	m := newScriptedMeasurer()
+	cfg, _ := testController(t, t.TempDir(), m)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	assert := func(step string, want Metrics) {
+		t.Helper()
+		if got := c.ControllerMetrics(); got != want {
+			t.Fatalf("%s: metrics = %+v, want %+v", step, got, want)
+		}
+	}
+	assert("fresh controller", Metrics{})
+
+	// Cycle 1: five drifted observations trip the cycle but leave only one
+	// held-out row (< MinValidation=2), so the gate rejects the candidate.
+	observeN(t, c, 5, 200)
+	if err := c.Advance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Incumbent() != "base" {
+		t.Fatal("cycle with insufficient validation data promoted anyway")
+	}
+	assert("after gate-failed cycle", Metrics{Cycles: 1, GateFailures: 1})
+
+	// Cycle 2: enough further drift to re-trip with validation stocked — the
+	// candidate promotes.
+	observeN(t, c, 8, 200)
+	if err := c.Advance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Incumbent() == "base" {
+		t.Fatal("stocked cycle did not promote")
+	}
+	assert("after promotion", Metrics{Cycles: 2, Promotions: 1, GateFailures: 1})
+
+	// The post-promotion watch window sees a gross regression and rolls the
+	// promotion back.
+	observeN(t, c, cfg.RollbackWindow, 1000)
+	if err := c.Advance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Incumbent() != "base" {
+		t.Fatal("watched regression did not roll back")
+	}
+	assert("after rollback", Metrics{Cycles: 2, Promotions: 1, Rollbacks: 1, GateFailures: 1})
+
+	// Crash-resume: a reopened controller rebuilds the counters from the
+	// journal alone.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assert("after journal resume", Metrics{Cycles: 2, Promotions: 1, Rollbacks: 1, GateFailures: 1})
+}
+
+// TestFleetWritePrometheus pins the scrape format the serve-side /metrics
+// endpoint relays: one labeled counter line per machine per family, machines
+// sorted.
+func TestFleetWritePrometheus(t *testing.T) {
+	m := newScriptedMeasurer()
+	cfg, _ := testController(t, t.TempDir(), m)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tripCycle(t, c, 200)
+	if err := c.Advance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	f := NewFleet()
+	f.Add("aurora", c)
+	byMachine := f.MetricsByMachine()
+	if len(byMachine) != 1 || byMachine["aurora"].Cycles != 1 || byMachine["aurora"].Promotions != 1 {
+		t.Fatalf("MetricsByMachine() = %+v", byMachine)
+	}
+
+	var sb strings.Builder
+	f.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE parcost_retrain_cycles_total counter\n",
+		"parcost_retrain_cycles_total{machine=\"aurora\"} 1\n",
+		"parcost_retrain_promotions_total{machine=\"aurora\"} 1\n",
+		"parcost_retrain_rollbacks_total{machine=\"aurora\"} 0\n",
+		"parcost_retrain_gate_failures_total{machine=\"aurora\"} 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+
+	// Machines emit in sorted order so scrapes are byte-stable.
+	cfgB := cfg
+	cfgB.Machine = "borealis"
+	cfgB.JournalPath = cfg.JournalPath + ".b"
+	b, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	f.Add("borealis", b)
+	sb.Reset()
+	f.WritePrometheus(&sb)
+	out = sb.String()
+	a := strings.Index(out, fmt.Sprintf("parcost_retrain_cycles_total{machine=%q}", "aurora"))
+	bo := strings.Index(out, fmt.Sprintf("parcost_retrain_cycles_total{machine=%q}", "borealis"))
+	if a < 0 || bo < 0 || a > bo {
+		t.Fatalf("machines not emitted in sorted order (aurora@%d, borealis@%d):\n%s", a, bo, out)
+	}
+}

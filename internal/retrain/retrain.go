@@ -211,6 +211,13 @@ type Controller struct {
 	rollbackDue    bool
 	rollbackReason string
 
+	// Lifetime counters for /metrics. They count journal records, so replay
+	// rebuilds them and they survive restarts along with the rest of the
+	// state: cycles tripped, candidates promoted, promotions rolled back,
+	// and validation gates failed (a cycle interrupted mid-gate re-runs the
+	// gate on resume, so gateFails counts evaluations, not cycles).
+	metrics Metrics
+
 	kick   chan struct{}
 	closed bool
 
@@ -280,6 +287,7 @@ func (c *Controller) replay(records []journalRecord) error {
 			c.pending = nil
 			c.promotedInCycle = false
 			c.drift.reset()
+			c.metrics.Cycles++
 		case recAcquire:
 			var p acquirePayload
 			if err := decodePayload(rec, &p); err != nil {
@@ -299,10 +307,20 @@ func (c *Controller) replay(records []journalRecord) error {
 				return err
 			}
 			c.applyMeasureFailedLocked(p.Config, p.Attempts)
-		case recFitted, recGate:
-			// Informational: an interrupted fit/gate is re-run on resume
+		case recFitted:
+			// Informational: an interrupted fit is re-run on resume
 			// (FitFunc is deterministic) — only promotion is a point of
 			// no return.
+		case recGate:
+			// Informational for state (a re-run gate re-journals), but the
+			// failure counter is rebuilt from it.
+			var p gatePayload
+			if err := decodePayload(rec, &p); err != nil {
+				return err
+			}
+			if !p.Pass {
+				c.metrics.GateFailures++
+			}
 		case recPromoted:
 			var p promotedPayload
 			if err := decodePayload(rec, &p); err != nil {
@@ -310,8 +328,10 @@ func (c *Controller) replay(records []journalRecord) error {
 			}
 			c.lineage = append(c.lineage, lineageEntry{candidate: p.Candidate, path: p.Path, cycle: p.Cycle})
 			c.promotedInCycle = true
+			c.metrics.Promotions++
 			c.startWatchLocked(time.Duration(p.PreSweepMs*float64(time.Millisecond)), p.PreSweepCnt)
 		case recRolledBack:
+			c.metrics.Rollbacks++
 			if n := len(c.lineage); n > 0 {
 				c.lineage = c.lineage[:n-1]
 			}
@@ -417,6 +437,7 @@ func (c *Controller) Observe(o guide.Observation) error {
 		c.pending = nil
 		c.promotedInCycle = false
 		c.drift.reset()
+		c.metrics.Cycles++
 	}
 	if c.workPending() {
 		c.kickLocked()
@@ -589,6 +610,7 @@ func (c *Controller) rollbackLocked() error {
 	if err := c.j.append(recRolledBack, c.now(), rolledBackPayload{Cycle: top.cycle, Reason: c.rollbackReason}); err != nil {
 		return err
 	}
+	c.metrics.Rollbacks++
 	c.lineage = c.lineage[:len(c.lineage)-1]
 	target := c.previous
 	if target == nil {
@@ -787,6 +809,9 @@ func (c *Controller) fitGatePromote(ctx context.Context) error {
 		c.mu.Unlock()
 		return err
 	}
+	if !gate.Pass {
+		c.metrics.GateFailures++
+	}
 	c.mu.Unlock()
 	if !gate.Pass {
 		return c.finishCycle(outcomeDiscarded)
@@ -813,6 +838,7 @@ func (c *Controller) fitGatePromote(ctx context.Context) error {
 		return err
 	}
 	c.lineage = append(c.lineage, lineageEntry{candidate: candID, path: path, cycle: cycle})
+	c.metrics.Promotions++
 	c.previous = c.incumbent
 	c.incumbent = candidate
 	c.promotedInCycle = true
@@ -837,6 +863,22 @@ func (c *Controller) closeCycleLocked(outcome string) error {
 	c.degradedNext = c.cycleFails > c.cfg.FailureBudget
 	c.cycleFails = 0
 	return nil
+}
+
+// Metrics is one controller's lifetime retraining counters, rebuilt from
+// the journal on resume so they survive crashes with the rest of the state.
+type Metrics struct {
+	Cycles       uint64 `json:"cycles"`        // retraining cycles tripped by drift
+	Promotions   uint64 `json:"promotions"`    // candidates promoted into the Router
+	Rollbacks    uint64 `json:"rollbacks"`     // promotions demoted by the watch window
+	GateFailures uint64 `json:"gate_failures"` // validation-gate evaluations that failed
+}
+
+// ControllerMetrics snapshots the controller's lifetime counters.
+func (c *Controller) ControllerMetrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metrics
 }
 
 // Incumbent returns the lineage id of the currently serving advisor
