@@ -288,6 +288,61 @@ func BenchmarkAblation_SplitterEngine(b *testing.B) {
 	}
 }
 
+// --- Ablation: histogram tree engine, serial vs parallel axes ---
+//
+// One wide histogram-tree fit per parallel execution mode at forced worker
+// counts, isolating each axis of the within-fit fan-out: feature-parallel
+// accumulation/split scans, wide-node row sharding, and the auto policy
+// (sized by mat.Workers()). Every mode computes the identical tree — the
+// parallel paths are pure schedules of the same arithmetic — so the ratios
+// here measure scheduling alone. On a single-core host the forced modes
+// measure dispatch overhead (which must be negligible) and auto collapses
+// to serial; on multicore hosts they show each axis's contribution.
+func BenchmarkAblation_HistTree(b *testing.B) {
+	const (
+		rows  = 12288 // 3× the engine's 4096-row shard: wide-node sharding live
+		feats = 10    // ≥ the split-scan fan-out floor
+	)
+	r := rng.New(9)
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	for i := range x {
+		row := make([]float64, feats)
+		for j := range row {
+			row[j] = r.Uniform(-5, 5)
+		}
+		x[i] = row
+		y[i] = row[0]*row[1] + 2*row[2] + 0.3*r.Normal()
+	}
+	bm := tree.NewBinnedMatrix(x, 0)
+	rowIdx := make([]int, rows)
+	params := tree.Params{MaxDepth: 8, Splitter: tree.SplitterHist}
+	for _, m := range []struct {
+		name string
+		par  *tree.Parallel
+	}{
+		{"serial", nil},
+		{"feature-w4", tree.NewParallelAxes(4, true, false)},
+		{"row-w4", tree.NewParallelAxes(4, false, true)},
+		{"auto", tree.AutoParallel()},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			tr := tree.New(params, nil)
+			tr.ShareHistPool(tree.NewHistPool())
+			tr.SetParallel(m.par)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range rowIdx {
+					rowIdx[j] = j
+				}
+				if err := tr.FitBinned(bm, y, rowIdx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablation: kernel suite, shared distance plane vs scalar grams ---
 //
 // The kernel models historically rebuilt an n×n gram via scalar Kernel.Eval

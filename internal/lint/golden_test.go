@@ -48,6 +48,7 @@ func TestAnalyzersGolden(t *testing.T) {
 		{SyncErr, "example.com/app", "testdata/syncerr/blessed"},
 		{GomaxprocsDep, "example.com/worker", "testdata/gomaxprocsdep/flagged"},
 		{GomaxprocsDep, "parcost/internal/mat", "testdata/gomaxprocsdep/blessed"},
+		{GomaxprocsDep, "example.com/internal/ml/tree", "testdata/gomaxprocsdep/treesizing"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name+"/"+filepath.Base(tc.dir), func(t *testing.T) {

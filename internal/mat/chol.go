@@ -46,8 +46,39 @@ func useBlocked(n int) bool {
 	return n >= cholBlockedMin && runtime.GOMAXPROCS(0) > 1
 }
 
-// cholPanel is the blocked factorization's panel width.
+// cholPanel is the blocked factorization's base panel width.
 const cholPanel = 48
+
+// cholPanelWidth returns the blocked factorization's panel width for an n×n
+// factor at the given worker count, from BenchmarkCholPanelWidth sweeps:
+// narrow panels keep the parallel trailing update fed when the trailing
+// block is small, wide panels amortize the panel factorization and cut the
+// number of parallel barriers once the trailing block dominates, and wide
+// machines shift the break-even toward wider panels. Factors are
+// bit-identical at ANY width — the trailing update subtracts inner-product
+// terms in ascending column order one multiply-subtract at a time, so panel
+// boundaries are invisible to the arithmetic — making this table purely a
+// throughput choice, free to key on the worker count.
+func cholPanelWidth(n, workers int) int {
+	var p int
+	switch {
+	case n < 2*cholBlockedMin:
+		p = 32
+	case n < 768:
+		p = cholPanel
+	case n < 1536:
+		p = 64
+	default:
+		p = 96
+	}
+	if workers >= 8 && n >= 768 && p < 96 {
+		p = 96
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
 
 // NewCholesky factorizes the SPD matrix a, choosing the blocked parallel
 // path for large matrices and the scalar reference path otherwise (both
@@ -65,15 +96,33 @@ func NewCholeskyScalar(a *Dense) (*Cholesky, error) {
 }
 
 // NewCholeskyBlocked factorizes with the blocked parallel path regardless of
-// size.
+// size, at the tuned panel width.
 func NewCholeskyBlocked(a *Dense) (*Cholesky, error) {
 	return newCholesky(a, true, nil)
 }
 
+// NewCholeskyBlockedWidth factorizes with the blocked path at a forced panel
+// width (values below 1 are treated as 1). The factor is bit-identical at
+// every width; the width-parity test and the panel-width benchmark sweep
+// widths through this entry point.
+func NewCholeskyBlockedWidth(a *Dense, panel int) (*Cholesky, error) {
+	if panel < 1 {
+		panel = 1
+	}
+	return newCholeskyPanel(a, true, nil, panel)
+}
+
 // newCholesky copies a into an n×n scratch (reusing scratch when it is
 // non-nil and correctly sized), factors it in place, and packs the lower
-// triangle into the resident factor.
+// triangle into the resident factor. Blocked factorizations use the tuned
+// panel-width table.
 func newCholesky(a *Dense, blocked bool, scratch []float64) (*Cholesky, error) {
+	return newCholeskyPanel(a, blocked, scratch, 0)
+}
+
+// newCholeskyPanel is newCholesky with an explicit blocked panel width
+// (0 = pick from the tuned table).
+func newCholeskyPanel(a *Dense, blocked bool, scratch []float64, panel int) (*Cholesky, error) {
 	if a.RowsN != a.ColsN {
 		return nil, fmt.Errorf("mat: Cholesky of non-square %dx%d matrix", a.RowsN, a.ColsN)
 	}
@@ -85,7 +134,10 @@ func newCholesky(a *Dense, blocked bool, scratch []float64) (*Cholesky, error) {
 	copy(w, a.Data)
 	var err error
 	if blocked {
-		err = cholFactorBlocked(w, n)
+		if panel <= 0 {
+			panel = cholPanelWidth(n, Workers())
+		}
+		err = cholFactorBlocked(w, n, panel)
 	} else {
 		err = cholFactorPanel(w, n, 0, n)
 	}
@@ -134,13 +186,13 @@ func cholFactorPanel(w []float64, n, k0, k1 int) error {
 // trailing update that subtracts the panel's outer product from the
 // remaining lower triangle. Per matrix entry the subtraction order is
 // identical to the scalar loop's, so the result is bit-identical to
-// cholFactorPanel(w, n, 0, n) at any worker count.
-func cholFactorBlocked(w []float64, n int) error {
+// cholFactorPanel(w, n, 0, n) at any panel width and any worker count.
+func cholFactorBlocked(w []float64, n, panel int) error {
 	// bt holds the transposed panel: bt[p][j] = w[(k1+j)*n + k0+p], so the
 	// trailing update streams both operands contiguously.
-	bt := make([]float64, cholPanel*n)
-	for k0 := 0; k0 < n; k0 += cholPanel {
-		k1 := k0 + cholPanel
+	bt := make([]float64, panel*n)
+	for k0 := 0; k0 < n; k0 += panel {
+		k1 := k0 + panel
 		if k1 > n {
 			k1 = n
 		}

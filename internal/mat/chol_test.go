@@ -1,6 +1,7 @@
 package mat
 
 import (
+	"fmt"
 	"runtime"
 	"strings"
 	"testing"
@@ -35,6 +36,57 @@ func TestCholeskyBlockedBitIdentical(t *testing.T) {
 						n, procs, i, got.l[i], want.l[i])
 				}
 			}
+		}
+	}
+}
+
+// TestCholeskyPanelWidthBitIdentical asserts the panel width is invisible to
+// the arithmetic: every width — ragged, tiny, exact-divisor, wider than n —
+// must reproduce the scalar factor bit for bit at every GOMAXPROCS from 1 to
+// 8. This is what licenses cholPanelWidth to key on the worker count: the
+// table tunes only the schedule, never the result.
+func TestCholeskyPanelWidthBitIdentical(t *testing.T) {
+	r := rng.New(15)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, n := range []int{cholPanel + 1, 200, 360} {
+		a := randSPD(r, n)
+		want, err := NewCholeskyScalar(a)
+		if err != nil {
+			t.Fatalf("n=%d scalar: %v", n, err)
+		}
+		for _, panel := range []int{1, 5, 32, cholPanel, 64, 96, n, n + 7} {
+			for procs := 1; procs <= 8; procs++ {
+				runtime.GOMAXPROCS(procs)
+				got, err := NewCholeskyBlockedWidth(a, panel)
+				if err != nil {
+					t.Fatalf("n=%d panel=%d procs=%d: %v", n, panel, procs, err)
+				}
+				for i := range want.l {
+					if got.l[i] != want.l[i] {
+						t.Fatalf("n=%d panel=%d procs=%d: factor differs from scalar at packed index %d",
+							n, panel, procs, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCholPanelWidthTable pins the tuned table's shape: widths are positive,
+// never exceed n, and auto dispatch on one worker is unaffected (useBlocked
+// keeps single-CPU processes on the scalar loop regardless of the table).
+func TestCholPanelWidthTable(t *testing.T) {
+	for _, n := range []int{cholBlockedMin, 200, 500, 768, 1000, 1536, 4000} {
+		for _, w := range []int{1, 2, 4, 8, 16} {
+			p := cholPanelWidth(n, w)
+			if p < 1 || p > n {
+				t.Fatalf("cholPanelWidth(%d, %d) = %d out of range", n, w, p)
+			}
+		}
+		// More workers must never shrink the panel below the 1-worker pick:
+		// the table widens toward fewer barriers as machines widen.
+		if cholPanelWidth(n, 8) < cholPanelWidth(n, 1) {
+			t.Fatalf("n=%d: panel narrows as workers grow", n)
 		}
 	}
 }
@@ -165,6 +217,24 @@ func BenchmarkCholeskyBlocked200(b *testing.B) {
 		if _, err := NewCholeskyBlocked(a); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCholPanelWidth sweeps forced panel widths over a mid-size factor;
+// its trajectory on multicore hosts is the data behind cholPanelWidth's
+// table (any width is bit-identical, so the table is free to chase the
+// fastest schedule per machine shape).
+func BenchmarkCholPanelWidth(b *testing.B) {
+	r := rng.New(3)
+	a := randSPD(r, 360)
+	for _, panel := range []int{32, 48, 64, 96} {
+		b.Run(fmt.Sprintf("panel%d", panel), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := NewCholeskyBlockedWidth(a, panel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

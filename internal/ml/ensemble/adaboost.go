@@ -23,6 +23,23 @@ type AdaBoost struct {
 	trees  []*tree.Tree
 	betas  []float64 // per-learner vote weights (log(1/beta))
 	fitted bool
+
+	// fitWorkers bounds the within-round fan-out (0 = auto via
+	// mat.Workers()). AdaBoost rounds are inherently sequential — each
+	// round's weights depend on the last — so the width goes into each
+	// round: within-fit tree parallelism and the full-matrix prediction
+	// gather. Bit-identical at any width.
+	fitWorkers int
+}
+
+// SetFitWorkers bounds the within-round fan-out of subsequent Fit calls
+// (0 = auto, 1 = serial). Implements ml.FitWorkerSetter; results are
+// bit-identical at any width.
+func (a *AdaBoost) SetFitWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	a.fitWorkers = n
 }
 
 // LossKind selects AdaBoost.R2's error transform.
@@ -68,37 +85,47 @@ func (a *AdaBoost) Fit(x [][]float64, y []float64) error {
 
 	params := a.Params
 	params.Splitter = resolveSplitter(params, N)
+	workers := resolveFitWorkers(a.fitWorkers)
 	var bm *tree.BinnedMatrix
 	var pool *tree.HistPool
+	var par *tree.Parallel
 	if params.Splitter == tree.SplitterHist {
 		// Bin the training matrix once; every boosting round fits and
-		// evaluates against it, drawing scratch from one shared pool.
+		// evaluates against it, drawing scratch from one shared pool (the
+		// sequential rounds keep HistPool's single-owner contract).
 		bm = tree.NewBinnedMatrix(x, params.MaxBins)
 		pool = tree.NewHistPool()
+		if workers > 1 {
+			par = tree.NewParallel(workers)
+		}
 	}
+	predBuf := make([]float64, N)
 
 	for m := 0; m < a.NumTrees; m++ {
 		// Sample a training set according to the current weights (the
 		// resampling form of AdaBoost.R2), then fit a tree.
 		idx := weightedSample(weights, N, r)
 		tr := tree.New(params, r.Split())
-		var pred []float64
 		if bm != nil {
 			tr.ShareHistPool(pool)
+			tr.SetParallel(par)
 			if err := tr.FitBinned(bm, y, idx); err != nil {
 				return fmt.Errorf("ensemble: adaboost tree %d: %w", m, err)
 			}
-			// Rows outside the resample must route exactly as Predict will
-			// route them later, so the vote weights describe the model that
-			// actually serves predictions.
-			pred = tr.Predict(x)
 		} else {
 			sx, sy := ml.Subset(x, y, idx)
 			if err := tr.Fit(sx, sy); err != nil {
 				return fmt.Errorf("ensemble: adaboost tree %d: %w", m, err)
 			}
-			pred = tr.Predict(x)
 		}
+		// Rows outside the resample must route exactly as Predict will
+		// route them later, so the vote weights describe the model that
+		// actually serves predictions. Independent row traversals: the
+		// gather parallelizes freely.
+		pred := predBuf
+		parRange(workers, N, func(lo, hi int) {
+			tr.PredictInto(x[lo:hi], pred[lo:hi])
+		})
 
 		// Per-sample loss, normalized by the max absolute error.
 		maxErr := 0.0

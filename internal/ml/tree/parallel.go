@@ -1,0 +1,205 @@
+package tree
+
+// Within-fit parallel execution of histogram tree growth.
+//
+// The histogram engine parallelizes along two axes, both bit-identical to a
+// serial run by construction (see the package doc's "Parallel discipline"):
+//
+//   - feature-parallel: a node's histogram accumulation and best-split scan
+//     partition the feature list across workers. Every feature's histogram
+//     region and occupancy list is written by exactly one goroutine from the
+//     same row order the serial loop uses, and the cross-feature argmax
+//     reduction runs single-threaded in fixed feature order — so the fan-out
+//     is pure scheduling, incapable of changing a single bit.
+//   - row-parallel: nodes wide enough to cross rowShardCount's threshold
+//     accumulate per-shard private histograms over contiguous row blocks and
+//     reduce the partials in fixed shard order. The shard geometry is a
+//     function of the node's row count ONLY — never of the worker count or
+//     GOMAXPROCS — so the sharded sum is the engine's canonical arithmetic
+//     for wide nodes: a single-core run computes the same shards serially
+//     and lands on the identical floats (the same discipline as
+//     mat.Cholesky's blocked mode, where the parallel path is a faster
+//     schedule of fixed arithmetic).
+//
+// Dispatch is decided before any goroutine starts: a Parallel policy is
+// constructed once per fit (ensembles build one and share it across member
+// trees), sized through mat.Workers() — the repo's one audited GOMAXPROCS
+// choke point (the gomaxprocsdep analyzer forbids direct runtime reads
+// here). With one worker every helper runs inline on the calling goroutine,
+// so the single-core container never pays goroutine overhead.
+
+import (
+	"sync"
+
+	"parcost/internal/mat"
+)
+
+// Parallel is an immutable within-fit execution policy for the histogram
+// engine: how many workers a fit may use and which parallel axes are
+// admitted. A nil *Parallel (the default) means strictly serial execution.
+// Policies are safe to share across sequential fits (gradient-boosting
+// rounds, AdaBoost rounds) and across goroutines — they hold no mutable
+// state; all scratch lives in the per-fit builder.
+type Parallel struct {
+	workers int
+	feature bool
+	row     bool
+}
+
+// AutoParallel returns the fit policy for the current process: both axes
+// admitted, sized by mat.Workers(). On a single-CPU process the returned
+// policy is serial (one worker), so auto dispatch never spawns goroutines
+// there.
+func AutoParallel() *Parallel { return NewParallel(mat.Workers()) }
+
+// NewParallel returns a policy with both parallel axes admitted at the given
+// worker count (values below 1 are treated as 1, i.e. serial).
+func NewParallel(workers int) *Parallel { return NewParallelAxes(workers, true, true) }
+
+// NewParallelAxes returns a policy admitting only the selected axes — the
+// forced modes the ablation benchmark and bit-identity tests drive.
+func NewParallelAxes(workers int, feature, row bool) *Parallel {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Parallel{workers: workers, feature: feature, row: row}
+}
+
+// Workers reports the policy's worker bound (1 for nil).
+func (p *Parallel) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// minFeatureParWork is the rows×features product below which fanning a
+// node's accumulation out per feature cannot recoup goroutine overhead.
+const minFeatureParWork = 1 << 14
+
+// minFeatureParFeats is the fewest candidate features for which the
+// best-split scan fans out; its cost is O(features×bins), independent of the
+// node's row count, so narrow feature sets always scan inline.
+const minFeatureParFeats = 8
+
+// featureFanout reports whether a node's histogram accumulation over nf
+// features and nr rows should run feature-parallel. Execution-only: both
+// answers produce bit-identical histograms.
+func (p *Parallel) featureFanout(nf, nr int) bool {
+	return p != nil && p.feature && p.workers > 1 && nf > 1 && nf*nr >= minFeatureParWork
+}
+
+// splitFanout reports whether a best-split scan over nf features should run
+// feature-parallel. Execution-only, like featureFanout.
+func (p *Parallel) splitFanout(nf int) bool {
+	return p != nil && p.feature && p.workers > 1 && nf >= minFeatureParFeats
+}
+
+// rowFanout reports whether sharded accumulation may run its shards on
+// goroutines. Execution-only: the shard geometry (and so the arithmetic) is
+// fixed by rowShardCount regardless.
+func (p *Parallel) rowFanout() bool {
+	return p != nil && p.row && p.workers > 1
+}
+
+// runChunks partitions [0, n) into min(Workers, n) contiguous chunks and
+// runs fn on each, reusing the calling goroutine for the first chunk. Chunk
+// boundaries depend only on n and the policy's worker count, and every index
+// belongs to exactly one chunk, so any writes fn makes to index-owned state
+// are race-free without locks. fn must not touch state owned by other
+// chunks. With one worker (or a nil policy) fn runs inline over the whole
+// range.
+func (p *Parallel) runChunks(n int, fn func(lo, hi int)) {
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w < 2 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for g := 1; g < w; g++ {
+		lo, hi := g*n/w, (g+1)*n/w
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	fn(0, n/w)
+	wg.Wait()
+}
+
+// Row-shard geometry for wide-node accumulation. Both constants are part of
+// the engine's arithmetic contract: changing them changes which nodes use
+// the sharded sum and therefore the low bits of fitted trees (like changing
+// the binning). They must never depend on worker count or GOMAXPROCS.
+const (
+	// rowShardSize is the contiguous row-block length of one shard; sharded
+	// accumulation engages once a node holds at least two full shards.
+	rowShardSize = 4096
+	// maxRowShards caps the shard count (and so the private-histogram
+	// scratch) for very wide nodes.
+	maxRowShards = 16
+)
+
+// rowShardCount returns the canonical shard count for a node over n rows: 1
+// (plain row-order accumulation) below 2×rowShardSize, then one shard per
+// rowShardSize rows up to maxRowShards. A pure function of n, so the
+// engine's arithmetic is independent of how it is scheduled.
+func rowShardCount(n int) int {
+	s := n / rowShardSize
+	if s < 2 {
+		return 1
+	}
+	if s > maxRowShards {
+		s = maxRowShards
+	}
+	return s
+}
+
+// ShardedHistPool is a fixed family of independently-owned HistPools for
+// concurrent fitters: worker i draws exclusively from Shard(i), so the
+// unsynchronized single-goroutine ownership contract of HistPool (see its
+// doc) holds per shard by construction, with deterministic ownership — the
+// shard a tree's buffers come from depends on the worker index, never on
+// which goroutine got scheduled first. The random-forest fit pool keeps one
+// across fits so member-tree buffer allocations disappear entirely in
+// steady state.
+type ShardedHistPool struct {
+	shards []*HistPool
+}
+
+// NewShardedHistPool returns a pool family with n independent shards
+// (minimum 1).
+func NewShardedHistPool(n int) *ShardedHistPool {
+	if n < 1 {
+		n = 1
+	}
+	s := make([]*HistPool, n)
+	for i := range s {
+		s[i] = NewHistPool()
+	}
+	return &ShardedHistPool{shards: s}
+}
+
+// Shards reports the number of independent shards.
+func (s *ShardedHistPool) Shards() int { return len(s.shards) }
+
+// Shard returns shard i's pool. Indices wrap modulo Shards as a convenience
+// for SEQUENTIAL loops; goroutines that run concurrently must hold distinct
+// indices below Shards — the single-owner contract (see HistPool) is per
+// shard, and wrapped indices alias. Callers that fan out size the pool with
+// NewShardedHistPool(workers) first.
+func (s *ShardedHistPool) Shard(i int) *HistPool {
+	if i < 0 {
+		i = -i
+	}
+	return s.shards[i%len(s.shards)]
+}

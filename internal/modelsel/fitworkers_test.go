@@ -1,0 +1,89 @@
+package modelsel
+
+import (
+	"sync"
+	"testing"
+
+	"parcost/internal/ml"
+	"parcost/internal/rng"
+)
+
+// workerProbe is a trivial regressor that records every SetFitWorkers value
+// the engine hands it, so the oversubscription plumbing is pinned directly:
+// a parallel CV pool must clamp nested fits to one worker, a serial engine
+// must leave them on auto.
+type workerProbe struct {
+	mean float64
+
+	mu   *sync.Mutex
+	seen *[]int
+}
+
+func (p *workerProbe) Fit(x [][]float64, y []float64) error {
+	var s float64
+	for _, v := range y {
+		s += v
+	}
+	p.mean = s / float64(len(y))
+	return nil
+}
+
+func (p *workerProbe) Predict(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = p.mean
+	}
+	return out
+}
+
+func (p *workerProbe) Name() string { return "worker-probe" }
+
+func (p *workerProbe) SetFitWorkers(n int) {
+	p.mu.Lock()
+	*p.seen = append(*p.seen, n)
+	p.mu.Unlock()
+}
+
+var _ ml.FitWorkerSetter = (*workerProbe)(nil)
+
+// TestPoolClampsNestedFitWorkers asserts the engine's oversubscription
+// contract: under a parallel pool every model instance is told
+// SetFitWorkers(1) before its fits; under the serial engine every instance
+// is told 0 (auto), letting the single in-flight fit use the whole machine.
+// FitWorkerSetter's bit-identity contract is what makes the two settings
+// interchangeable trace-wise (covered by TestParallelCVMatchesSerial).
+func TestPoolClampsNestedFitWorkers(t *testing.T) {
+	r := rng.New(61)
+	x, y := quadratic(r, 80)
+	space := Space{{Name: "k", Values: []float64{1, 2, 3}, Lo: 1, Hi: 3, Int: true}}
+
+	run := func(opt Option) []int {
+		var mu sync.Mutex
+		var seen []int
+		factory := func(Params) (ml.Regressor, error) {
+			return &workerProbe{mu: &mu, seen: &seen}, nil
+		}
+		if _, err := GridSearch(factory, space, x, y, 3, 17, opt); err != nil {
+			t.Fatal(err)
+		}
+		return seen
+	}
+
+	for name, tc := range map[string]struct {
+		opt  Option
+		want int
+	}{
+		"parallel-pool": {WithWorkers(4), 1},
+		"serial-engine": {WithSerial(), 0},
+	} {
+		seen := run(tc.opt)
+		if len(seen) == 0 {
+			t.Fatalf("%s: engine never called SetFitWorkers", name)
+		}
+		for i, got := range seen {
+			if got != tc.want {
+				t.Fatalf("%s: SetFitWorkers call %d got %d, want %d", name, i, got, tc.want)
+			}
+		}
+	}
+}
